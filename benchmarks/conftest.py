@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Benchmarks regenerate the paper's tables at reduced budgets (the paper
+runs 5·10⁷ CGP generations on a Xeon server; see EXPERIMENTS.md).  Knobs:
+
+* ``RCGP_BENCH_GENERATIONS`` — CGP generations per testcase (default 4000)
+* ``RCGP_BENCH_EXACT_CONFLICTS`` / ``RCGP_BENCH_EXACT_TIME`` — exact budget
+* ``RCGP_BENCH_FULL=1`` — run every Table-2 row including hwb8/intdiv10
+  (hours); by default the heaviest rows run with tiny CGP budgets.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import HarnessConfig
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "table1: Table 1 reproduction benchmarks")
+    config.addinivalue_line(
+        "markers", "table2: Table 2 reproduction benchmarks")
+    config.addinivalue_line(
+        "markers", "ablation: design-choice ablation benchmarks")
+
+
+@pytest.fixture(scope="session")
+def harness_config():
+    return HarnessConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def full_scale():
+    return bool(int(os.environ.get("RCGP_BENCH_FULL", "0")))

@@ -1,0 +1,66 @@
+"""E4 — the exact-synthesis scale cliff.
+
+Table 1 shows exact synthesis completing on the tiniest functions and
+hitting its 240 000 s wall on decoder_3_8 / graycode4 / mux4; Table 2's
+exact column is *all* timeouts.  This bench reproduces the cliff with a
+single fixed conflict budget: the same budget that cracks 1–2-gate
+functions must fail on the wider testcases.
+"""
+
+import pytest
+
+from repro.bench.registry import get_benchmark
+from repro.errors import ExactSynthesisTimeout
+from repro.exact.synthesizer import ExactSynthesizer
+from repro.logic.truth_table import TruthTable
+
+pytestmark = [pytest.mark.table1]
+
+BUDGET_CONFLICTS = 12_000
+BUDGET_SECONDS = 30.0
+
+
+def _synthesizer(max_gates):
+    return ExactSynthesizer(conflict_budget=BUDGET_CONFLICTS,
+                            time_budget=BUDGET_SECONDS, max_gates=max_gates)
+
+
+class TestBelowTheCliff:
+    """Tiny functions: exact completes within the shared budget."""
+
+    @pytest.mark.parametrize("fn,gates", [
+        (lambda a, b: a & b, 1),
+        (lambda a, b: a | b, 1),
+        (lambda a, b, c: (a & b) | (a & c) | (b & c), 1),
+    ])
+    def test_single_gate_functions(self, benchmark, fn, gates):
+        import inspect
+        arity = len(inspect.signature(fn).parameters)
+        spec = [TruthTable.from_function(fn, arity)]
+        result = benchmark.pedantic(
+            _synthesizer(2).synthesize, args=(spec,),
+            rounds=1, iterations=1, warmup_rounds=0)
+        assert result.num_gates == gates
+        assert result.netlist.to_truth_tables() == spec
+
+
+class TestAboveTheCliff:
+    """Paper's '\\' rows: the same budget must be exhausted."""
+
+    @pytest.mark.parametrize("name,max_gates", [
+        ("decoder_3_8", 11),
+        ("graycode4", 8),
+        ("mux4", 9),
+        ("intdiv4", 15),   # representative Table-2 timeout row
+    ])
+    def test_timeout_rows(self, benchmark, name, max_gates):
+        spec = get_benchmark(name).spec()
+
+        def attempt():
+            with pytest.raises(ExactSynthesisTimeout) as info:
+                _synthesizer(max_gates).synthesize(spec)
+            return info.value
+
+        error = benchmark.pedantic(attempt, rounds=1, iterations=1,
+                                   warmup_rounds=0)
+        assert error.conflicts >= 0

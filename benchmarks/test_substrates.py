@@ -1,0 +1,163 @@
+"""A4 — substrate micro-benchmarks.
+
+Timing of the primitives the RCGP loop is built from: bit-parallel
+netlist simulation, mutation, shrink, splitter legalization, buffer
+scheduling, ISOP covers and CDCL solving.  These use real
+pytest-benchmark statistics (multiple rounds) since each call is fast.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.reciprocal import intdiv
+from repro.core.config import RcgpConfig
+from repro.core.fitness import Evaluator
+from repro.core.mutation import mutate
+from repro.core.synthesis import initialize_netlist
+from repro.logic.bitops import full_mask, variable_pattern
+from repro.logic.isop import isop
+from repro.logic.truth_table import TruthTable
+from repro.rqfp.buffers import schedule_levels
+from repro.rqfp.splitters import insert_splitters
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver
+
+
+@pytest.fixture(scope="module")
+def intdiv6_netlist():
+    return initialize_netlist(intdiv(6), "intdiv6")
+
+
+def test_bitparallel_simulation(benchmark, intdiv6_netlist):
+    """Exhaustive 64-pattern simulation of a ~50-gate netlist."""
+    n = intdiv6_netlist.num_inputs
+    words = [variable_pattern(i, n) for i in range(n)]
+    mask = full_mask(n)
+    benchmark(intdiv6_netlist.simulate, words, mask)
+
+
+def test_fitness_evaluation(benchmark, intdiv6_netlist):
+    evaluator = Evaluator(intdiv(6), RcgpConfig(seed=0))
+    benchmark(evaluator.evaluate, intdiv6_netlist)
+
+
+def test_mutation_throughput(benchmark, intdiv6_netlist):
+    rng = random.Random(0)
+    config = RcgpConfig(mutation_rate=0.05)
+    benchmark(mutate, intdiv6_netlist, rng, config)
+
+
+def test_shrink(benchmark, intdiv6_netlist):
+    benchmark(intdiv6_netlist.shrink)
+
+
+def test_splitter_insertion(benchmark):
+    from repro.networks.convert import tables_to_mig
+    from repro.rqfp.from_mig import mig_to_rqfp
+    raw = mig_to_rqfp(tables_to_mig(intdiv(6)))
+    benchmark(insert_splitters, raw)
+
+
+def test_buffer_scheduling(benchmark, intdiv6_netlist):
+    benchmark(schedule_levels, intdiv6_netlist)
+
+
+def test_isop_8var(benchmark):
+    rng = random.Random(1)
+    table = TruthTable(8, rng.getrandbits(256))
+    benchmark(isop, table)
+
+
+def test_cdcl_random_3sat(benchmark):
+    """A satisfiable-ish random 3-SAT instance at clause ratio 4.0."""
+    rng = random.Random(7)
+    nv, nc = 40, 160
+    clauses = [
+        [rng.choice([1, -1]) * rng.randint(1, nv) for _ in range(3)]
+        for _ in range(nc)
+    ]
+
+    def solve():
+        cnf = CNF(nv)
+        for clause in clauses:
+            cnf.add_clause(clause)
+        return Solver(cnf).solve()
+
+    status = benchmark(solve)
+    assert status in ("SAT", "UNSAT")
+
+
+def test_cec_miter(benchmark):
+    """SAT equivalence check of an evolved-size netlist vs its spec."""
+    from repro.sat.equivalence import check_against_tables
+    spec = intdiv(4)
+    netlist = initialize_netlist(spec)
+    result = benchmark.pedantic(
+        check_against_tables, args=(netlist.encoder(), spec),
+        rounds=1, iterations=1, warmup_rounds=0)
+    assert result.equivalent is True
+
+
+def test_buffer_lp_vs_heuristic(benchmark, intdiv6_netlist):
+    """A7: LP-exact buffer insertion vs coordinate descent."""
+    from repro.rqfp.buffer_opt import optimal_levels
+    exact = benchmark(optimal_levels, intdiv6_netlist)
+    heuristic = schedule_levels(intdiv6_netlist)
+    print(f"\nA7 buffers: LP-optimal {exact.num_buffers} vs "
+          f"heuristic {heuristic.num_buffers}")
+    assert exact.num_buffers <= heuristic.num_buffers
+
+
+def test_resyn2_with_rewrite(benchmark):
+    """A9: resyn2 with the NPN rewrite leg vs without (quality/runtime)."""
+    from repro.logic.truth_table import tabulate_word
+    from repro.networks.convert import tables_to_aig
+    from repro.opt.aig_opt import resyn2
+    spec = intdiv(5)
+    aig = tables_to_aig(spec)
+    plain = resyn2(aig)
+    with_rw = benchmark.pedantic(
+        resyn2, args=(aig,), kwargs={"use_rewrite": True},
+        rounds=1, iterations=1, warmup_rounds=0)
+    assert with_rw.to_truth_tables() == spec
+    print(f"\nA9 resyn2: plain {plain.size()} ANDs vs "
+          f"rewrite-enabled {with_rw.size()} ANDs")
+
+
+def test_bdd_vs_sat_equivalence(benchmark, intdiv6_netlist):
+    """A10: BDD-canonical CEC vs the SAT miter on the same check —
+    the two formal-verification strategies from the paper's §2.2."""
+    from repro.logic.bdd import bdd_equivalent
+    from repro.sat.equivalence import check_against_tables
+    spec = intdiv(6)
+    result = benchmark(bdd_equivalent, intdiv6_netlist, spec)
+    assert result is True
+    sat = check_against_tables(intdiv6_netlist.encoder(), spec)
+    assert sat.equivalent is True
+
+
+def test_depth_aware_resynthesis(benchmark):
+    """A11: depth-aware MIG resynthesis vs plain, measured in final JJs
+    (buffers track depth imbalance, so depth cuts JJ cost)."""
+    from repro.networks.convert import aig_to_mig, tables_to_aig
+    from repro.opt.aig_opt import resyn2
+    from repro.opt.mig_opt import aqfp_resynthesis
+    from repro.rqfp.buffer_opt import optimal_levels
+    from repro.rqfp.from_mig import mig_to_rqfp
+    from repro.rqfp.metrics import circuit_cost
+    from repro.rqfp.splitters import insert_splitters
+
+    spec = intdiv(6)
+    aig = resyn2(tables_to_aig(spec))
+
+    def build(depth_aware):
+        mig = aqfp_resynthesis(aig_to_mig(aig), depth_aware=depth_aware)
+        netlist = insert_splitters(mig_to_rqfp(mig))
+        return circuit_cost(netlist, optimal_levels(netlist))
+
+    aware = benchmark.pedantic(build, args=(True,), rounds=1, iterations=1,
+                               warmup_rounds=0)
+    plain = build(False)
+    print(f"\nA11 depth-aware: plain {plain} vs aware {aware}")
+    assert aware.n_d <= plain.n_d

@@ -1,0 +1,87 @@
+"""RCGP — automatic synthesis of reversible quantum-flux-parametron
+(RQFP) logic circuits via efficient Cartesian genetic programming.
+
+A from-scratch reproduction of Fu, Wille & Ho, DAC 2024.  The public API
+re-exports the pieces a downstream user needs:
+
+>>> from repro import rcgp_synthesize, RcgpConfig
+>>> from repro.bench import get_benchmark
+>>> spec = get_benchmark("decoder_2_4").spec()
+>>> result = rcgp_synthesize(spec, RcgpConfig(generations=2000, seed=7))
+>>> result.verify()
+True
+
+Subpackages
+-----------
+``repro.logic``      bit-parallel truth tables, ISOP covers
+``repro.sat``        CDCL solver, Tseitin encodings, CEC miters
+``repro.networks``   AIG / MIG networks
+``repro.opt``        resyn2- / aqfp_resynthesis-style optimization
+``repro.rqfp``       RQFP gates, netlists, splitter & buffer insertion
+``repro.core``       the CGP optimizer (the paper's contribution)
+``repro.exact``      SAT-based exact synthesis (baseline 2)
+``repro.io``         BLIF / AIGER / Verilog / PLA / .real / JSON
+``repro.reversible`` MCT/MCF reversible-circuit substrate
+``repro.bench``      every Table-1/2 benchmark as executable spec
+``repro.harness``    experiment harness regenerating the tables
+"""
+
+from .core.config import RcgpConfig
+from .core.evolution import EvolutionResult, evolve
+from .core.fitness import Evaluator, Fitness
+from .core.synthesis import (
+    BaselineResult,
+    SynthesisResult,
+    baseline_initialization,
+    initialize_netlist,
+    rcgp_synthesize,
+)
+from .errors import (
+    EncodingError,
+    ExactSynthesisTimeout,
+    FanoutViolation,
+    NetlistError,
+    ParseError,
+    PathBalanceViolation,
+    ReproError,
+    SynthesisError,
+    VerificationError,
+)
+from .exact.synthesizer import ExactResult, exact_synthesize
+from .flow import load_spec, synthesize_file
+from .logic.truth_table import TruthTable, tabulate_word
+from .rqfp.metrics import CircuitCost
+from .rqfp.netlist import RqfpNetlist
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "RcgpConfig",
+    "rcgp_synthesize",
+    "initialize_netlist",
+    "baseline_initialization",
+    "SynthesisResult",
+    "BaselineResult",
+    "evolve",
+    "EvolutionResult",
+    "Evaluator",
+    "Fitness",
+    "exact_synthesize",
+    "ExactResult",
+    "synthesize_file",
+    "load_spec",
+    "TruthTable",
+    "tabulate_word",
+    "RqfpNetlist",
+    "CircuitCost",
+    "ReproError",
+    "ParseError",
+    "NetlistError",
+    "FanoutViolation",
+    "PathBalanceViolation",
+    "EncodingError",
+    "SynthesisError",
+    "ExactSynthesisTimeout",
+    "VerificationError",
+]

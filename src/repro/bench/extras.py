@@ -1,0 +1,121 @@
+"""Additional benchmark functions beyond the paper's Tables 1–2.
+
+Classic RevLib/ISCAS-adjacent families that downstream users expect
+from a synthesis tool's benchmark kit: weight functions (``rd53``,
+``rd73``), fully symmetric functions (``symN``), ripple adders,
+small multipliers and parity chains.  None appear in the paper's
+evaluation — they extend the suite, they do not alter it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..logic.bitops import popcount
+from ..logic.truth_table import TruthTable, tabulate_word
+
+
+def rd(inputs: int, outputs: int) -> List[TruthTable]:
+    """The RevLib ``rdXY`` family: output the input weight in binary.
+
+    ``rd53`` counts ones of 5 inputs into 3 bits; ``rd73`` of 7 into 3;
+    ``rd84`` of 8 into 4.
+    """
+    if (1 << outputs) <= inputs:
+        raise ValueError(
+            f"{outputs} output bits cannot hold weights up to {inputs}"
+        )
+    return tabulate_word(lambda x: popcount(x), inputs, outputs)
+
+
+def rd53() -> List[TruthTable]:
+    return rd(5, 3)
+
+
+def rd73() -> List[TruthTable]:
+    return rd(7, 3)
+
+
+def sym(inputs: int, threshold_low: int, threshold_high: int) -> List[TruthTable]:
+    """Symmetric interval function: 1 iff weight in [low, high].
+
+    ``sym6`` (RevLib) is the 6-input variant with the 2..4 interval;
+    ``sym9`` uses 3..6.
+    """
+    if not 0 <= threshold_low <= threshold_high <= inputs:
+        raise ValueError("invalid symmetric thresholds")
+    return tabulate_word(
+        lambda x: int(threshold_low <= popcount(x) <= threshold_high),
+        inputs, 1)
+
+
+def sym6() -> List[TruthTable]:
+    return sym(6, 2, 4)
+
+
+def sym9() -> List[TruthTable]:
+    return sym(9, 3, 6)
+
+
+def ripple_adder(bits: int) -> List[TruthTable]:
+    """``bits``-bit adder: (a, b) -> a + b with carry-out.
+
+    Inputs: a[bits] then b[bits]; outputs: sum[bits] then carry.
+    """
+    if bits < 1:
+        raise ValueError("adder needs at least 1 bit")
+    mask = (1 << bits) - 1
+
+    def word(x: int) -> int:
+        a = x & mask
+        b = (x >> bits) & mask
+        return a + b  # bits+1 output bits
+
+    return tabulate_word(word, 2 * bits, bits + 1)
+
+
+def multiplier(bits: int) -> List[TruthTable]:
+    """``bits`` × ``bits`` unsigned multiplier."""
+    if bits < 1:
+        raise ValueError("multiplier needs at least 1 bit")
+    mask = (1 << bits) - 1
+
+    def word(x: int) -> int:
+        return (x & mask) * ((x >> bits) & mask)
+
+    return tabulate_word(word, 2 * bits, 2 * bits)
+
+
+def parity(bits: int) -> List[TruthTable]:
+    """Odd-parity of ``bits`` inputs (XOR chain) — buffer-heavy in RQFP."""
+    return tabulate_word(lambda x: popcount(x) & 1, bits, 1)
+
+
+def one_hot_checker(bits: int) -> List[TruthTable]:
+    """1 iff exactly one input is high (RevLib ``one-two-three`` style)."""
+    return tabulate_word(lambda x: int(popcount(x) == 1), bits, 1)
+
+
+EXTRA_BENCHMARKS: Dict[str, object] = {
+    "rd53": rd53,
+    "rd73": rd73,
+    "sym6": sym6,
+    "sym9": sym9,
+    "adder2": lambda: ripple_adder(2),
+    "adder3": lambda: ripple_adder(3),
+    "adder4": lambda: ripple_adder(4),
+    "mult2": lambda: multiplier(2),
+    "mult3": lambda: multiplier(3),
+    "parity8": lambda: parity(8),
+    "onehot5": lambda: one_hot_checker(5),
+}
+
+
+def extra_spec(name: str) -> List[TruthTable]:
+    """Specification of one extra benchmark by name."""
+    try:
+        return EXTRA_BENCHMARKS[name]()
+    except KeyError:
+        known = ", ".join(sorted(EXTRA_BENCHMARKS))
+        raise KeyError(f"unknown extra benchmark {name!r}; known: {known}") \
+            from None

@@ -1,0 +1,96 @@
+"""Random circuit / specification generators for tests and fuzzing."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..logic.truth_table import TruthTable
+from ..networks.aig import Aig, lit_not
+from ..networks.mig import Mig
+from ..rqfp.gate import NUM_CONFIGS
+from ..rqfp.netlist import RqfpNetlist
+
+
+def random_tables(num_inputs: int, num_outputs: int,
+                  rng: Optional[random.Random] = None) -> List[TruthTable]:
+    """Uniformly random multi-output specification."""
+    rng = rng or random.Random()
+    return [TruthTable(num_inputs, rng.getrandbits(1 << num_inputs))
+            for _ in range(num_outputs)]
+
+
+def random_aig(num_inputs: int, num_gates: int, num_outputs: int,
+               rng: Optional[random.Random] = None) -> Aig:
+    """Random structurally-hashed AIG with complemented edges."""
+    rng = rng or random.Random()
+    aig = Aig(num_inputs)
+    pool = [aig.add_input() for _ in range(0)]  # inputs added by ctor
+    pool = [2 * (i + 1) for i in range(num_inputs)]
+    for _ in range(num_gates):
+        a = rng.choice(pool)
+        b = rng.choice(pool)
+        if rng.random() < 0.5:
+            a = lit_not(a)
+        if rng.random() < 0.5:
+            b = lit_not(b)
+        pool.append(aig.add_and(a, b))
+    for _ in range(num_outputs):
+        out = rng.choice(pool)
+        if rng.random() < 0.5:
+            out = lit_not(out)
+        aig.add_output(out)
+    return aig
+
+
+def random_mig(num_inputs: int, num_gates: int, num_outputs: int,
+               rng: Optional[random.Random] = None) -> Mig:
+    """Random MIG (children drawn with random complements)."""
+    rng = rng or random.Random()
+    mig = Mig(num_inputs)
+    pool = [2 * (i + 1) for i in range(num_inputs)] + [0, 1]
+    for _ in range(num_gates):
+        kids = [rng.choice(pool) ^ (rng.random() < 0.5) for _ in range(3)]
+        pool.append(mig.add_maj(*kids))
+    for _ in range(num_outputs):
+        mig.add_output(rng.choice(pool) ^ (rng.random() < 0.5))
+    return mig
+
+
+def random_rqfp(num_inputs: int, num_gates: int, num_outputs: int,
+                rng: Optional[random.Random] = None,
+                legal_fanout: bool = False) -> RqfpNetlist:
+    """Random RQFP netlist; with ``legal_fanout`` each port is used at
+    most once (useful for mutation-invariant tests)."""
+    rng = rng or random.Random()
+    netlist = RqfpNetlist(num_inputs)
+    free_ports = list(range(netlist.num_ports()))
+    for g in range(num_gates):
+        limit = netlist.first_gate_port(g)
+        if legal_fanout:
+            candidates = [p for p in free_ports if p < limit]
+            inputs = []
+            for _ in range(3):
+                if candidates and rng.random() < 0.8:
+                    port = rng.choice(candidates)
+                    candidates.remove(port)
+                    if port != 0:
+                        free_ports.remove(port)
+                else:
+                    port = 0
+                inputs.append(port)
+        else:
+            inputs = [rng.randrange(limit) for _ in range(3)]
+        netlist.add_gate(inputs[0], inputs[1], inputs[2],
+                         rng.randrange(NUM_CONFIGS))
+        new_ports = [netlist.gate_output_port(g, m) for m in range(3)]
+        free_ports.extend(new_ports)
+    for _ in range(num_outputs):
+        if legal_fanout:
+            port = rng.choice(free_ports)
+            if port != 0:
+                free_ports.remove(port)
+        else:
+            port = rng.randrange(netlist.num_ports())
+        netlist.add_output(port)
+    return netlist

@@ -1,0 +1,151 @@
+"""Benchmark registry: every testcase of Tables 1 and 2 by name.
+
+The registry is the single source the experiment harness, CLI, tests
+and examples all pull from, so a testcase's definition can never drift
+between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..logic.truth_table import TruthTable
+from ..rqfp.metrics import garbage_lower_bound
+from . import reciprocal, revlib
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A named specification plus its paper-table context."""
+
+    name: str
+    table: int                 # which paper table it appears in (1 or 2)
+    spec_fn: Callable[[], List[TruthTable]]
+    paper_row: Dict[str, object]   # the published reference numbers
+
+    def spec(self) -> List[TruthTable]:
+        return self.spec_fn()
+
+    @property
+    def num_inputs(self) -> int:
+        return self.spec()[0].num_vars
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.spec())
+
+    @property
+    def g_lb(self) -> int:
+        return garbage_lower_bound(self.num_inputs, self.num_outputs)
+
+
+def _row(n_pi, n_po, init, exact, rcgp):
+    """Pack a paper table row: each of init/exact/rcgp is
+    (n_r, n_b, jjs, n_d, n_g[, T]) or None for the '\\' timeout marks."""
+    def unpack(t):
+        if t is None:
+            return None
+        keys = ("n_r", "n_b", "JJs", "n_d", "n_g", "T")
+        return dict(zip(keys, t))
+    return {
+        "n_pi": n_pi,
+        "n_po": n_po,
+        "init": unpack(init),
+        "exact": unpack(exact),
+        "rcgp": unpack(rcgp),
+    }
+
+
+# Published numbers (Tables 1 and 2), used by EXPERIMENTS.md generation
+# and the aggregate-shape benchmarks.  None = the paper's '\' timeout.
+_TABLE1 = {
+    "full_adder": _row(3, 2, (6, 2, 152, 3, 7), (3, 3, 84, 3, 2, 41.19),
+                       (3, 2, 80, 3, 2, 75.69)),
+    "4gt10": _row(4, 1, (3, 3, 84, 3, 6), (3, 4, 88, 3, 5, 76.01),
+                  (3, 4, 88, 3, 5, 75.43)),
+    "alu": _row(5, 1, (12, 10, 328, 5, 17), (4, 7, 124, 4, 7, 1893.54),
+                (4, 6, 120, 4, 5, 232.51)),
+    "c17": _row(5, 2, (11, 7, 292, 4, 16), (5, 14, 76, 7, 7, 106167.29),
+                (5, 10, 160, 4, 5, 321.17)),
+    "decoder_2_4": _row(2, 4, (8, 3, 204, 3, 10), (3, 3, 84, 3, 1, 24.77),
+                        (3, 3, 84, 3, 1, 236.36)),
+    "decoder_3_8": _row(3, 8, (20, 12, 528, 4, 23), None,
+                        (11, 25, 268, 7, 7, 978.53)),
+    "graycode4": _row(4, 4, (15, 7, 388, 4, 21), None,
+                      (8, 10, 208, 5, 3, 835.74)),
+    "ham3": _row(3, 3, (16, 5, 404, 4, 18), (5, 5, 140, 5, 2, 2216.02),
+                 (5, 4, 136, 5, 2, 326.41)),
+    "mux4": _row(6, 1, (11, 10, 304, 5, 16), None,
+                 (9, 19, 244, 6, 7, 769.14)),
+}
+
+_TABLE2 = {
+    "4_49": _row(4, 4, (35, 17, 908, 5, 41), None,
+                 (21, 83, 836, 13, 12, 1244.71)),
+    "graycode6": _row(6, 6, (25, 9, 636, 4, 35), None,
+                      (13, 31, 436, 7, 7, 853.09)),
+    "mod5adder": _row(6, 6, (139, 137, 3884, 10, 165), None,
+                      (105, 663, 5172, 29, 63, 11102.79)),
+    "hwb8": _row(8, 8, (1427, 2727, 45156, 20, 1662), None,
+                 (1397, 2729, 44444, 20, 1533, 157468.63)),
+    "intdiv4": _row(4, 4, (26, 15, 684, 5, 32), None,
+                    (15, 40, 520, 9, 9, 876.90)),
+    "intdiv5": _row(5, 5, (51, 46, 1408, 8, 63), None,
+                    (35, 119, 1316, 14, 20, 1859.56)),
+    "intdiv6": _row(6, 6, (107, 95, 2948, 9, 128), None,
+                    (76, 292, 2992, 18, 45, 5192.59)),
+    "intdiv7": _row(7, 7, (200, 202, 5608, 11, 234), None,
+                    (128, 764, 6128, 30, 80, 7562.12)),
+    "intdiv8": _row(8, 8, (381, 534, 11280, 15, 453), None,
+                    (236, 1681, 12388, 31, 164, 17786.66)),
+    "intdiv9": _row(9, 9, (720, 944, 21056, 16, 859), None,
+                    (483, 1859, 19028, 25, 414, 64670.10)),
+    "intdiv10": _row(10, 10, (1225, 1986, 37344, 20, 1453), None,
+                     (833, 2877, 31500, 26, 817, 146310.78)),
+}
+
+_SPEC_FNS = {
+    "full_adder": revlib.full_adder,
+    "4gt10": revlib.four_gt_10,
+    "alu": revlib.alu,
+    "c17": revlib.c17,
+    "decoder_2_4": lambda: revlib.decoder(2),
+    "decoder_3_8": lambda: revlib.decoder(3),
+    "graycode4": lambda: revlib.graycode(4),
+    "ham3": revlib.ham3,
+    "mux4": revlib.mux4,
+    "4_49": revlib.revlib_4_49,
+    "graycode6": lambda: revlib.graycode(6),
+    "mod5adder": revlib.mod5adder,
+    "hwb8": revlib.hwb8,
+}
+_SPEC_FNS.update({
+    f"intdiv{n}": (lambda n=n: reciprocal.intdiv(n)) for n in range(4, 11)
+})
+
+BENCHMARKS: Dict[str, Benchmark] = {}
+for _name, _paper in list(_TABLE1.items()) + list(_TABLE2.items()):
+    BENCHMARKS[_name] = Benchmark(
+        name=_name,
+        table=1 if _name in _TABLE1 else 2,
+        spec_fn=_SPEC_FNS[_name],
+        paper_row=_paper,
+    )
+
+TABLE1_NAMES = list(_TABLE1)
+TABLE2_NAMES = list(_TABLE2)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def table_benchmarks(table: int):
+    """All benchmarks of one paper table, in row order."""
+    names = TABLE1_NAMES if table == 1 else TABLE2_NAMES
+    return [BENCHMARKS[n] for n in names]

@@ -1,0 +1,158 @@
+"""Executable specifications of the paper's RevLib testcases.
+
+RevLib circuit files are not shipped offline, so every Table-1/2
+testcase is re-implemented here as an executable word-level function
+with the same ``(n_pi, n_po)`` shape the paper reports.  Where RevLib
+defines a specific permutation that is not recoverable offline
+(``ham3``, ``4_49``), a fixed, documented permutation of the same width
+is used — the synthesis code path is identical for any permutation of
+that width (see DESIGN.md, "Faithfulness notes").
+
+Functions return a list of :class:`~repro.logic.truth_table.TruthTable`
+objects, one per primary output (LSB-first).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..logic.bitops import popcount
+from ..logic.truth_table import TruthTable, tabulate_word
+
+
+def full_adder() -> List[TruthTable]:
+    """1-bit full adder: (a, b, cin) -> (sum, cout).  Table 1 row 1."""
+    def word(x: int) -> int:
+        a, b, cin = x & 1, (x >> 1) & 1, (x >> 2) & 1
+        total = a + b + cin
+        return (total & 1) | ((total >> 1) << 1)
+    return tabulate_word(word, 3, 2)
+
+
+def gt_n(threshold: int, bits: int = 4) -> List[TruthTable]:
+    """RevLib ``<bits>gt<threshold>`` family: out = [x > threshold]."""
+    return tabulate_word(lambda x: int(x > threshold), bits, 1)
+
+
+def four_gt_10() -> List[TruthTable]:
+    """``4gt10``: 4-bit magnitude comparator against 10.  Table 1 row 2."""
+    return gt_n(10, 4)
+
+
+def alu() -> List[TruthTable]:
+    """A 5-input 1-output ALU bit matching RevLib's ``alu`` shape.
+
+    Inputs (s1, s0, a, b, c); the two select bits choose among
+    AND / OR / XOR / majority-carry over (a, b, c)::
+
+        s1 s0 = 00 -> a AND b
+        s1 s0 = 01 -> a OR  b
+        s1 s0 = 10 -> a XOR b XOR c      (sum bit)
+        s1 s0 = 11 -> MAJ(a, b, c)       (carry bit)
+    """
+    def word(x: int) -> int:
+        s1, s0 = x & 1, (x >> 1) & 1
+        a, b, c = (x >> 2) & 1, (x >> 3) & 1, (x >> 4) & 1
+        op = (s1 << 1) | s0
+        if op == 0:
+            return a & b
+        if op == 1:
+            return a | b
+        if op == 2:
+            return a ^ b ^ c
+        return (a & b) | (a & c) | (b & c)
+    return tabulate_word(word, 5, 1)
+
+
+def c17() -> List[TruthTable]:
+    """ISCAS-85 ``c17``: 5 inputs, 2 outputs, six NAND gates.
+
+    Standard netlist: N10 = !(N1·N3), N11 = !(N3·N6), N16 = !(N2·N11),
+    N19 = !(N11·N7), N22 = !(N10·N16), N23 = !(N16·N19).
+    Inputs map (x0..x4) = (N1, N2, N3, N6, N7); outputs (N22, N23).
+    """
+    def word(x: int) -> int:
+        n1, n2, n3, n6, n7 = (x >> 0) & 1, (x >> 1) & 1, (x >> 2) & 1, \
+            (x >> 3) & 1, (x >> 4) & 1
+        n10 = 1 - (n1 & n3)
+        n11 = 1 - (n3 & n6)
+        n16 = 1 - (n2 & n11)
+        n19 = 1 - (n11 & n7)
+        n22 = 1 - (n10 & n16)
+        n23 = 1 - (n16 & n19)
+        return n22 | (n23 << 1)
+    return tabulate_word(word, 5, 2)
+
+
+def decoder(select_bits: int) -> List[TruthTable]:
+    """``decoder_2_4`` / ``decoder_3_8``: one-hot decoders."""
+    return tabulate_word(lambda x: 1 << x, select_bits, 1 << select_bits)
+
+
+def graycode(bits: int) -> List[TruthTable]:
+    """Binary-to-Gray converter (RevLib ``graycode4`` / ``graycode6``)."""
+    return tabulate_word(lambda x: x ^ (x >> 1), bits, bits)
+
+
+# RevLib's ham3 is a specific 3-bit permutation; its exact table is not
+# recoverable offline.  This fixed permutation (the "Hamming-distance"
+# style cycle used widely in reversible-logic teaching material) keeps
+# the same width and reversibility properties.
+_HAM3_PERM = [0, 7, 1, 2, 3, 4, 5, 6]
+
+# RevLib's 4_49 is a "worst-case" 4-bit permutation; same substitution
+# rationale.  This table is a fixed documented permutation of 0..15.
+_4_49_PERM = [15, 1, 12, 3, 5, 6, 8, 7, 0, 10, 13, 9, 2, 4, 14, 11]
+
+
+def _permutation_tables(perm: List[int], bits: int) -> List[TruthTable]:
+    if sorted(perm) != list(range(1 << bits)):
+        raise ValueError("not a permutation")
+    return tabulate_word(lambda x: perm[x], bits, bits)
+
+
+def ham3() -> List[TruthTable]:
+    """``ham3``: a 3-bit reversible permutation (documented substitute)."""
+    return _permutation_tables(_HAM3_PERM, 3)
+
+
+def revlib_4_49() -> List[TruthTable]:
+    """``4_49``: a 4-bit reversible permutation (documented substitute)."""
+    return _permutation_tables(_4_49_PERM, 4)
+
+
+def mux4() -> List[TruthTable]:
+    """``mux4``: 4:1 multiplexer — inputs (s0, s1, d0..d3), one output."""
+    def word(x: int) -> int:
+        sel = x & 3
+        return (x >> (2 + sel)) & 1
+    return tabulate_word(word, 6, 1)
+
+
+def mod5adder() -> List[TruthTable]:
+    """``mod5adder``: (a[3], b[3]) -> (a, (a + b) mod 5).
+
+    RevLib's mod5adder adds one operand into the other modulo 5 while
+    retaining the first operand (needed for reversibility).  Defined on
+    all 64 input patterns via unconditional ``(a + b) mod 5``.
+    """
+    def word(x: int) -> int:
+        a = x & 7
+        b = (x >> 3) & 7
+        return a | (((a + b) % 5) << 3)
+    return tabulate_word(word, 6, 6)
+
+
+def hwb(bits: int) -> List[TruthTable]:
+    """Hidden-weighted-bit function ``hwb<bits>``: rotate x left by its
+    population count — the classic BDD-hard reversible benchmark."""
+    def word(x: int) -> int:
+        w = popcount(x) % bits
+        return ((x << w) | (x >> (bits - w))) & ((1 << bits) - 1) \
+            if w else x
+    return tabulate_word(word, bits, bits)
+
+
+def hwb8() -> List[TruthTable]:
+    """``hwb8``: the 8-bit hidden-weighted-bit benchmark of Table 2."""
+    return hwb(8)

@@ -1,0 +1,289 @@
+"""Command-line interface: ``rcgp`` (or ``python -m repro.cli``).
+
+Subcommands::
+
+    rcgp synth  design.{v,blif,aag,pla,real}  [-o out.json] [options]
+    rcgp bench  <testcase> [options]          # one registry benchmark
+    rcgp exact  <testcase> [options]          # exact baseline
+    rcgp table  {1,2} [testcase ...]          # paper table harness
+    rcgp list                                 # registry contents
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.registry import BENCHMARKS, get_benchmark
+from .core.config import RcgpConfig
+from .core.synthesis import rcgp_synthesize
+from .errors import ExactSynthesisTimeout, ReproError
+from .exact.synthesizer import exact_synthesize
+from .flow import synthesize_file
+from .harness.report import compare_with_paper, format_rows
+from .harness.runner import HarnessConfig, run_table
+from .io.rqfp_json import write_rqfp_json
+
+
+def _add_rcgp_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--generations", type=int, default=10_000,
+                        help="CGP generation budget N (default 10000)")
+    parser.add_argument("--offspring", type=int, default=4,
+                        help="lambda of the (1+lambda) ES (default 4)")
+    parser.add_argument("--mutation-rate", type=float, default=0.08,
+                        help="mutation rate mu in [0,1] (default 0.08; "
+                             "the paper uses 1.0 with a 5e7 budget)")
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+    parser.add_argument("--max-genes", type=int, default=None,
+                        help="cap on mutated genes per offspring")
+    parser.add_argument("--verify-method", choices=("sat", "bdd"),
+                        default="sat",
+                        help="formal backend for non-exhaustive specs")
+    parser.add_argument("--shrink", choices=("always", "on_improvement",
+                                             "never"), default="always")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        help="wall-clock cap in seconds")
+
+
+def _config_from(args: argparse.Namespace) -> RcgpConfig:
+    return RcgpConfig(
+        generations=args.generations,
+        offspring=args.offspring,
+        mutation_rate=args.mutation_rate,
+        max_mutated_genes=args.max_genes,
+        seed=args.seed,
+        shrink=args.shrink,
+        time_budget=args.time_budget,
+        verify_method=args.verify_method,
+    )
+
+
+def _print_result(result, verbose: bool) -> None:
+    print(f"initialization: {result.initial.cost}")
+    print(f"rcgp          : {result.cost}")
+    print(f"verified      : {result.verify()}")
+    if verbose:
+        print(f"generations   : {result.evolution.generations}")
+        print(f"evaluations   : {result.evolution.evaluations}")
+        print(f"netlist       : {result.netlist.describe()}")
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    result = synthesize_file(args.design, _config_from(args))
+    _print_result(result, args.verbose)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(write_rqfp_json(result.netlist, result.plan))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _resolve_spec(testcase: str):
+    """Spec for a registry or extra benchmark name."""
+    from .bench.extras import EXTRA_BENCHMARKS, extra_spec
+    if testcase in EXTRA_BENCHMARKS:
+        return extra_spec(testcase), testcase
+    benchmark = get_benchmark(testcase)
+    return benchmark.spec(), benchmark.name
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    spec, name = _resolve_spec(args.testcase)
+    result = rcgp_synthesize(spec, _config_from(args), name=name)
+    _print_result(result, args.verbose)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(write_rqfp_json(result.netlist, result.plan))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    benchmark = get_benchmark(args.testcase)
+    try:
+        result = exact_synthesize(
+            benchmark.spec(), name=benchmark.name,
+            conflict_budget=args.conflicts,
+            time_budget=args.time_budget,
+            max_gates=args.max_gates,
+        )
+    except ExactSynthesisTimeout as exc:
+        print(f"timeout: {exc} (conflicts={exc.conflicts}, "
+              f"elapsed={exc.elapsed:.1f}s)")
+        return 2
+    print(f"gates={result.num_gates} garbage={result.num_garbage} "
+          f"runtime={result.runtime:.1f}s conflicts={result.conflicts} "
+          f"optimal(gates={result.gates_proved_optimal}, "
+          f"garbage={result.garbage_proved_optimal})")
+    print(result.netlist.describe())
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    config = HarnessConfig.from_env()
+    if args.generations is not None:
+        config.generations = args.generations
+    if args.no_exact:
+        config.run_exact = False
+    rows = run_table(args.table, config, args.testcases or None)
+    title = ("Table 1 — small RevLib circuits" if args.table == 1 else
+             "Table 2 — large RevLib + reciprocal circuits")
+    print(format_rows(rows, title=title))
+    print()
+    print(compare_with_paper(rows))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """CEC between a synthesized RQFP JSON netlist and a design file."""
+    from .flow import load_spec
+    from .io.rqfp_json import read_rqfp_json
+    from .sat.equivalence import check_against_tables
+
+    netlist = read_rqfp_json(args.netlist)
+    tables, name = load_spec(args.design)
+    if netlist.num_inputs != tables[0].num_vars or \
+            netlist.num_outputs != len(tables):
+        print(f"interface mismatch: netlist {netlist.num_inputs}->"
+              f"{netlist.num_outputs}, design {tables[0].num_vars}->"
+              f"{len(tables)}")
+        return 1
+    result = check_against_tables(netlist.encoder(), tables,
+                                  conflict_budget=args.conflicts)
+    if result.equivalent is True:
+        print(f"EQUIVALENT: {args.netlist} realizes {name} "
+              f"({result.conflicts} conflicts)")
+        return 0
+    if result.equivalent is False:
+        print(f"NOT EQUIVALENT: counterexample input pattern "
+              f"{result.counterexample:#x}")
+        return 1
+    print("UNDECIDED: conflict budget exhausted")
+    return 2
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Cost metrics + AQFP cell breakdown of an RQFP JSON netlist."""
+    from .io.rqfp_json import read_rqfp_json
+    from .rqfp.aqfp import expand_to_aqfp
+    from .rqfp.buffers import schedule_levels
+    from .rqfp.metrics import circuit_cost
+    from .rqfp.validate import check_circuit
+
+    netlist = read_rqfp_json(args.netlist)
+    plan = schedule_levels(netlist)
+    cost = circuit_cost(netlist, plan)
+    print(f"netlist : {netlist!r}")
+    print(f"cost    : {cost}")
+    aqfp = expand_to_aqfp(netlist, plan)
+    print(f"AQFP    : {aqfp.count('maj3')} majorities, "
+          f"{aqfp.count('splitter')} splitters, "
+          f"{aqfp.count('buffer')} buffers "
+          f"= {aqfp.total_jjs()} JJs")
+    problems = check_circuit(netlist, plan)
+    print("design rules: " + ("clean" if not problems else "; ".join(problems)))
+    return 0 if not problems else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Multi-seed statistics for one benchmark."""
+    from .harness.stats import seed_sweep
+
+    spec, name = _resolve_spec(args.testcase)
+    seeds = list(range(args.seeds))
+
+    def factory(seed: int) -> RcgpConfig:
+        return RcgpConfig(generations=args.generations,
+                          mutation_rate=args.mutation_rate,
+                          max_mutated_genes=args.max_genes,
+                          seed=seed, shrink=args.shrink)
+
+    sweep = seed_sweep(spec, seeds, factory, name=name)
+    print(sweep.report())
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from .bench.extras import EXTRA_BENCHMARKS
+    print(f"{'name':<14} {'table':<5} {'n_pi':<4} {'n_po':<4}")
+    for name, benchmark in BENCHMARKS.items():
+        print(f"{name:<14} {benchmark.table:<5} "
+              f"{benchmark.num_inputs:<4} {benchmark.num_outputs:<4}")
+    for name, fn in EXTRA_BENCHMARKS.items():
+        spec = fn()
+        print(f"{name:<14} {'extra':<5} {spec[0].num_vars:<4} {len(spec):<4}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rcgp",
+        description="RCGP: CGP-based synthesis of RQFP logic circuits "
+                    "(DAC'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_synth = sub.add_parser("synth", help="synthesize a design file")
+    p_synth.add_argument("design")
+    p_synth.add_argument("-o", "--output", help="write RQFP JSON netlist")
+    p_synth.add_argument("-v", "--verbose", action="store_true")
+    _add_rcgp_options(p_synth)
+    p_synth.set_defaults(func=_cmd_synth)
+
+    p_bench = sub.add_parser("bench", help="synthesize a registry benchmark")
+    p_bench.add_argument("testcase")
+    p_bench.add_argument("-o", "--output", help="write RQFP JSON netlist")
+    p_bench.add_argument("-v", "--verbose", action="store_true")
+    _add_rcgp_options(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_exact = sub.add_parser("exact", help="exact baseline on a benchmark")
+    p_exact.add_argument("testcase")
+    p_exact.add_argument("--conflicts", type=int, default=200_000)
+    p_exact.add_argument("--time-budget", type=float, default=None)
+    p_exact.add_argument("--max-gates", type=int, default=8)
+    p_exact.set_defaults(func=_cmd_exact)
+
+    p_table = sub.add_parser("table", help="run a paper table harness")
+    p_table.add_argument("table", type=int, choices=(1, 2))
+    p_table.add_argument("testcases", nargs="*")
+    p_table.add_argument("--generations", type=int, default=None)
+    p_table.add_argument("--no-exact", action="store_true")
+    p_table.set_defaults(func=_cmd_table)
+
+    p_verify = sub.add_parser(
+        "verify", help="SAT-check a synthesized netlist against a design")
+    p_verify.add_argument("netlist", help="RQFP JSON netlist")
+    p_verify.add_argument("design", help="reference design file")
+    p_verify.add_argument("--conflicts", type=int, default=200_000)
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_stats = sub.add_parser(
+        "stats", help="cost metrics and AQFP breakdown of a netlist")
+    p_stats.add_argument("netlist", help="RQFP JSON netlist")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_sweep = sub.add_parser("sweep", help="multi-seed statistics")
+    p_sweep.add_argument("testcase")
+    p_sweep.add_argument("--seeds", type=int, default=5)
+    _add_rcgp_options(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_list = sub.add_parser("list", help="list registry benchmarks")
+    p_list.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""RCGP core: CGP encoding, mutation, fitness, evolution, full flow."""
+
+from .config import RcgpConfig
+from .evolution import EvolutionResult, evolve
+from .fitness import Evaluator, Fitness
+from .mutation import chromosome_length, mutate
+from .pareto import ParetoArchive, dominates, evolve_pareto
+from .restart import (
+    evolve_with_checkpoints,
+    load_checkpoint,
+    multi_start,
+    save_checkpoint,
+)
+from .windowing import (
+    Window,
+    WindowResult,
+    analyze_window,
+    extract_window,
+    optimize_window,
+    splice_window,
+    windowed_optimize,
+)
+from .synthesis import (
+    BaselineResult,
+    SynthesisResult,
+    baseline_initialization,
+    initialize_netlist,
+    rcgp_synthesize,
+)
+
+__all__ = [
+    "RcgpConfig",
+    "Fitness",
+    "Evaluator",
+    "mutate",
+    "chromosome_length",
+    "evolve",
+    "EvolutionResult",
+    "rcgp_synthesize",
+    "initialize_netlist",
+    "baseline_initialization",
+    "BaselineResult",
+    "SynthesisResult",
+    "Window",
+    "WindowResult",
+    "analyze_window",
+    "extract_window",
+    "splice_window",
+    "optimize_window",
+    "windowed_optimize",
+    "evolve_with_checkpoints",
+    "multi_start",
+    "save_checkpoint",
+    "load_checkpoint",
+    "evolve_pareto",
+    "ParetoArchive",
+    "dominates",
+]

@@ -1,0 +1,104 @@
+"""Configuration for the RCGP optimizer.
+
+Defaults follow the paper where stated (§4): linear CGP (``n_R = 1``,
+implicit in the netlist representation), levels-back equal to the column
+count, mutation rate ``mu = 1.0``, and a ``(1 + lambda)`` evolution
+strategy.  The paper's generation budget (5·10⁷) is impractical per run
+of a pure-Python reproduction, so :attr:`RcgpConfig.generations`
+defaults far lower; the benchmark harness documents the budget used for
+every reported number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class RcgpConfig:
+    """Tunable parameters of the CGP-based optimization (§3.2)."""
+
+    generations: int = 20_000
+    """Maximum number of generations ``N`` (paper: 5·10⁷)."""
+
+    offspring: int = 4
+    """λ of the (1+λ) evolution strategy (classic CGP default)."""
+
+    mutation_rate: float = 1.0
+    """μ ∈ [0, 1]; up to ``max(1, round(mu * n_L))`` genes mutate per
+    offspring, with the actual count drawn uniformly (paper: μ = 1)."""
+
+    max_mutated_genes: Optional[int] = None
+    """Absolute cap on mutated genes per offspring, applied after the
+    rate (None: no cap).  Useful on large chromosomes where even a small
+    μ would touch dozens of genes and destroy almost every offspring at
+    laptop-scale generation budgets."""
+
+    seed: Optional[int] = None
+    """Random seed; None draws entropy from the OS."""
+
+    shrink: str = "on_improvement"
+    """When to remove inactive gates from the parent (§3.2.3):
+    ``"always"``, ``"on_improvement"`` or ``"never"``."""
+
+    exhaustive_input_limit: int = 14
+    """Simulate all ``2^n`` patterns when ``n_pi`` is at most this; the
+    paper's entire benchmark suite (≤10 inputs) stays exhaustive."""
+
+    simulation_patterns: int = 2048
+    """Random pattern count when simulation cannot be exhaustive."""
+
+    verify_with_sat: bool = True
+    """Run formal verification on simulation-clean candidates when
+    simulation was not exhaustive (the paper's sim + formal
+    combination)."""
+
+    verify_method: str = "sat"
+    """Formal-verification backend: ``"sat"`` (CEC miter, the paper's
+    choice) or ``"bdd"`` (canonical ROBDD comparison, the earlier CGP
+    literature's choice — §2.2)."""
+
+    sat_conflict_budget: int = 50_000
+    """Conflict budget per CEC call; budget exhaustion rejects the
+    candidate conservatively."""
+
+    stagnation_limit: Optional[int] = None
+    """Stop after this many generations without fitness improvement
+    (None: run the full budget, like the paper)."""
+
+    time_budget: Optional[float] = None
+    """Wall-clock cap in seconds (None: unlimited)."""
+
+    count_buffers_in_fitness: bool = True
+    """Tie-break on the estimated RQFP buffer count (§3.2.1 item 3)."""
+
+    simplify_wires: bool = True
+    """Apply the deterministic wire-gate bypass (splitters/buffers/
+    inverters with a single used, pass-through output) to improved
+    parents and to the final circuit.  Exact and Lamarckian: the genome
+    itself is simplified, sparing CGP from rediscovering bookkeeping
+    removals by chance."""
+
+    track_history: bool = False
+    """Record (generation, fitness) improvement events."""
+
+    # Mutation-kind toggles, used by the ablation benchmarks (A1).
+    enable_input_mutation: bool = True
+    enable_output_mutation: bool = True
+    enable_inverter_mutation: bool = True
+
+    def __post_init__(self):
+        if self.generations < 0:
+            raise ValueError("generations must be >= 0")
+        if self.offspring < 1:
+            raise ValueError("offspring (lambda) must be >= 1")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must lie in [0, 1]")
+        if self.shrink not in ("always", "on_improvement", "never"):
+            raise ValueError(f"unknown shrink mode {self.shrink!r}")
+        if self.verify_method not in ("sat", "bdd"):
+            raise ValueError(f"unknown verify_method {self.verify_method!r}")
+        if not (self.enable_input_mutation or self.enable_output_mutation
+                or self.enable_inverter_mutation):
+            raise ValueError("at least one mutation kind must stay enabled")

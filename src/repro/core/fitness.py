@@ -1,0 +1,202 @@
+"""Fitness evaluation for RCGP candidates (§3.2.1).
+
+Evaluation is two-phase, exactly as the paper describes:
+
+1. **Function evaluation** — the success rate of simulation-based
+   equivalence checking against the specification.  When the input count
+   permits, simulation is exhaustive and therefore exact; otherwise a
+   fixed random pattern set is used and simulation-clean candidates are
+   confirmed by the SAT miter (the "circuit simulation + formal
+   verification" combination).  SAT counterexamples are fed back into
+   the pattern set so the same wrong candidate is never expensive twice.
+
+2. **Performance evaluation** — only at 100 % success: the number of
+   RQFP gates ``n_r`` first, then garbage outputs ``n_g``, then the
+   estimated buffer count ``n_b``.
+
+Candidates whose primary outputs share ports (possible after the paper's
+direct PO reconnection mutation) are costed through splitter
+legalization rather than rejected, so illegal sharing is paid for, never
+smuggled in.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..logic.bitops import full_mask, variable_pattern
+from ..logic.truth_table import TruthTable
+from ..rqfp.buffers import estimate_buffers
+from ..rqfp.netlist import RqfpNetlist
+from ..rqfp.simplify import bypass_wire_gates
+from ..rqfp.splitters import insert_splitters
+from ..sat.equivalence import check_against_tables
+from .config import RcgpConfig
+
+
+@dataclass(frozen=True)
+class Fitness:
+    """Lexicographic fitness; bigger key is better."""
+
+    success: float
+    n_r: int = 0
+    n_g: int = 0
+    n_b: int = 0
+
+    @property
+    def functional(self) -> bool:
+        return self.success >= 1.0
+
+    def key(self) -> Tuple[float, int, int, int]:
+        if not self.functional:
+            return (self.success, 0, 0, 0)
+        return (1.0, -self.n_r, -self.n_g, -self.n_b)
+
+    def __ge__(self, other: "Fitness") -> bool:
+        return self.key() >= other.key()
+
+    def __gt__(self, other: "Fitness") -> bool:
+        return self.key() > other.key()
+
+    def __str__(self) -> str:
+        if not self.functional:
+            return f"Fitness(success={self.success:.4%})"
+        return (f"Fitness(success=100%, n_r={self.n_r}, n_g={self.n_g}, "
+                f"n_b={self.n_b})")
+
+
+class Evaluator:
+    """Evaluates RQFP netlists against a truth-table specification."""
+
+    def __init__(self, spec: Sequence[TruthTable], config: RcgpConfig,
+                 rng: Optional[random.Random] = None):
+        self.spec = list(spec)
+        if not self.spec:
+            raise ValueError("specification needs at least one output")
+        self.num_inputs = self.spec[0].num_vars
+        if any(t.num_vars != self.num_inputs for t in self.spec):
+            raise ValueError("specification outputs disagree on input count")
+        self.config = config
+        self.exhaustive = self.num_inputs <= config.exhaustive_input_limit
+        rng = rng or random.Random(config.seed)
+        if self.exhaustive:
+            self._mask = full_mask(self.num_inputs)
+            self._words = [variable_pattern(i, self.num_inputs)
+                           for i in range(self.num_inputs)]
+            self._expected = [t.bits for t in self.spec]
+            self._total_bits = len(self.spec) * (1 << self.num_inputs)
+        else:
+            count = config.simulation_patterns
+            self._patterns = [rng.getrandbits(self.num_inputs)
+                              for _ in range(count)]
+            self._rebuild_words()
+        self.sat_calls = 0
+        self.evaluations = 0
+
+    def _rebuild_words(self) -> None:
+        count = len(self._patterns)
+        self._mask = (1 << count) - 1
+        words = [0] * self.num_inputs
+        for slot, pattern in enumerate(self._patterns):
+            for i in range(self.num_inputs):
+                if (pattern >> i) & 1:
+                    words[i] |= 1 << slot
+        self._words = words
+        expected = [0] * len(self.spec)
+        for slot, pattern in enumerate(self._patterns):
+            for o, table in enumerate(self.spec):
+                if table.value(pattern):
+                    expected[o] |= 1 << slot
+        self._expected = expected
+        self._total_bits = len(self.spec) * count
+
+    def add_counterexample(self, pattern: int) -> None:
+        """Fold a SAT counterexample into the simulation pattern set."""
+        if self.exhaustive:
+            return
+        self._patterns.append(pattern & full_mask(self.num_inputs) if
+                              self.num_inputs < 31 else pattern)
+        self._rebuild_words()
+
+    # ------------------------------------------------------------------
+
+    def success_rate(self, netlist: RqfpNetlist) -> float:
+        """Fraction of matching simulated output bits."""
+        got = netlist.simulate(self._words, self._mask)
+        wrong = 0
+        for value, expected in zip(got, self._expected):
+            wrong += bin((value ^ expected) & self._mask).count("1")
+        return 1.0 - wrong / self._total_bits
+
+    def is_equivalent(self, netlist: RqfpNetlist) -> Optional[bool]:
+        """Full functional equivalence: simulation, then SAT if needed.
+
+        Returns None when the SAT budget ran out (treated as "not
+        proven" by :meth:`evaluate`).
+        """
+        if self.success_rate(netlist) < 1.0:
+            return False
+        if self.exhaustive:
+            return True
+        if not self.config.verify_with_sat:
+            return True
+        self.sat_calls += 1
+        result = check_against_tables(
+            netlist.encoder(), self.spec,
+            conflict_budget=self.config.sat_conflict_budget,
+        )
+        if result.equivalent is False and result.counterexample is not None:
+            self.add_counterexample(result.counterexample)
+        return result.equivalent
+
+    def _formally_equivalent(self, active: RqfpNetlist) -> bool:
+        """Formal leg of the fitness function (SAT miter or BDD)."""
+        self.sat_calls += 1
+        if self.config.verify_method == "bdd":
+            from ..logic.bdd import bdd_equivalent
+            return bdd_equivalent(active, self.spec)
+        result = check_against_tables(
+            active.encoder(), self.spec,
+            conflict_budget=self.config.sat_conflict_budget,
+        )
+        if result.equivalent is not True:
+            if result.counterexample is not None:
+                self.add_counterexample(result.counterexample)
+            return False
+        return True
+
+    def evaluate(self, netlist: RqfpNetlist) -> Fitness:
+        """Two-phase fitness of a candidate genome/netlist.
+
+        Simulation runs on the raw genome (inactive gates cannot affect
+        the outputs); shrink and the SAT miter only run for
+        simulation-clean candidates, keeping the hot path to a single
+        bit-parallel sweep.
+        """
+        self.evaluations += 1
+        rate = self.success_rate(netlist)
+        if rate < 1.0:
+            return Fitness(rate)
+        active = netlist.shrink()
+        if not self.exhaustive and self.config.verify_with_sat:
+            if not self._formally_equivalent(active):
+                # Simulation-clean but not formally proven: keep it just
+                # below functional so it never displaces a verified parent.
+                return Fitness(1.0 - 1.0 / (2 * self._total_bits))
+        if active.fanout_violations():
+            active = insert_splitters(active)
+        n_b = estimate_buffers(active) if self.config.count_buffers_in_fitness else 0
+        return Fitness(1.0, active.num_gates, active.num_garbage, n_b)
+
+    def finalize(self, netlist: RqfpNetlist) -> RqfpNetlist:
+        """Shrunk, simplified, fan-out-legal version of a candidate."""
+        active = netlist.shrink()
+        if active.fanout_violations():
+            active = insert_splitters(active)
+        if self.config.simplify_wires:
+            active = bypass_wire_gates(active)
+            if active.fanout_violations():
+                active = insert_splitters(active)
+        return active

@@ -1,0 +1,183 @@
+"""RCGP mutation operators (§3.2.2).
+
+The genome *is* an RQFP netlist (CGP genotype and phenotype share the
+paper's port-index encoding), with chromosome length
+``n_L = 4 * n_C + n_po``: four genes per gate (three input connections
+plus the 9-bit inverter configuration) and one gene per primary output.
+
+Point mutation modifies up to ``m`` genes, ``m`` drawn uniformly from
+``[1, max(1, round(mu * n_L))]``.  A mutated gene is one of:
+
+* **node-input reconnection** — honouring the single-fan-out rule by the
+  paper's *swap* trick: if the freshly chosen source port already feeds
+  another gene, the two genes exchange values (skipped when the swap
+  would make the other gate read from its own future); connecting to the
+  constant port or an unused port is a direct assignment;
+* **primary-output reconnection** — direct update (per the paper; any
+  resulting port sharing is costed by the evaluator through splitter
+  legalization);
+* **inverter-configuration flip** — ``f' = f XOR (1 << beta)`` with
+  ``beta`` uniform in ``[0, 9)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..rqfp.netlist import CONST_PORT, RqfpNetlist
+from .config import RcgpConfig
+
+Consumer = Tuple[str, int, int]  # ("gate", gate_index, position) | ("po", index, 0)
+
+
+def chromosome_length(netlist: RqfpNetlist) -> int:
+    """The paper's ``n_L = n_C * (n_i + 1) + n_po`` with ``n_i = 3``."""
+    return 4 * netlist.num_gates + netlist.num_outputs
+
+
+def _consumer_map(netlist: RqfpNetlist) -> Dict[int, List[Consumer]]:
+    return netlist.consumers()
+
+
+class _MutationState:
+    """Incrementally maintained connectivity view during one mutation."""
+
+    def __init__(self, netlist: RqfpNetlist):
+        self.netlist = netlist
+        self.consumers = _consumer_map(netlist)
+
+    def _detach(self, port: int, consumer: Consumer) -> None:
+        users = self.consumers.get(port)
+        if users is not None:
+            try:
+                users.remove(consumer)
+            except ValueError:
+                pass
+            if not users:
+                del self.consumers[port]
+
+    def _attach(self, port: int, consumer: Consumer) -> None:
+        self.consumers.setdefault(port, []).append(consumer)
+
+    def set_gate_input(self, gate: int, position: int, port: int) -> None:
+        old = self.netlist.gates[gate].inputs[position]
+        self._detach(old, ("gate", gate, position))
+        self.netlist.gates[gate].replace_input(position, port)
+        self._attach(port, ("gate", gate, position))
+
+    def set_output(self, index: int, port: int) -> None:
+        old = self.netlist.outputs[index]
+        self._detach(old, ("po", index, 0))
+        self.netlist.outputs[index] = port
+        self._attach(port, ("po", index, 0))
+
+    def gene_consumer_of(self, port: int,
+                         exclude: Consumer) -> Optional[Consumer]:
+        """Some consumer of ``port`` other than ``exclude`` (None if free).
+
+        Gate consumers take priority: a port may transiently carry one
+        gate consumer plus PO consumers (PO genes mutate by direct
+        update), and swapping with the *gate* is what preserves the
+        at-most-one-gate-consumer invariant.
+        """
+        fallback: Optional[Consumer] = None
+        for user in self.consumers.get(port, ()):
+            if user == exclude:
+                continue
+            if user[0] == "gate":
+                return user
+            if fallback is None:
+                fallback = user
+        return fallback
+
+
+def _legal_source_limit(netlist: RqfpNetlist, gate: int) -> int:
+    """Gate inputs may reference any strictly earlier port (``n_l`` spans
+    every previous column, as in the paper's setup)."""
+    return netlist.first_gate_port(gate)
+
+
+def _mutate_gate_input(state: _MutationState, gate: int, position: int,
+                       rng: random.Random) -> bool:
+    netlist = state.netlist
+    limit = _legal_source_limit(netlist, gate)
+    new_port = rng.randrange(limit)
+    me: Consumer = ("gate", gate, position)
+    old_port = netlist.gates[gate].inputs[position]
+    if new_port == old_port:
+        return False
+    if new_port == CONST_PORT:
+        state.set_gate_input(gate, position, new_port)
+        return True
+    other = state.gene_consumer_of(new_port, exclude=me)
+    if other is None:
+        # Unused (or garbage) port: direct assignment (paper case 2).
+        state.set_gate_input(gate, position, new_port)
+        return True
+    # Paper case 1: the target port is taken — swap the two genes'
+    # values, provided the other gene may legally read ``old_port``.
+    kind, index, pos = other
+    if kind == "gate":
+        if old_port >= _legal_source_limit(netlist, index):
+            return False  # swap would let a gate read from its future
+        state.set_gate_input(gate, position, new_port)
+        state.set_gate_input(index, pos, old_port)
+        return True
+    # Other consumer is a primary output: it can reference any port.
+    state.set_gate_input(gate, position, new_port)
+    state.set_output(index, old_port)
+    return True
+
+
+def _mutate_output(state: _MutationState, index: int,
+                   rng: random.Random) -> bool:
+    netlist = state.netlist
+    new_port = rng.randrange(netlist.num_ports())
+    if new_port == netlist.outputs[index]:
+        return False
+    state.set_output(index, new_port)
+    return True
+
+
+def _mutate_config(netlist: RqfpNetlist, gate: int,
+                   rng: random.Random) -> bool:
+    beta = rng.randrange(9)
+    netlist.gates[gate].config ^= 1 << beta
+    return True
+
+
+def mutate(parent: RqfpNetlist, rng: random.Random,
+           config: RcgpConfig) -> RqfpNetlist:
+    """Create one offspring of ``parent`` (the parent is not modified)."""
+    child = parent.copy()
+    n_l = chromosome_length(child)
+    if n_l == 0:
+        return child
+    max_m = max(1, round(config.mutation_rate * n_l))
+    if config.max_mutated_genes is not None:
+        max_m = max(1, min(max_m, config.max_mutated_genes))
+    m = rng.randint(1, max_m)
+    state = _MutationState(child)
+    node_genes = 4 * child.num_gates
+
+    for _ in range(m):
+        for _attempt in range(8):
+            gene = rng.randrange(n_l)
+            if gene < node_genes:
+                gate, field = divmod(gene, 4)
+                if field < 3:
+                    if not config.enable_input_mutation:
+                        continue
+                    _mutate_gate_input(state, gate, field, rng)
+                    break
+                if not config.enable_inverter_mutation:
+                    continue
+                _mutate_config(child, gate, rng)
+                break
+            else:
+                if not config.enable_output_mutation:
+                    continue
+                _mutate_output(state, gene - node_genes, rng)
+                break
+    return child

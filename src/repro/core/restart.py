@@ -1,0 +1,164 @@
+"""Long-run support: checkpointing and multi-start evolution.
+
+The paper's 5·10⁷-generation runs take up to 43 hours per circuit;
+infrastructure like this is what makes such runs operable:
+
+* :func:`evolve_with_checkpoints` — wraps :func:`repro.core.evolution.
+  evolve` in budget slices, persisting the incumbent netlist (JSON) and
+  progress after every slice so a killed run resumes where it stopped;
+* :func:`multi_start` — independent restarts with different seeds
+  (optionally across processes), keeping the best result; the cheap,
+  embarrassingly parallel way to spend extra cores on a stochastic
+  optimizer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from ..io.rqfp_json import netlist_from_dict, netlist_to_dict
+from ..logic.truth_table import TruthTable
+from ..rqfp.netlist import RqfpNetlist
+from .config import RcgpConfig
+from .evolution import EvolutionResult, evolve
+from .synthesis import initialize_netlist
+
+CHECKPOINT_FORMAT = "rcgp-checkpoint"
+
+
+def save_checkpoint(path: str, netlist: RqfpNetlist,
+                    generations_done: int, config: RcgpConfig) -> None:
+    """Persist the incumbent parent and progress."""
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "version": 1,
+        "generations_done": generations_done,
+        "config": {
+            "mutation_rate": config.mutation_rate,
+            "max_mutated_genes": config.max_mutated_genes,
+            "offspring": config.offspring,
+            "shrink": config.shrink,
+        },
+        "netlist": netlist_to_dict(netlist),
+    }
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> Tuple[RqfpNetlist, int]:
+    """Returns ``(incumbent netlist, generations already done)``."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"{path} is not an RCGP checkpoint")
+    return netlist_from_dict(payload["netlist"]), \
+        int(payload["generations_done"])
+
+
+def evolve_with_checkpoints(spec: Sequence[TruthTable],
+                            config: RcgpConfig,
+                            checkpoint_path: str,
+                            slice_generations: int = 1000,
+                            initial: Optional[RqfpNetlist] = None,
+                            name: str = "") -> EvolutionResult:
+    """Run evolution in slices, checkpointing after each.
+
+    If ``checkpoint_path`` exists, the run resumes from its incumbent
+    and remaining budget; otherwise it starts from ``initial`` (or the
+    standard initialization).  The checkpoint is updated atomically
+    after every slice, so a kill loses at most one slice of work.
+    """
+    spec = list(spec)
+    done = 0
+    if os.path.exists(checkpoint_path):
+        incumbent, done = load_checkpoint(checkpoint_path)
+    else:
+        incumbent = initial if initial is not None \
+            else initialize_netlist(spec, name)
+
+    total_result: Optional[EvolutionResult] = None
+    while done < config.generations:
+        budget = min(slice_generations, config.generations - done)
+        slice_config = dataclasses.replace(
+            config, generations=budget,
+            seed=None if config.seed is None else config.seed + done)
+        result = evolve(incumbent, spec, slice_config)
+        incumbent = result.netlist
+        done += result.generations
+        save_checkpoint(checkpoint_path, incumbent, done, config)
+        if total_result is None:
+            total_result = result
+        else:
+            total_result = EvolutionResult(
+                netlist=result.netlist,
+                fitness=result.fitness,
+                initial_fitness=total_result.initial_fitness,
+                generations=done,
+                evaluations=total_result.evaluations + result.evaluations,
+                runtime=total_result.runtime + result.runtime,
+                history=total_result.history + [
+                    (g + done - result.generations, f)
+                    for g, f in result.history],
+                sat_calls=total_result.sat_calls + result.sat_calls,
+            )
+        if result.generations < budget:
+            break  # stagnation/time cut the slice short; stop cleanly
+    if total_result is None:
+        # Budget already exhausted by the checkpoint: evaluate incumbent.
+        result = evolve(incumbent, spec,
+                        dataclasses.replace(config, generations=0))
+        total_result = dataclasses.replace(result, generations=done)
+    return total_result
+
+
+def _one_start(args) -> Tuple[dict, tuple, int]:
+    """Process-pool worker: run one seed, return a portable result."""
+    spec_bits, num_vars, config_kwargs, seed, name = args
+    spec = [TruthTable(num_vars, bits) for bits in spec_bits]
+    config = RcgpConfig(seed=seed, **config_kwargs)
+    initial = initialize_netlist(spec, name)
+    result = evolve(initial, spec, config)
+    return (netlist_to_dict(result.netlist), result.fitness.key(),
+            result.evaluations)
+
+
+def multi_start(spec: Sequence[TruthTable], seeds: Sequence[int],
+                config: Optional[RcgpConfig] = None,
+                parallel: bool = False,
+                name: str = "") -> Tuple[RqfpNetlist, List[tuple]]:
+    """Independent evolution restarts; returns (best netlist, all keys).
+
+    With ``parallel`` the starts run in a process pool (the netlists and
+    specs serialize through JSON/ints, so no pickling surprises).
+    """
+    spec = list(spec)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    config = config or RcgpConfig(generations=2000, mutation_rate=0.08,
+                                  max_mutated_genes=8, shrink="always")
+    config_kwargs = dict(
+        generations=config.generations,
+        offspring=config.offspring,
+        mutation_rate=config.mutation_rate,
+        max_mutated_genes=config.max_mutated_genes,
+        shrink=config.shrink,
+        simplify_wires=config.simplify_wires,
+    )
+    jobs = [([t.bits for t in spec], spec[0].num_vars, config_kwargs,
+             seed, name) for seed in seeds]
+    if parallel and len(seeds) > 1:
+        with ProcessPoolExecutor(max_workers=min(len(seeds),
+                                                 os.cpu_count() or 1)) as pool:
+            outcomes = list(pool.map(_one_start, jobs))
+    else:
+        outcomes = [_one_start(job) for job in jobs]
+    keys = [outcome[1] for outcome in outcomes]
+    best_index = max(range(len(outcomes)), key=lambda i: keys[i])
+    best = netlist_from_dict(outcomes[best_index][0])
+    return best, keys

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """A netlist / circuit file could not be parsed."""
+
+    def __init__(self, message: str, filename: str = "<string>", line: int = 0):
+        self.filename = filename
+        self.line = line
+        if line:
+            message = f"{filename}:{line}: {message}"
+        elif filename != "<string>":
+            message = f"{filename}: {message}"
+        super().__init__(message)
+
+
+class NetlistError(ReproError):
+    """An operation on a logic network or RQFP netlist is invalid."""
+
+
+class FanoutViolation(NetlistError):
+    """A signal drives more than one consumer in a single-fan-out technology."""
+
+
+class PathBalanceViolation(NetlistError):
+    """A gate's inputs arrive at different clock phases."""
+
+
+class EncodingError(ReproError):
+    """A CGP genome (or a mutation of one) is structurally invalid."""
+
+
+class SynthesisError(ReproError):
+    """A synthesis step failed to produce a legal circuit."""
+
+
+class ExactSynthesisTimeout(SynthesisError):
+    """The exact synthesizer exhausted its conflict/time budget.
+
+    Mirrors the ``\\`` entries in the paper's tables: the method is sound
+    but does not scale, and the caller is expected to treat the timeout as
+    a first-class result rather than an exception in the harness.
+    """
+
+    def __init__(self, message: str = "exact synthesis budget exhausted",
+                 conflicts: int = 0, elapsed: float = 0.0):
+        self.conflicts = conflicts
+        self.elapsed = elapsed
+        super().__init__(message)
+
+
+class VerificationError(ReproError):
+    """Formal verification produced an unexpected/inconsistent outcome."""

@@ -1,0 +1,13 @@
+"""Exact RQFP synthesis (SAT-based; the paper's baseline 2)."""
+
+from .encoding import ExactEncoding, decode, encode
+from .synthesizer import ExactResult, ExactSynthesizer, exact_synthesize
+
+__all__ = [
+    "encode",
+    "decode",
+    "ExactEncoding",
+    "ExactSynthesizer",
+    "ExactResult",
+    "exact_synthesize",
+]

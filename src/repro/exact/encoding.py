@@ -1,0 +1,243 @@
+"""CNF encoding of the exact RQFP synthesis decision problem.
+
+Following the ICCAD'23 exact method the paper uses as baseline 2 (there
+implemented on Z3), we ask: *does an RQFP circuit with exactly ``r``
+gates realize the specification, using at most ``g`` garbage outputs?*
+
+Variables per candidate circuit:
+
+* ``sel[i][p][s]`` — gate ``i``'s input port ``p`` reads source ``s``
+  (one-hot; sources are the constant, the PIs and all output ports of
+  earlier gates),
+* ``inv[i][k]``   — the 9 inverter-configuration bits of gate ``i``,
+* ``osel[o][s]``  — primary output ``o`` reads source ``s`` (one-hot),
+* ``val[i][m][t]`` — output ``m`` of gate ``i`` under input pattern
+  ``t`` (the semantic copies: one per pattern, which is why the method
+  collapses beyond tiny circuits — exactly the scale cliff Table 1
+  demonstrates),
+* fan-out: every non-constant source feeds **at most one** selector
+  (single-fan-out law), encoded with sequential AMO,
+* garbage: ``used[i][m]`` ⇔ some selector reads gate ``i``'s output
+  ``m``; at most ``g`` unused gate outputs (sequential AMK), and every
+  gate must have at least one used output (dead gates are pointless for
+  exact-``r`` search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..logic.truth_table import TruthTable
+from ..sat.cardinality import at_most_k_sequential, at_most_one_sequential, exactly_one
+from ..sat.cnf import CNF
+
+# Source descriptors.
+SRC_CONST = ("const", 0, 0)
+
+
+@dataclass
+class ExactEncoding:
+    """The CNF plus the variable maps needed to decode a model."""
+
+    cnf: CNF
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    sel: List[List[Dict[Tuple[str, int, int], int]]] = field(default_factory=list)
+    inv: List[List[int]] = field(default_factory=list)
+    osel: List[Dict[Tuple[str, int, int], int]] = field(default_factory=list)
+    val: List[List[List[int]]] = field(default_factory=list)
+
+
+def _sources_for_gate(gate: int, num_inputs: int):
+    """Legal sources of gate ``gate``: const, PIs, earlier gate outputs."""
+    yield SRC_CONST
+    for i in range(num_inputs):
+        yield ("pi", i, 0)
+    for j in range(gate):
+        for m in range(3):
+            yield ("gate", j, m)
+
+
+def _source_value_lit(src, pattern: int, enc: ExactEncoding):
+    """Literal (or +-bool via None) giving a source's value at a pattern.
+
+    Returns ``(kind, payload)`` where kind is "const" with payload bool,
+    or "lit" with payload a literal.
+    """
+    kind, a, b = src
+    if kind == "const":
+        return ("const", True)
+    if kind == "pi":
+        return ("const", bool((pattern >> a) & 1))
+    return ("lit", enc.val[a][b][pattern])
+
+
+def encode(spec: Sequence[TruthTable], num_gates: int,
+           max_garbage: int) -> ExactEncoding:
+    """Build the decision CNF for ``num_gates`` gates / ``<= max_garbage``
+    garbage outputs."""
+    spec = list(spec)
+    num_inputs = spec[0].num_vars
+    num_outputs = len(spec)
+    num_patterns = 1 << num_inputs
+    cnf = CNF()
+    enc = ExactEncoding(cnf, num_inputs, num_outputs, num_gates)
+
+    # Semantic value variables first (so selector clauses can reference
+    # them regardless of gate order).
+    enc.val = [[[cnf.new_var() for _ in range(num_patterns)]
+                for _ in range(3)] for _ in range(num_gates)]
+    enc.inv = [[cnf.new_var() for _ in range(9)] for _ in range(num_gates)]
+
+    # Selector one-hots.
+    for i in range(num_gates):
+        ports = []
+        for p in range(3):
+            selectors = {src: cnf.new_var()
+                         for src in _sources_for_gate(i, num_inputs)}
+            exactly_one(cnf, list(selectors.values()))
+            ports.append(selectors)
+        enc.sel.append(ports)
+    for o in range(num_outputs):
+        selectors = {src: cnf.new_var()
+                     for src in _sources_for_gate(num_gates, num_inputs)}
+        exactly_one(cnf, list(selectors.values()))
+        enc.osel.append(selectors)
+
+    # Gate semantics: for every gate, port, pattern, tie the effective
+    # (post-inverter) port value into the majority defining val.
+    for i in range(num_gates):
+        # Port values pv[p][t].
+        pv = [[cnf.new_var() for _ in range(num_patterns)] for _ in range(3)]
+        for p in range(3):
+            for src, s_var in enc.sel[i][p].items():
+                for t in range(num_patterns):
+                    kind, payload = _source_value_lit(src, t, enc)
+                    if kind == "const":
+                        cnf.add_clause([-s_var, pv[p][t] if payload else -pv[p][t]])
+                    else:
+                        lit = payload
+                        cnf.add_clause([-s_var, -lit, pv[p][t]])
+                        cnf.add_clause([-s_var, lit, -pv[p][t]])
+        for m in range(3):
+            for t in range(num_patterns):
+                out = enc.val[i][m][t]
+                evs = []
+                for p in range(3):
+                    ev = cnf.new_var()
+                    ib = enc.inv[i][3 * m + p]
+                    # ev = pv XOR ib
+                    cnf.add_clause([-ev, pv[p][t], ib])
+                    cnf.add_clause([-ev, -pv[p][t], -ib])
+                    cnf.add_clause([ev, pv[p][t], -ib])
+                    cnf.add_clause([ev, -pv[p][t], ib])
+                    evs.append(ev)
+                a, b, c = evs
+                cnf.add_clause([-a, -b, out])
+                cnf.add_clause([-a, -c, out])
+                cnf.add_clause([-b, -c, out])
+                cnf.add_clause([a, b, -out])
+                cnf.add_clause([a, c, -out])
+                cnf.add_clause([b, c, -out])
+
+    # Primary-output semantics.
+    for o, table in enumerate(spec):
+        for src, s_var in enc.osel[o].items():
+            for t in range(num_patterns):
+                want = bool(table.value(t))
+                kind, payload = _source_value_lit(src, t, enc)
+                if kind == "const":
+                    if payload != want:
+                        cnf.add_clause([-s_var])
+                        break  # source impossible; one clause suffices
+                else:
+                    lit = payload
+                    cnf.add_clause([-s_var, lit if want else -lit])
+
+    # Symmetry breaking: an RQFP gate's three input ports are fully
+    # interchangeable (each majority has its own per-port inverter bit),
+    # so force sources in non-decreasing canonical order — a 6x prune of
+    # every gate's port permutations.
+    source_rank: Dict[Tuple[str, int, int], int] = {}
+    for rank, src in enumerate(_sources_for_gate(num_gates, num_inputs)):
+        source_rank[src] = rank
+    for i in range(num_gates):
+        for p in range(2):
+            left = enc.sel[i][p]
+            right = enc.sel[i][p + 1]
+            for src, s_var in left.items():
+                rank = source_rank[src]
+                allowed = [var for src2, var in right.items()
+                           if source_rank[src2] >= rank]
+                cnf.add_clause([-s_var] + allowed)
+
+    # Single fan-out: every non-constant source read at most once.
+    readers: Dict[Tuple[str, int, int], List[int]] = {}
+    for i in range(num_gates):
+        for p in range(3):
+            for src, s_var in enc.sel[i][p].items():
+                if src[0] != "const":
+                    readers.setdefault(src, []).append(s_var)
+    for o in range(num_outputs):
+        for src, s_var in enc.osel[o].items():
+            if src[0] != "const":
+                readers.setdefault(src, []).append(s_var)
+    for src, lits in readers.items():
+        if len(lits) > 1:
+            at_most_one_sequential(cnf, lits)
+
+    # Garbage accounting over gate output ports.
+    unused_lits: List[int] = []
+    for j in range(num_gates):
+        gate_used = []
+        for m in range(3):
+            used = cnf.new_var()
+            lits = readers.get(("gate", j, m), [])
+            for lit in lits:
+                cnf.add_clause([-lit, used])
+            cnf.add_clause([-used] + lits if lits else [-used])
+            unused_lits.append(-used)
+            gate_used.append(used)
+        cnf.add_clause(gate_used)  # no dead gates
+    if unused_lits:
+        at_most_k_sequential(cnf, unused_lits, max_garbage)
+
+    return enc
+
+
+def decode(enc: ExactEncoding, model: Dict[int, bool],
+           name: str = "") -> "RqfpNetlist":
+    """Extract the synthesized netlist from a satisfying assignment."""
+    from ..rqfp.netlist import CONST_PORT, RqfpNetlist
+
+    netlist = RqfpNetlist(enc.num_inputs, name)
+
+    def src_port(src) -> int:
+        kind, a, b = src
+        if kind == "const":
+            return CONST_PORT
+        if kind == "pi":
+            return 1 + a
+        return netlist.gate_output_port(a, b)
+
+    for i in range(enc.num_gates):
+        ports = []
+        for p in range(3):
+            chosen = [src for src, var in enc.sel[i][p].items()
+                      if model.get(var, False)]
+            if len(chosen) != 1:
+                raise ValueError(f"selector for gate {i} port {p} not one-hot")
+            ports.append(src_port(chosen[0]))
+        config = 0
+        for k in range(9):
+            config = (config << 1) | int(model.get(enc.inv[i][k], False))
+        netlist.add_gate(ports[0], ports[1], ports[2], config)
+    for o in range(enc.num_outputs):
+        chosen = [src for src, var in enc.osel[o].items()
+                  if model.get(var, False)]
+        if len(chosen) != 1:
+            raise ValueError(f"selector for output {o} not one-hot")
+        netlist.add_output(src_port(chosen[0]))
+    return netlist

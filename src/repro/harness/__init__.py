@@ -1,0 +1,24 @@
+"""Experiment harness regenerating the paper's tables."""
+
+from .export import load_rows_json, rows_to_json, rows_to_markdown
+from .report import Aggregates, aggregates, compare_with_paper, format_rows, paper_aggregates
+from .stats import MetricSummary, SeedSweep, seed_sweep
+from .runner import ExperimentRow, HarnessConfig, run_benchmark, run_table
+
+__all__ = [
+    "HarnessConfig",
+    "ExperimentRow",
+    "run_benchmark",
+    "run_table",
+    "aggregates",
+    "paper_aggregates",
+    "Aggregates",
+    "format_rows",
+    "compare_with_paper",
+    "rows_to_json",
+    "rows_to_markdown",
+    "load_rows_json",
+    "seed_sweep",
+    "SeedSweep",
+    "MetricSummary",
+]

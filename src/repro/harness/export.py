@@ -1,0 +1,93 @@
+"""Result export: JSON and Markdown renderings of experiment rows.
+
+The text tables of :mod:`repro.harness.report` are for terminals; this
+module serializes runs for archival (JSON, one self-describing document
+per table) and for docs (GitHub Markdown), which is how EXPERIMENTS.md's
+measured sections are produced.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .report import aggregates, paper_aggregates
+from .runner import ExperimentRow, HarnessConfig
+
+
+def rows_to_json(rows: Sequence[ExperimentRow],
+                 config: Optional[HarnessConfig] = None,
+                 label: str = "") -> str:
+    """Serialize rows plus provenance (budgets, timestamp, aggregates)."""
+    agg = aggregates(rows)
+    document = {
+        "format": "rcgp-experiment",
+        "version": 1,
+        "label": label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "budgets": {
+            "generations": config.generations,
+            "offspring": config.offspring,
+            "mutation_rate": config.mutation_rate,
+            "max_mutated_genes": config.max_mutated_genes,
+            "seed": config.seed,
+            "exact_conflict_budget": config.exact_conflict_budget,
+            "exact_time_budget": config.exact_time_budget,
+        } if config is not None else None,
+        "aggregates": {
+            "gate_reduction": agg.gate_reduction,
+            "garbage_reduction": agg.garbage_reduction,
+            "jj_reduction": agg.jj_reduction,
+        },
+        "rows": [row.as_dict() for row in rows],
+    }
+    return json.dumps(document, indent=2) + "\n"
+
+
+def load_rows_json(text: str) -> Dict:
+    """Parse a document produced by :func:`rows_to_json`."""
+    document = json.loads(text)
+    if document.get("format") != "rcgp-experiment":
+        raise ValueError("not an rcgp-experiment document")
+    return document
+
+
+_COLUMNS = ("n_r", "n_b", "JJs", "n_d", "n_g", "T")
+
+
+def rows_to_markdown(rows: Sequence[ExperimentRow], title: str = "",
+                     include_exact: bool = True) -> str:
+    """GitHub-Markdown table of measured rows."""
+    header = ["Testcase", "n_pi", "n_po", "g_lb"]
+    header += [f"init {c}" for c in _COLUMNS[:-1]]
+    if include_exact:
+        header += [f"exact {c}" for c in _COLUMNS]
+    header += [f"rcgp {c}" for c in _COLUMNS]
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    for row in rows:
+        cells: List[str] = [row.name, str(row.n_pi), str(row.n_po),
+                            str(row.g_lb)]
+        init = row.init.as_row()
+        cells += [str(init[c]) for c in _COLUMNS[:-1]]
+        if include_exact:
+            if row.exact is None:
+                cells += ["\\"] * len(_COLUMNS)
+            else:
+                exact = row.exact.as_row()
+                cells += [str(exact[c]) for c in _COLUMNS]
+        rcgp = row.rcgp.as_row()
+        cells += [str(rcgp[c]) for c in _COLUMNS]
+        lines.append("| " + " | ".join(cells) + " |")
+    agg = aggregates(rows)
+    paper = paper_aggregates(rows)
+    lines.append("")
+    lines.append(f"Measured: {agg}.")
+    if paper.rows:
+        lines.append(f"Paper: {paper}.")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,141 @@
+"""Table formatting and aggregate statistics for experiment rows.
+
+Renders rows in the paper's layout (Original / Initialization / Exact /
+RCGP column groups) and computes the headline aggregates the paper
+reports: the average reduction in RQFP gates and garbage outputs of RCGP
+over the initialization baseline (Table 1: 50.80 % / 71.55 %; Table 2:
+32.38 % / 59.13 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .runner import ExperimentRow
+
+
+@dataclass(frozen=True)
+class Aggregates:
+    """Average relative reductions of RCGP vs the initialization baseline."""
+
+    gate_reduction: float
+    garbage_reduction: float
+    jj_reduction: float
+    rows: int
+
+    def __str__(self) -> str:
+        def fmt(reduction: float) -> str:
+            # Positive reduction = improvement; render increases as "+".
+            return f"{-reduction:+.2%}"
+
+        return (f"gates {fmt(self.gate_reduction)}, "
+                f"garbage {fmt(self.garbage_reduction)}, "
+                f"JJs {fmt(self.jj_reduction)} over {self.rows} rows")
+
+
+def _safe_reduction(before: float, after: float) -> Optional[float]:
+    if before <= 0:
+        return None
+    return 1.0 - after / before
+
+
+def aggregates(rows: Sequence[ExperimentRow]) -> Aggregates:
+    """Paper-style averages of per-row reductions (init → RCGP)."""
+    gate, garbage, jjs = [], [], []
+    for row in rows:
+        g = _safe_reduction(row.init.n_r, row.rcgp.n_r)
+        if g is not None:
+            gate.append(g)
+        q = _safe_reduction(row.init.n_g, row.rcgp.n_g)
+        if q is not None:
+            garbage.append(q)
+        j = _safe_reduction(row.init.jjs, row.rcgp.jjs)
+        if j is not None:
+            jjs.append(j)
+
+    def mean(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return Aggregates(mean(gate), mean(garbage), mean(jjs), len(rows))
+
+
+def paper_aggregates(rows: Sequence[ExperimentRow]) -> Aggregates:
+    """Same averages computed from the published table numbers."""
+    gate, garbage, jjs = [], [], []
+    for row in rows:
+        init = row.paper.get("init")
+        rcgp = row.paper.get("rcgp")
+        if not init or not rcgp:
+            continue
+        g = _safe_reduction(init["n_r"], rcgp["n_r"])
+        if g is not None:
+            gate.append(g)
+        q = _safe_reduction(init["n_g"], rcgp["n_g"])
+        if q is not None:
+            garbage.append(q)
+        j = _safe_reduction(init["JJs"], rcgp["JJs"])
+        if j is not None:
+            jjs.append(j)
+
+    def mean(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return Aggregates(mean(gate), mean(garbage), mean(jjs), len(rows))
+
+
+_COLUMNS = ["n_r", "n_b", "JJs", "n_d", "n_g", "T"]
+
+
+def _cost_cells(cost: Optional[Dict[str, object]],
+                with_time: bool = True) -> List[str]:
+    columns = _COLUMNS if with_time else _COLUMNS[:-1]
+    if cost is None:
+        return ["\\"] * len(columns)
+    return [str(cost.get(c, "")) for c in columns]
+
+
+def format_rows(rows: Sequence[ExperimentRow], title: str = "",
+                include_exact: bool = True) -> str:
+    """Render measured rows as a paper-style fixed-width text table."""
+    header = ["Testcase", "n_pi", "n_po", "g_lb"]
+    groups = [("Initialization", False), ("RCGP", True)]
+    if include_exact:
+        groups.insert(1, ("Exact", True))
+    for group, with_time in groups:
+        cols = _COLUMNS if with_time else _COLUMNS[:-1]
+        header.extend(f"{group}.{c}" for c in cols)
+
+    body: List[List[str]] = []
+    for row in rows:
+        cells = [row.name, str(row.n_pi), str(row.n_po), str(row.g_lb)]
+        cells += _cost_cells(row.init.as_row(), with_time=False)
+        if include_exact:
+            cells += _cost_cells(row.exact.as_row() if row.exact else None)
+        cells += _cost_cells(row.rcgp.as_row())
+        body.append(cells)
+
+    widths = [max(len(header[i]), *(len(r[i]) for r in body)) if body
+              else len(header[i]) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    agg = aggregates(rows)
+    lines.append("")
+    lines.append(f"RCGP vs Initialization: {agg}")
+    return "\n".join(lines)
+
+
+def compare_with_paper(rows: Sequence[ExperimentRow]) -> str:
+    """Side-by-side of measured vs published reductions."""
+    ours = aggregates(rows)
+    paper = paper_aggregates(rows)
+    return (
+        "Aggregate gate/garbage reductions (RCGP vs initialization)\n"
+        f"  measured : {ours}\n"
+        f"  paper    : {paper}"
+    )

@@ -1,0 +1,100 @@
+"""Multi-seed statistics for RCGP runs.
+
+Evolutionary results are random variables; the paper reports single
+runs.  This module runs a benchmark across seeds and summarizes the
+distribution of every cost metric — the reporting reviewers of EA
+papers ask for, and the honest way to compare configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.config import RcgpConfig
+from ..core.synthesis import rcgp_synthesize
+from ..logic.truth_table import TruthTable
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Five-number-ish summary of one metric across seeds."""
+
+    minimum: float
+    mean: float
+    median: float
+    maximum: float
+    stddev: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "MetricSummary":
+        if not values:
+            raise ValueError("no values to summarize")
+        ordered = sorted(values)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        if n % 2:
+            median = ordered[n // 2]
+        else:
+            median = (ordered[n // 2 - 1] + ordered[n // 2]) / 2
+        variance = sum((v - mean) ** 2 for v in ordered) / n
+        return cls(ordered[0], mean, median, ordered[-1], math.sqrt(variance))
+
+    def __str__(self) -> str:
+        return (f"min {self.minimum:g}, mean {self.mean:.2f} "
+                f"± {self.stddev:.2f}, median {self.median:g}, "
+                f"max {self.maximum:g}")
+
+
+@dataclass
+class SeedSweep:
+    """Results of one benchmark across a seed set."""
+
+    name: str
+    seeds: List[int]
+    gates: MetricSummary
+    garbage: MetricSummary
+    buffers: MetricSummary
+    jjs: MetricSummary
+    per_seed: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+    def report(self) -> str:
+        lines = [f"{self.name} over seeds {self.seeds}:"]
+        lines.append(f"  n_r : {self.gates}")
+        lines.append(f"  n_g : {self.garbage}")
+        lines.append(f"  n_b : {self.buffers}")
+        lines.append(f"  JJs : {self.jjs}")
+        return "\n".join(lines)
+
+
+def seed_sweep(spec: Sequence[TruthTable], seeds: Sequence[int],
+               config_factory: Optional[Callable[[int], RcgpConfig]] = None,
+               name: str = "") -> SeedSweep:
+    """Run the full RCGP flow once per seed and summarize the costs."""
+    spec = list(spec)
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if config_factory is None:
+        def config_factory(seed: int) -> RcgpConfig:
+            return RcgpConfig(generations=2000, mutation_rate=0.08,
+                              max_mutated_genes=8, seed=seed,
+                              shrink="always")
+    per_seed: Dict[int, Dict[str, int]] = {}
+    for seed in seeds:
+        result = rcgp_synthesize(spec, config_factory(seed), name=name)
+        if not result.verify():
+            raise AssertionError(f"seed {seed}: result failed verification")
+        cost = result.cost
+        per_seed[seed] = {"n_r": cost.n_r, "n_g": cost.n_g,
+                          "n_b": cost.n_b, "JJs": cost.jjs}
+    return SeedSweep(
+        name=name or "sweep",
+        seeds=seeds,
+        gates=MetricSummary.of([s["n_r"] for s in per_seed.values()]),
+        garbage=MetricSummary.of([s["n_g"] for s in per_seed.values()]),
+        buffers=MetricSummary.of([s["n_b"] for s in per_seed.values()]),
+        jjs=MetricSummary.of([s["JJs"] for s in per_seed.values()]),
+        per_seed=per_seed,
+    )

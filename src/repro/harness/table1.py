@@ -1,0 +1,35 @@
+"""Table 1 reproduction: small RevLib circuits.
+
+Runs Initialization (baseline 1), Exact logic synthesis (baseline 2,
+with budget → ``\\`` timeouts) and RCGP on the nine small testcases and
+prints the paper-style table.  Run directly::
+
+    python -m repro.harness.table1 [testcase ...]
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from .report import compare_with_paper, format_rows
+from .runner import ExperimentRow, HarnessConfig, run_table
+
+
+def run(names: Optional[List[str]] = None,
+        config: Optional[HarnessConfig] = None) -> List[ExperimentRow]:
+    """Run Table 1 and return the measured rows."""
+    return run_table(1, config or HarnessConfig.from_env(), names)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    names = list(argv) if argv else None
+    rows = run(names or None)
+    print(format_rows(rows, title="Table 1 — small RevLib circuits"))
+    print()
+    print(compare_with_paper(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,36 @@
+"""Table 2 reproduction: large RevLib + reversible reciprocal circuits.
+
+Exact synthesis times out on every Table-2 testcase in the paper; the
+harness runs it with a small budget to confirm the same cliff, then runs
+Initialization and RCGP.  Run directly::
+
+    python -m repro.harness.table2 [testcase ...]
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from .report import compare_with_paper, format_rows
+from .runner import ExperimentRow, HarnessConfig, run_table
+
+
+def run(names: Optional[List[str]] = None,
+        config: Optional[HarnessConfig] = None) -> List[ExperimentRow]:
+    """Run Table 2 and return the measured rows."""
+    return run_table(2, config or HarnessConfig.from_env(), names)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    names = list(argv) if argv else None
+    rows = run(names or None)
+    print(format_rows(rows,
+                      title="Table 2 — large RevLib + reciprocal circuits"))
+    print()
+    print(compare_with_paper(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

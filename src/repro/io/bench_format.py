@@ -1,0 +1,165 @@
+"""ISCAS ``.bench`` format reader / writer.
+
+The third classic interchange format next to BLIF and AIGER: lines of
+``INPUT(x)``, ``OUTPUT(y)`` and ``sig = GATE(a, b, ...)`` with gates
+AND/OR/NAND/NOR/XOR/XNOR/NOT/BUFF (plus CONST0/CONST1 extensions).
+ISCAS-85 benchmark circuits (like the paper's ``c17``) are distributed
+in this format, so the front-end accepts it directly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, TextIO, Tuple, Union
+
+from ..errors import ParseError
+from ..networks.aig import Aig, CONST0, CONST1, lit_not
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[\w.\[\]]+)\s*=\s*(?P<gate>[A-Za-z01]+)\s*"
+    r"\((?P<args>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([\w.\[\]]+)\s*\)\s*$")
+
+_GATES = {"AND", "OR", "NAND", "NOR", "XOR", "XNOR", "NOT", "BUFF",
+          "BUF", "CONST0", "CONST1"}
+
+
+def parse_bench(text: str, filename: str = "<string>") -> Aig:
+    """Parse ``.bench`` text into an AIG."""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    drivers: Dict[str, Tuple[str, List[str]]] = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, name = io_match.groups()
+            (inputs if kind == "INPUT" else outputs).append(name)
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise ParseError(f"unparsable .bench line {line!r}",
+                             filename, lineno)
+        out = match.group("out")
+        gate = match.group("gate").upper()
+        args = [a.strip() for a in match.group("args").split(",")
+                if a.strip()]
+        if gate not in _GATES:
+            raise ParseError(f"unknown gate {gate!r}", filename, lineno)
+        if out in drivers:
+            raise ParseError(f"signal {out!r} defined twice",
+                             filename, lineno)
+        drivers[out] = (gate, args)
+
+    if not outputs:
+        raise ParseError("no OUTPUT() declarations", filename)
+
+    aig = Aig(name="bench")
+    signal: Dict[str, int] = {}
+    for name in inputs:
+        signal[name] = aig.add_input(name)
+    building: set = set()
+
+    def build(name: str) -> int:
+        if name in signal:
+            return signal[name]
+        if name in building:
+            raise ParseError(f"combinational loop through {name!r}", filename)
+        if name not in drivers:
+            raise ParseError(f"undriven signal {name!r}", filename)
+        building.add(name)
+        gate, args = drivers[name]
+        operands = [build(a) for a in args]
+        if gate in ("NOT", "BUFF", "BUF"):
+            if len(operands) != 1:
+                raise ParseError(f"{gate} needs one operand", filename)
+            lit = operands[0]
+            if gate == "NOT":
+                lit = lit_not(lit)
+        elif gate == "CONST0":
+            lit = CONST0
+        elif gate == "CONST1":
+            lit = CONST1
+        else:
+            if not operands:
+                raise ParseError(f"{gate} needs operands", filename)
+            if gate in ("AND", "NAND"):
+                lit = aig.add_and_many(operands)
+            elif gate in ("OR", "NOR"):
+                lit = aig.add_or_many(operands)
+            else:  # XOR / XNOR chain
+                lit = operands[0]
+                for extra in operands[1:]:
+                    lit = aig.add_xor(lit, extra)
+            if gate in ("NAND", "NOR", "XNOR"):
+                lit = lit_not(lit)
+        building.discard(name)
+        signal[name] = lit
+        return lit
+
+    for name in outputs:
+        aig.add_output(build(name), name)
+    return aig
+
+
+def read_bench(path_or_file: Union[str, TextIO]) -> Aig:
+    if hasattr(path_or_file, "read"):
+        return parse_bench(path_or_file.read())
+    with open(path_or_file) as handle:
+        return parse_bench(handle.read(), filename=str(path_or_file))
+
+
+def write_bench(aig: Aig) -> str:
+    """Serialize an AIG as ``.bench`` (ANDs + NOT wrappers)."""
+    clean = aig.cleanup()
+    lines = [f"# {clean.name or 'aig'}"]
+    for name in clean.input_names:
+        lines.append(f"INPUT({name})")
+    for name in clean.output_names:
+        lines.append(f"OUTPUT({name})")
+
+    from ..networks.aig import lit_complement, lit_node
+
+    def base_name(node: int) -> str:
+        if clean.is_input(node):
+            return clean.input_names[clean.inputs.index(node)]
+        return f"n{node}"
+
+    inverters: Dict[int, str] = {}
+    inverter_lines: List[str] = []
+
+    def ref(literal: int) -> str:
+        if literal == CONST0:
+            return _const(False)
+        if literal == CONST1:
+            return _const(True)
+        node = lit_node(literal)
+        if not lit_complement(literal):
+            return base_name(node)
+        if node not in inverters:
+            inv = f"{base_name(node)}_not"
+            inverters[node] = inv
+            inverter_lines.append(f"{inv} = NOT({base_name(node)})")
+        return inverters[node]
+
+    consts: Dict[bool, str] = {}
+    const_lines: List[str] = []
+
+    def _const(value: bool) -> str:
+        if value not in consts:
+            name = "const1" if value else "const0"
+            consts[value] = name
+            const_lines.append(f"{name} = CONST{int(value)}()")
+        return consts[value]
+
+    body: List[str] = []
+    for node in clean.reachable_ands():
+        f0, f1 = clean.fanins(node)
+        body.append(f"{base_name(node)} = AND({ref(f0)}, {ref(f1)})")
+    for literal, name in zip(clean.outputs, clean.output_names):
+        body.append(f"{name} = BUFF({ref(literal)})")
+    return "\n".join(lines + const_lines + inverter_lines + body) + "\n"

@@ -1,0 +1,209 @@
+"""BLIF reader / writer.
+
+Supports the combinational subset used by logic-synthesis flows:
+``.model``, ``.inputs``, ``.outputs``, ``.names`` (SOP cover tables with
+``-`` don't-cares) and ``.end``.  Parsed designs become AIGs; any AIG can
+be written back as BLIF (one ``.names`` per AND plus inverter covers for
+complemented outputs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from ..errors import ParseError
+from ..networks.aig import Aig, CONST0, CONST1, lit_complement, lit_node, lit_not
+
+
+def _tokenize(text: str):
+    """Yield (lineno, tokens) with BLIF line continuations resolved."""
+    pending: List[str] = []
+    pending_line = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            if not pending:
+                pending_line = lineno
+            pending.extend(line[:-1].split())
+            continue
+        tokens = pending + line.split()
+        start = pending_line if pending else lineno
+        pending = []
+        yield start, tokens
+    if pending:
+        yield pending_line, pending
+
+
+def parse_blif(text: str, filename: str = "<string>") -> Aig:
+    """Parse BLIF text into an AIG."""
+    model_name = ""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    covers: Dict[str, Tuple[List[str], List[Tuple[str, str]]]] = {}
+    current: Optional[str] = None
+
+    for lineno, tokens in _tokenize(text):
+        head = tokens[0]
+        if head == ".model":
+            model_name = tokens[1] if len(tokens) > 1 else ""
+            current = None
+        elif head == ".inputs":
+            inputs.extend(tokens[1:])
+            current = None
+        elif head == ".outputs":
+            outputs.extend(tokens[1:])
+            current = None
+        elif head == ".names":
+            if len(tokens) < 2:
+                raise ParseError(".names needs at least an output",
+                                 filename, lineno)
+            *fanins, out = tokens[1:]
+            if out in covers:
+                raise ParseError(f"signal {out!r} defined twice",
+                                 filename, lineno)
+            covers[out] = (fanins, [])
+            current = out
+        elif head in (".end", ".exdc"):
+            current = None
+        elif head.startswith("."):
+            # Unsupported directives (.latch etc.) are hard errors: this
+            # reader is strictly combinational.
+            raise ParseError(f"unsupported directive {head}", filename, lineno)
+        else:
+            if current is None:
+                raise ParseError(f"cover row outside .names: {tokens!r}",
+                                 filename, lineno)
+            fanins, rows = covers[current]
+            if len(tokens) == 1:
+                pattern, value = ("", tokens[0]) if not fanins else (tokens[0], "")
+                if not fanins:
+                    rows.append(("", tokens[0]))
+                else:
+                    raise ParseError("cover row missing output value",
+                                     filename, lineno)
+            else:
+                pattern, value = tokens[0], tokens[1]
+                if len(pattern) != len(fanins):
+                    raise ParseError(
+                        f"pattern width {len(pattern)} != fan-in count "
+                        f"{len(fanins)}", filename, lineno)
+                rows.append((pattern, value))
+
+    if not outputs:
+        raise ParseError("no .outputs in BLIF", filename)
+
+    aig = Aig(name=model_name)
+    signal: Dict[str, int] = {}
+    for name in inputs:
+        signal[name] = aig.add_input(name)
+
+    building: set = set()
+
+    def build(name: str) -> int:
+        if name in signal:
+            return signal[name]
+        if name not in covers:
+            raise ParseError(f"undriven signal {name!r}", filename)
+        if name in building:
+            raise ParseError(f"combinational loop through {name!r}", filename)
+        building.add(name)
+        fanins, rows = covers[name]
+        fanin_lits = [build(f) for f in fanins]
+        if not fanins:
+            # Constant cover: a single "1" row means constant 1.
+            value = CONST1 if any(v == "1" for _, v in rows) else CONST0
+            # Careful: rows like ("", "1").
+            lit = value
+        else:
+            on_rows = [(p, v) for p, v in rows if v == "1"]
+            off_rows = [(p, v) for p, v in rows if v == "0"]
+            use_rows, complement = (on_rows, False)
+            if not on_rows and off_rows:
+                use_rows, complement = (off_rows, True)
+            terms = []
+            for pattern, _ in use_rows:
+                lits = []
+                for ch, fl in zip(pattern, fanin_lits):
+                    if ch == "1":
+                        lits.append(fl)
+                    elif ch == "0":
+                        lits.append(lit_not(fl))
+                    elif ch != "-":
+                        raise ParseError(
+                            f"bad cover character {ch!r} for {name!r}",
+                            filename)
+                terms.append(aig.add_and_many(lits))
+            lit = aig.add_or_many(terms)
+            if complement:
+                lit = lit_not(lit)
+        building.discard(name)
+        signal[name] = lit
+        return lit
+
+    for name in outputs:
+        aig.add_output(build(name), name)
+    return aig
+
+
+def read_blif(path_or_file: Union[str, TextIO]) -> Aig:
+    if hasattr(path_or_file, "read"):
+        return parse_blif(path_or_file.read())
+    with open(path_or_file) as handle:
+        return parse_blif(handle.read(), filename=str(path_or_file))
+
+
+def write_blif(aig: Aig, model_name: Optional[str] = None) -> str:
+    """Serialize an AIG as BLIF text."""
+    lines = [f".model {model_name or aig.name or 'top'}"]
+    lines.append(".inputs " + " ".join(aig.input_names))
+    lines.append(".outputs " + " ".join(aig.output_names))
+
+    def node_name(node: int) -> str:
+        if aig.is_input(node):
+            return aig.input_names[aig.inputs.index(node)]
+        return f"n{node}"
+
+    def lit_name(literal: int) -> str:
+        """Name of a literal, materializing inverters as needed."""
+        node = lit_node(literal)
+        if literal == CONST0:
+            return "const0"
+        if literal == CONST1:
+            return "const1"
+        base = node_name(node)
+        if not lit_complement(literal):
+            return base
+        inv = f"{base}_inv"
+        if inv not in emitted_inverters:
+            emitted_inverters.add(inv)
+            inverter_lines.append(f".names {base} {inv}")
+            inverter_lines.append("0 1")
+        return inv
+
+    emitted_inverters: set = set()
+    inverter_lines: List[str] = []
+    body: List[str] = []
+    used_consts: set = set()
+
+    for node in aig.reachable_ands():
+        f0, f1 = aig.fanins(node)
+        body.append(f".names {lit_name(f0)} {lit_name(f1)} {node_name(node)}")
+        body.append("11 1")
+    for literal, name in zip(aig.outputs, aig.output_names):
+        if literal in (CONST0, CONST1):
+            used_consts.add(literal)
+            body.append(f".names {'const1' if literal == CONST1 else 'const0'} {name}")
+            body.append("1 1")
+        else:
+            body.append(f".names {lit_name(literal)} {name}")
+            body.append("1 1")
+    const_lines: List[str] = []
+    if CONST1 in used_consts:
+        const_lines += [".names const1", "1"]
+    if CONST0 in used_consts:
+        const_lines += [".names const0"]
+    lines += const_lines + inverter_lines + body
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,111 @@
+"""PLA (Berkeley two-level) reader / writer.
+
+Reads ``.i``/``.o``/``.p``/``.ilb``/``.ob`` headers and product-term
+rows, producing truth tables (the specification format RCGP consumes).
+Only the ``F`` type (on-set specification) is supported; ``-`` input
+don't-cares expand, output ``-`` is treated as 0.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, TextIO, Tuple, Union
+
+from ..errors import ParseError
+from ..logic.truth_table import TruthTable
+
+
+def parse_pla(text: str, filename: str = "<string>"):
+    """Parse PLA text; returns ``(tables, input_names, output_names)``."""
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    input_names: List[str] = []
+    output_names: List[str] = []
+    rows: List[Tuple[str, str]] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            key = parts[0]
+            if key == ".i":
+                num_inputs = int(parts[1])
+            elif key == ".o":
+                num_outputs = int(parts[1])
+            elif key == ".ilb":
+                input_names = parts[1:]
+            elif key == ".ob":
+                output_names = parts[1:]
+            elif key in (".p", ".e", ".end", ".type"):
+                if key == ".type" and parts[1] not in ("f", "fr"):
+                    raise ParseError(f"unsupported PLA type {parts[1]}",
+                                     filename, lineno)
+            else:
+                raise ParseError(f"unsupported PLA directive {key}",
+                                 filename, lineno)
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ParseError(f"bad PLA row {line!r}", filename, lineno)
+        rows.append((parts[0], parts[1]))
+
+    if num_inputs is None or num_outputs is None:
+        raise ParseError("PLA needs .i and .o", filename)
+
+    bits = [0] * num_outputs
+    for pattern, output in rows:
+        if len(pattern) != num_inputs or len(output) != num_outputs:
+            raise ParseError(f"row width mismatch: {pattern} {output}",
+                             filename)
+        positions = [i for i, ch in enumerate(pattern) if ch == "-"]
+        for fill in range(1 << len(positions)):
+            t = 0
+            for i, ch in enumerate(pattern):
+                if ch == "1":
+                    t |= 1 << i
+            for k, pos in enumerate(positions):
+                if (fill >> k) & 1:
+                    t |= 1 << pos
+            for o, ch in enumerate(output):
+                if ch == "1":
+                    bits[o] |= 1 << t
+    tables = [TruthTable(num_inputs, b) for b in bits]
+    if not input_names:
+        input_names = [f"x{i}" for i in range(num_inputs)]
+    if not output_names:
+        output_names = [f"y{o}" for o in range(num_outputs)]
+    return tables, input_names, output_names
+
+
+def read_pla(path_or_file: Union[str, TextIO]):
+    if hasattr(path_or_file, "read"):
+        return parse_pla(path_or_file.read())
+    with open(path_or_file) as handle:
+        return parse_pla(handle.read(), filename=str(path_or_file))
+
+
+def write_pla(tables: Sequence[TruthTable],
+              input_names: Sequence[str] = (),
+              output_names: Sequence[str] = ()) -> str:
+    """Serialize truth tables as a (canonical minterm) PLA."""
+    tables = list(tables)
+    if not tables:
+        raise ValueError("need at least one output table")
+    n = tables[0].num_vars
+    o = len(tables)
+    lines = [f".i {n}", f".o {o}"]
+    if input_names:
+        lines.append(".ilb " + " ".join(input_names))
+    if output_names:
+        lines.append(".ob " + " ".join(output_names))
+    terms = []
+    for t in range(1 << n):
+        out = "".join("1" if table.value(t) else "0" for table in tables)
+        if "1" in out:
+            pattern = "".join("1" if (t >> i) & 1 else "0" for i in range(n))
+            terms.append(f"{pattern} {out}")
+    lines.append(f".p {len(terms)}")
+    lines.extend(terms)
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

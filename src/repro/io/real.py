@@ -1,0 +1,162 @@
+"""RevLib ``.real`` reader / writer.
+
+The ``.real`` format describes reversible circuits: a header
+(``.version .numvars .variables .inputs .outputs .constants .garbage``)
+followed by a gate list between ``.begin`` and ``.end``.  Gate tokens:
+``t<n>`` = Toffoli with ``n-1`` controls, ``f<n>`` = Fredkin with
+``n-2`` controls; a leading ``-`` on a variable denotes a negative
+control.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TextIO, Union
+
+from ..errors import ParseError
+from ..reversible.circuit import ReversibleCircuit
+from ..reversible.gates import Control, McfGate, MctGate
+
+
+def parse_real(text: str, filename: str = "<string>") -> ReversibleCircuit:
+    num_wires: Optional[int] = None
+    variables: List[str] = []
+    constants: List[Optional[int]] = []
+    garbage: List[bool] = []
+    name = ""
+    gates = []
+    in_body = False
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        key = tokens[0]
+        if key.startswith("."):
+            if key == ".numvars":
+                num_wires = int(tokens[1])
+            elif key == ".variables":
+                variables = tokens[1:]
+            elif key in (".inputs", ".outputs"):
+                pass  # cosmetic labels; wire identity comes from .variables
+            elif key == ".constants":
+                spec = tokens[1] if len(tokens) > 1 else ""
+                constants = [None if ch == "-" else int(ch) for ch in spec]
+            elif key == ".garbage":
+                spec = tokens[1] if len(tokens) > 1 else ""
+                garbage = [ch == "1" for ch in spec]
+            elif key == ".begin":
+                in_body = True
+            elif key == ".end":
+                in_body = False
+            elif key in (".version", ".mode", ".define", ".module"):
+                if key == ".module" and len(tokens) > 1:
+                    name = tokens[1]
+            else:
+                raise ParseError(f"unsupported .real directive {key}",
+                                 filename, lineno)
+            continue
+        if not in_body:
+            raise ParseError(f"gate line outside .begin/.end: {line!r}",
+                             filename, lineno)
+        if num_wires is None:
+            raise ParseError("gate before .numvars", filename, lineno)
+        if not variables:
+            variables = [f"x{i}" for i in range(num_wires)]
+
+        kind = key[0].lower()
+        try:
+            arity = int(key[1:])
+        except ValueError:
+            raise ParseError(f"bad gate token {key!r}", filename, lineno) from None
+        operands = tokens[1:]
+        if len(operands) != arity:
+            raise ParseError(
+                f"gate {key} expects {arity} operands, got {len(operands)}",
+                filename, lineno)
+
+        def wire_of(token: str):
+            negative = token.startswith("-")
+            label = token[1:] if negative else token
+            if label not in variables:
+                raise ParseError(f"unknown variable {label!r}",
+                                 filename, lineno)
+            return variables.index(label), negative
+
+        if kind == "t":
+            *ctrl_tokens, target_token = operands
+            target, neg = wire_of(target_token)
+            if neg:
+                raise ParseError("target cannot be negated", filename, lineno)
+            controls = tuple(
+                Control(w, not negative)
+                for w, negative in (wire_of(tok) for tok in ctrl_tokens)
+            )
+            gates.append(MctGate(target, controls))
+        elif kind == "f":
+            *ctrl_tokens, token_a, token_b = operands
+            ta, neg_a = wire_of(token_a)
+            tb, neg_b = wire_of(token_b)
+            if neg_a or neg_b:
+                raise ParseError("swap targets cannot be negated",
+                                 filename, lineno)
+            controls = tuple(
+                Control(w, not negative)
+                for w, negative in (wire_of(tok) for tok in ctrl_tokens)
+            )
+            gates.append(McfGate(ta, tb, controls))
+        else:
+            raise ParseError(f"unsupported gate kind {key!r}",
+                             filename, lineno)
+
+    if num_wires is None:
+        raise ParseError("missing .numvars", filename)
+    if not variables:
+        variables = [f"x{i}" for i in range(num_wires)]
+    circuit = ReversibleCircuit(
+        num_wires,
+        name=name,
+        wire_names=variables,
+        constants=constants or [None] * num_wires,
+        garbage=garbage or [False] * num_wires,
+    )
+    for gate in gates:
+        circuit.add_gate(gate)
+    return circuit
+
+
+def read_real(path_or_file: Union[str, TextIO]) -> ReversibleCircuit:
+    if hasattr(path_or_file, "read"):
+        return parse_real(path_or_file.read())
+    with open(path_or_file) as handle:
+        return parse_real(handle.read(), filename=str(path_or_file))
+
+
+def write_real(circuit: ReversibleCircuit) -> str:
+    lines = [".version 2.0"]
+    lines.append(f".numvars {circuit.num_wires}")
+    lines.append(".variables " + " ".join(circuit.wire_names))
+    lines.append(".constants " + "".join(
+        "-" if c is None else str(c) for c in circuit.constants))
+    lines.append(".garbage " + "".join(
+        "1" if g else "0" for g in circuit.garbage))
+    lines.append(".begin")
+    for gate in circuit.gates:
+        if isinstance(gate, MctGate):
+            arity = len(gate.controls) + 1
+            tokens = [f"t{arity}"]
+            for control in gate.controls:
+                prefix = "" if control.positive else "-"
+                tokens.append(prefix + circuit.wire_names[control.wire])
+            tokens.append(circuit.wire_names[gate.target])
+        else:
+            arity = len(gate.controls) + 2
+            tokens = [f"f{arity}"]
+            for control in gate.controls:
+                prefix = "" if control.positive else "-"
+                tokens.append(prefix + circuit.wire_names[control.wire])
+            tokens.append(circuit.wire_names[gate.target_a])
+            tokens.append(circuit.wire_names[gate.target_b])
+        lines.append(" ".join(tokens))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,88 @@
+"""JSON serialization of RQFP netlists and buffer plans.
+
+The on-disk format is deliberately simple and stable — the paper's
+pipeline exchanges netlists between tools, and this is our equivalent
+interchange format::
+
+    {
+      "format": "rqfp-netlist",
+      "version": 1,
+      "name": "...",
+      "num_inputs": 2,
+      "input_names": ["x0", "x1"],
+      "gates": [{"inputs": [1, 2, 0], "config": "100-010-001"}, ...],
+      "outputs": [{"port": 6, "name": "y0"}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, TextIO, Union
+
+from ..errors import ParseError
+from ..rqfp.buffers import BufferPlan
+from ..rqfp.gate import config_from_string, config_to_string
+from ..rqfp.netlist import RqfpNetlist
+
+FORMAT_NAME = "rqfp-netlist"
+FORMAT_VERSION = 1
+
+
+def netlist_to_dict(netlist: RqfpNetlist,
+                    plan: Optional[BufferPlan] = None) -> dict:
+    data = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": netlist.name,
+        "num_inputs": netlist.num_inputs,
+        "input_names": list(netlist.input_names),
+        "gates": [
+            {
+                "inputs": list(gate.inputs),
+                "config": config_to_string(gate.config),
+            }
+            for gate in netlist.gates
+        ],
+        "outputs": [
+            {"port": port, "name": name}
+            for port, name in zip(netlist.outputs, netlist.output_names)
+        ],
+    }
+    if plan is not None:
+        data["buffer_plan"] = {
+            "levels": list(plan.levels),
+            "depth": plan.depth,
+            "num_buffers": plan.num_buffers,
+        }
+    return data
+
+
+def netlist_from_dict(data: dict) -> RqfpNetlist:
+    if data.get("format") != FORMAT_NAME:
+        raise ParseError(f"not an {FORMAT_NAME} document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ParseError(f"unsupported version {data.get('version')!r}")
+    netlist = RqfpNetlist(int(data["num_inputs"]), data.get("name", ""),
+                          data.get("input_names", ()), [])
+    for entry in data.get("gates", []):
+        inputs = entry["inputs"]
+        config = entry["config"]
+        if isinstance(config, str):
+            config = config_from_string(config)
+        netlist.add_gate(inputs[0], inputs[1], inputs[2], config)
+    for entry in data.get("outputs", []):
+        netlist.add_output(int(entry["port"]), entry.get("name"))
+    return netlist
+
+
+def write_rqfp_json(netlist: RqfpNetlist,
+                    plan: Optional[BufferPlan] = None) -> str:
+    return json.dumps(netlist_to_dict(netlist, plan), indent=2) + "\n"
+
+
+def read_rqfp_json(path_or_file: Union[str, TextIO]) -> RqfpNetlist:
+    if hasattr(path_or_file, "read"):
+        return netlist_from_dict(json.load(path_or_file))
+    with open(path_or_file) as handle:
+        return netlist_from_dict(json.load(handle))

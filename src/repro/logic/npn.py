@@ -1,0 +1,121 @@
+"""NPN classification of small Boolean functions.
+
+Two functions are NPN-equivalent when one becomes the other under input
+Negation, input Permutation and output Negation.  Classifying cut
+functions into NPN classes lets an optimizer learn one good structure
+per *class* instead of per function — the trick behind ABC's
+``rewrite`` — because 4-variable functions fall into only 222 classes
+(65 536 functions otherwise).
+
+A transform is ``(perm, input_phase, output_phase)``: new input ``i``
+is old input ``perm[i]``, XORed with bit ``i`` of ``input_phase``; the
+output is XORed with ``output_phase``.  :func:`npn_canonical` returns
+the lexicographically smallest equivalent table and the transform that
+maps the *original* function onto the canonical one;
+:func:`apply_transform` / :func:`invert_transform` move structures back
+and forth.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+from typing import List, Tuple
+
+from .truth_table import TruthTable
+
+Transform = Tuple[Tuple[int, ...], int, int]  # (perm, input_phase, out_phase)
+
+
+@lru_cache(maxsize=None)
+def _all_transforms(num_vars: int) -> Tuple[Transform, ...]:
+    transforms = []
+    for perm in itertools.permutations(range(num_vars)):
+        for input_phase in range(1 << num_vars):
+            for output_phase in (0, 1):
+                transforms.append((perm, input_phase, output_phase))
+    return tuple(transforms)
+
+
+def apply_transform(table: TruthTable, transform: Transform) -> TruthTable:
+    """Apply an NPN transform to a function.
+
+    The result ``g`` satisfies
+    ``g(x_0..x_{n-1}) = f(y_{perm[0]}, ...) ^ out_phase`` with
+    ``y_i = x_i ^ phase_i`` — i.e. ``g = transform(f)``.
+    """
+    perm, input_phase, output_phase = transform
+    n = table.num_vars
+    if len(perm) != n:
+        raise ValueError(f"transform arity {len(perm)} != {n}")
+    bits = 0
+    for t in range(1 << n):
+        # Build the argument pattern seen by the original function.
+        pattern = 0
+        for i in range(n):
+            bit = (t >> i) & 1
+            bit ^= (input_phase >> i) & 1
+            if bit:
+                pattern |= 1 << perm[i]
+        value = table.value(pattern) ^ output_phase
+        if value:
+            bits |= 1 << t
+    return TruthTable(n, bits)
+
+
+def invert_transform(transform: Transform) -> Transform:
+    """The transform undoing ``transform``."""
+    perm, input_phase, output_phase = transform
+    n = len(perm)
+    inverse_perm = [0] * n
+    for i, p in enumerate(perm):
+        inverse_perm[p] = i
+    inverse_phase = 0
+    for i in range(n):
+        if (input_phase >> i) & 1:
+            inverse_phase |= 1 << perm[i]
+    return (tuple(inverse_perm), inverse_phase, output_phase)
+
+
+@lru_cache(maxsize=65536)
+def _npn_canonical_cached(num_vars: int, bits: int):
+    table = TruthTable(num_vars, bits)
+    best: TruthTable = table
+    best_transform: Transform = (tuple(range(num_vars)), 0, 0)
+    for transform in _all_transforms(num_vars):
+        candidate = apply_transform(table, transform)
+        if candidate.bits < best.bits:
+            best = candidate
+            best_transform = transform
+    return best, best_transform
+
+
+def npn_canonical(table: TruthTable) -> Tuple[TruthTable, Transform]:
+    """Canonical NPN representative and the transform reaching it.
+
+    Returns ``(canon, t)`` with ``apply_transform(table, t) == canon``.
+    Exhaustive over all ``n! * 2^n * 2`` transforms (memoized — repeated
+    cut functions are the common case during rewriting).
+    """
+    return _npn_canonical_cached(table.num_vars, table.bits)
+
+
+def npn_classes(num_vars: int) -> List[int]:
+    """All canonical representatives for ``num_vars`` variables.
+
+    Exhaustive enumeration; practical for ``num_vars <= 3`` (and used in
+    tests to confirm the classic class counts: 1 var → 2, 2 vars → 4,
+    3 vars → 14).
+    """
+    seen = set()
+    for bits in range(1 << (1 << num_vars)):
+        canon, _ = npn_canonical(TruthTable(num_vars, bits))
+        seen.add(canon.bits)
+    return sorted(seen)
+
+
+def same_npn_class(a: TruthTable, b: TruthTable) -> bool:
+    """True iff two equally-sized functions are NPN-equivalent."""
+    if a.num_vars != b.num_vars:
+        raise ValueError("functions must have the same arity")
+    return npn_canonical(a)[0] == npn_canonical(b)[0]

@@ -1,0 +1,92 @@
+"""Depth-oriented MIG rewriting (Ω.A on the critical path).
+
+AQFP/RQFP circuits pay Josephson junctions for every path-balancing
+buffer, so depth — and depth *imbalance* — is a first-class cost.  This
+pass applies the associativity axiom in its depth-reducing direction::
+
+    M(x, u, M(y, u, z))  =  M(z, u, M(y, u, x))
+
+whenever the inner majority is the critical child and the outer sibling
+``x`` is strictly shallower than the inner ``z``: the deep operand
+moves one level up, the shallow one takes its place.  Iterated to a
+fixpoint this is the classic majority depth optimization (Amarù et
+al.), adapted here as a post-pass for the AQFP-oriented resynthesis
+(enable with ``aqfp_resynthesis(..., depth_aware=True)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..networks.aig import CONST0, lit_complement, lit_node, lit_not
+from ..networks.mig import Mig
+
+
+def _remap_factory(mapping: Dict[int, int]):
+    def remap(literal: int) -> int:
+        base = mapping[lit_node(literal)]
+        return lit_not(base) if lit_complement(literal) else base
+    return remap
+
+
+def _depth_of(levels: List[int], literal: int) -> int:
+    return levels[lit_node(literal)]
+
+
+def depth_rewrite_once(mig: Mig) -> Mig:
+    """One bottom-up sweep of depth-reducing associativity swaps."""
+    fresh = Mig(name=mig.name)
+    mapping: Dict[int, int] = {0: CONST0}
+    for node, name in zip(mig.inputs, mig.input_names):
+        mapping[node] = fresh.add_input(name)
+    remap = _remap_factory(mapping)
+    levels = fresh.levels()
+
+    for node in mig.reachable_majs():
+        kids = [remap(k) for k in mig.children(node)]
+        levels = fresh.levels()
+        built: Optional[int] = None
+
+        # Identify the critical child: an uncomplemented majority strictly
+        # deeper than both siblings.
+        order = sorted(range(3), key=lambda i: _depth_of(levels, kids[i]))
+        shallow, mid, deep = order
+        deep_lit = kids[deep]
+        deep_node = lit_node(deep_lit)
+        if (fresh.is_maj(deep_node) and not lit_complement(deep_lit)
+                and _depth_of(levels, deep_lit) >
+                _depth_of(levels, kids[mid])):
+            inner = list(fresh.children(deep_node))
+            outer_rest = [kids[i] for i in (shallow, mid)]
+            # Find a shared literal u between inner and the outer rest.
+            for u in outer_rest:
+                if u in inner:
+                    x = outer_rest[0] if outer_rest[1] == u else outer_rest[1]
+                    others = [t for t in inner if t != u]
+                    if len(others) != 2:
+                        break
+                    # Swap the deepest inner operand with the shallow x.
+                    z = max(others, key=lambda t: _depth_of(levels, t))
+                    y = others[0] if others[1] == z else others[1]
+                    if _depth_of(levels, z) <= _depth_of(levels, x):
+                        break
+                    new_inner = fresh.add_maj(y, u, x)
+                    built = fresh.add_maj(z, u, new_inner)
+                    break
+        mapping[node] = built if built is not None else fresh.add_maj(*kids)
+
+    for literal, name in zip(mig.outputs, mig.output_names):
+        fresh.add_output(remap(literal), name)
+    return fresh.cleanup()
+
+
+def mig_depth_rewrite(mig: Mig, max_rounds: int = 6) -> Mig:
+    """Iterate depth-reducing sweeps while (depth, size) improves."""
+    best = mig.cleanup()
+    for _ in range(max_rounds):
+        candidate = depth_rewrite_once(best)
+        if (candidate.depth(), candidate.size()) < (best.depth(), best.size()):
+            best = candidate
+        else:
+            break
+    return best

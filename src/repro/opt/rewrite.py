@@ -1,0 +1,301 @@
+"""Cut-based AIG rewriting with a learned NPN structure library.
+
+The third leg of ABC's ``resyn2`` (alongside balance and refactor):
+
+1. enumerate 4-feasible cuts per AND node (standard bottom-up merging,
+   keeping the ``CUTS_PER_NODE`` best),
+2. compute each cut's local function and its NPN class,
+3. keep a library mapping NPN class → the cheapest structure seen, as a
+   *recipe* (a DAG over the canonical inputs) learned both from ISOP
+   re-synthesis and from subcircuits of the network itself,
+4. rebuild the network bottom-up, implementing every node by the
+   cheapest of (a) its direct remap and (b) the library recipe for its
+   best cut — with structural hashing making shared logic free.
+
+The library persists across calls (a process-wide memo), so structures
+learned on one network accelerate the next — the "learning" aspect of
+rewriting the CGP literature highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..logic.isop import best_phase_isop
+from ..logic.npn import Transform, invert_transform, npn_canonical
+from ..logic.truth_table import TruthTable
+from ..networks.aig import Aig, CONST0, CONST1, lit_complement, lit_node, lit_not
+
+CUT_SIZE = 4
+CUTS_PER_NODE = 8
+
+# Recipe: list of (fanin0, fanin1) pairs addressing literals where
+# 0..2k-1 are the canonical cut inputs (2i plain / 2i+1 complemented
+# encoded by the literal LSB as usual, with inputs numbered 1..k at
+# node indices 1..k, node 0 = const0), followed by created AND nodes;
+# plus the output literal.
+Recipe = Tuple[Tuple[Tuple[int, int], ...], int]
+
+_LIBRARY: Dict[Tuple[int, int], Tuple[int, Recipe]] = {}
+# key: (num_vars, canonical bits) -> (cost, recipe)
+
+
+def clear_library() -> None:
+    """Reset the process-wide structure library (used by tests)."""
+    _LIBRARY.clear()
+
+
+def library_size() -> int:
+    return len(_LIBRARY)
+
+
+def _recipe_from_isop(canon: TruthTable) -> Optional[Recipe]:
+    """Build a recipe for a canonical function via best-phase ISOP."""
+    scratch = Aig(canon.num_vars)
+    cubes, complemented = best_phase_isop(canon)
+    input_lits = [2 * (i + 1) for i in range(canon.num_vars)]
+    cube_lits = []
+    for cube in cubes:
+        lits = [lit_not(input_lits[v]) if neg else input_lits[v]
+                for v, neg in cube.literals()]
+        cube_lits.append(scratch.add_and_many(lits))
+    out = scratch.add_or_many(cube_lits)
+    if complemented:
+        out = lit_not(out)
+    return _recipe_from_aig(scratch, out)
+
+
+def _recipe_from_aig(aig: Aig, out_lit: int) -> Recipe:
+    """Extract the cone of ``out_lit`` as a recipe over the AIG's PIs."""
+    order: List[int] = []
+    seen = set()
+
+    def visit(node: int) -> None:
+        if node in seen or not aig.is_and(node):
+            return
+        seen.add(node)
+        f0, f1 = aig.fanins(node)
+        visit(lit_node(f0))
+        visit(lit_node(f1))
+        order.append(node)
+
+    visit(lit_node(out_lit))
+    index = {0: 0}
+    for i, node in enumerate(aig.inputs):
+        index[node] = i + 1
+    pairs: List[Tuple[int, int]] = []
+    for slot, node in enumerate(order):
+        index[node] = 1 + aig.num_inputs + slot
+        f0, f1 = aig.fanins(node)
+
+        def ref(literal: int) -> int:
+            base = 2 * index[lit_node(literal)]
+            return base | 1 if lit_complement(literal) else base
+
+        pairs.append((ref(f0), ref(f1)))
+    base = 2 * index[lit_node(out_lit)]
+    out = base | 1 if lit_complement(out_lit) else base
+    return tuple(pairs), out
+
+
+def _recipe_cost(recipe: Recipe) -> int:
+    return len(recipe[0])
+
+
+def _instantiate(recipe: Recipe, aig: Aig, leaf_lits: Sequence[int],
+                 num_vars: int) -> int:
+    """Materialize a recipe in ``aig`` over concrete leaf literals."""
+    pairs, out = recipe
+    # Literal table: index 0 = const0, 1..k = leaves, then built nodes.
+    nodes: List[int] = [CONST0] + list(leaf_lits)
+
+    def resolve(ref: int) -> int:
+        literal = nodes[ref >> 1]
+        return lit_not(literal) if ref & 1 else literal
+
+    for f0, f1 in pairs:
+        nodes.append(aig.add_and(resolve(f0), resolve(f1)))
+    return resolve(out)
+
+
+def _learn(num_vars: int, canon_bits: int, cost: int,
+           recipe: Recipe) -> None:
+    key = (num_vars, canon_bits)
+    existing = _LIBRARY.get(key)
+    if existing is None or cost < existing[0]:
+        _LIBRARY[key] = (cost, recipe)
+
+
+def _enumerate_cuts(aig: Aig) -> Dict[int, List[Tuple[int, ...]]]:
+    """4-feasible cuts per node (node-index leaves, sorted tuples)."""
+    cuts: Dict[int, List[Tuple[int, ...]]] = {0: [()]}
+    for node in aig.inputs:
+        cuts[node] = [(node,)]
+    for node in aig.reachable_ands():
+        f0, f1 = aig.fanins(node)
+        merged: List[Tuple[int, ...]] = [(node,)]
+        seen = {(node,)}
+        for c0 in cuts.get(lit_node(f0), [()]):
+            for c1 in cuts.get(lit_node(f1), [()]):
+                union = tuple(sorted(set(c0) | set(c1)))
+                if 0 < len(union) <= CUT_SIZE and union not in seen:
+                    seen.add(union)
+                    merged.append(union)
+        # Prefer smaller cuts (cheaper to match), keep a bounded list.
+        merged.sort(key=len)
+        cuts[node] = merged[:CUTS_PER_NODE]
+    return cuts
+
+
+def _cut_function(aig: Aig, node: int, leaves: Sequence[int]) -> TruthTable:
+    from ..logic.bitops import full_mask, variable_pattern
+    k = len(leaves)
+    mask = full_mask(k)
+    values: Dict[int, int] = {0: 0}
+    for i, leaf in enumerate(leaves):
+        values[leaf] = variable_pattern(i, k)
+
+    def lit_value(literal: int) -> int:
+        v = eval_node(lit_node(literal))
+        return (v ^ mask) if lit_complement(literal) else v
+
+    def eval_node(n: int) -> int:
+        if n in values:
+            return values[n]
+        f0, f1 = aig.fanins(n)
+        values[n] = lit_value(f0) & lit_value(f1)
+        return values[n]
+
+    return TruthTable(k, eval_node(node))
+
+
+def _transformed_leaves(leaf_lits: Sequence[int],
+                        transform: Transform) -> List[int]:
+    """Leaf literals as the canonical function expects them.
+
+    With ``canon = apply_transform(f, t)``, a structure computing
+    ``canon`` over inputs ``y_i = leaf[inv_perm? ...]`` needs the
+    original leaves permuted/complemented by the transform itself:
+    canonical input ``i`` reads original leaf ``perm[i]`` XOR phase_i.
+    """
+    perm, input_phase, _ = transform
+    out = []
+    for i in range(len(perm)):
+        literal = leaf_lits[perm[i]]
+        if (input_phase >> i) & 1:
+            literal = lit_not(literal)
+        out.append(literal)
+    return out
+
+
+def rewrite(aig: Aig, learn_from_network: bool = True) -> Aig:
+    """One rewriting pass; returns a functionally identical AIG that is
+    never larger (losing alternatives become dead nodes removed by the
+    final cleanup)."""
+    cuts = _enumerate_cuts(aig)
+    fresh = Aig(name=aig.name)
+    mapping: Dict[int, int] = {0: CONST0}
+    for node, input_name in zip(aig.inputs, aig.input_names):
+        mapping[node] = fresh.add_input(input_name)
+
+    def remap(literal: int) -> int:
+        base = mapping[lit_node(literal)]
+        return lit_not(base) if lit_complement(literal) else base
+
+    for node in aig.reachable_ands():
+        f0, f1 = aig.fanins(node)
+        before = fresh.num_nodes
+        direct = fresh.add_and(remap(f0), remap(f1))
+        best_lit = direct
+        best_cost = fresh.num_nodes - before
+
+        for cut in cuts.get(node, []):
+            if len(cut) < 2 or node in cut:
+                continue
+            if any(leaf not in mapping for leaf in cut):
+                continue
+            function = _cut_function(aig, node, cut)
+            if function.is_constant():
+                best_lit = CONST1 if function.bits else CONST0
+                best_cost = 0
+                continue
+            canon, transform = npn_canonical(function)
+            key = (len(cut), canon.bits)
+            entry = _LIBRARY.get(key)
+            if entry is None:
+                recipe = _recipe_from_isop(canon)
+                if recipe is None:
+                    continue
+                _learn(len(cut), canon.bits, _recipe_cost(recipe), recipe)
+                entry = _LIBRARY[key]
+            _cost_bound, recipe = entry
+            leaf_lits = [remap(2 * leaf) for leaf in cut]
+            oriented = _transformed_leaves(leaf_lits, transform)
+            before = fresh.num_nodes
+            candidate = _instantiate(recipe, fresh, oriented, len(cut))
+            if transform[2]:
+                candidate = lit_not(candidate)
+            cost = fresh.num_nodes - before
+            if cost < best_cost:
+                best_lit, best_cost = candidate, cost
+        mapping[node] = best_lit
+
+        if learn_from_network:
+            # Teach the library the structure this network already uses
+            # for its best cut (it may beat the ISOP recipe).
+            for cut in cuts.get(node, []):
+                if len(cut) < 2 or any(l not in mapping for l in cut):
+                    continue
+                function = _cut_function(aig, node, cut)
+                if function.is_constant():
+                    continue
+                canon, transform = npn_canonical(function)
+                cone = _cone_recipe(aig, node, cut, transform)
+                if cone is not None:
+                    _learn(len(cut), canon.bits, _recipe_cost(cone), cone)
+                break
+
+    for literal, output_name in zip(aig.outputs, aig.output_names):
+        fresh.add_output(remap(literal), output_name)
+    result = fresh.cleanup()
+    return result if result.size() <= aig.size() else aig
+
+
+def _cone_recipe(aig: Aig, node: int, cut: Sequence[int],
+                 transform: Transform) -> Optional[Recipe]:
+    """Recipe of the existing cone, re-oriented to canonical inputs."""
+    scratch = Aig(len(cut))
+    inverse = invert_transform(transform)
+    perm, input_phase, output_phase = transform
+    # Canonical input i corresponds to original leaf perm[i] with phase.
+    leaf_lit: Dict[int, int] = {}
+    for i in range(len(cut)):
+        literal = 2 * (scratch.inputs[i])
+        leaf_lit[cut[perm[i]]] = lit_not(literal) if (input_phase >> i) & 1 \
+            else literal
+
+    memo: Dict[int, int] = dict()
+
+    def build(n: int) -> Optional[int]:
+        if n in leaf_lit:
+            return leaf_lit[n]
+        if n in memo:
+            return memo[n]
+        if not aig.is_and(n):
+            return None
+        f0, f1 = aig.fanins(n)
+        b0 = build(lit_node(f0))
+        b1 = build(lit_node(f1))
+        if b0 is None or b1 is None:
+            return None
+        lit0 = lit_not(b0) if lit_complement(f0) else b0
+        lit1 = lit_not(b1) if lit_complement(f1) else b1
+        memo[n] = scratch.add_and(lit0, lit1)
+        return memo[n]
+
+    root = build(node)
+    if root is None:
+        return None
+    if output_phase:
+        root = lit_not(root)
+    return _recipe_from_aig(scratch, root)

@@ -1,0 +1,20 @@
+"""Conventional reversible-logic substrate (MCT/MCF, RevLib semantics)."""
+
+from .circuit import Gate, ReversibleCircuit, permutation_tables
+from .gates import Control, McfGate, MctGate
+from .spec import bennett_embedding, circuit_spec, minimum_garbage
+from .synthesis import synthesize_tables, transformation_synthesis
+
+__all__ = [
+    "Control",
+    "MctGate",
+    "McfGate",
+    "Gate",
+    "ReversibleCircuit",
+    "permutation_tables",
+    "circuit_spec",
+    "bennett_embedding",
+    "minimum_garbage",
+    "transformation_synthesis",
+    "synthesize_tables",
+]

@@ -1,0 +1,117 @@
+"""Conventional reversible gate library: MCT and MCF gates.
+
+The paper contrasts RQFP logic with the classical reversible libraries —
+multiple-control Toffoli (MCT: multi-controlled NOT, Fig. 1(b)) and
+multiple-control Fredkin (MCF: multi-controlled SWAP, Fig. 1(c)).
+RevLib benchmark circuits are written in these libraries, so this module
+gives them executable semantics: each gate permutes the state of ``n``
+wires, acting on basis states (bit-vectors encoded as integers).
+
+Negative controls (standard in RevLib ``.real`` files) are supported:
+a negative control fires when its wire is 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+
+@dataclass(frozen=True)
+class Control:
+    """A control wire; ``positive=False`` is a negative control."""
+
+    wire: int
+    positive: bool = True
+
+    def satisfied(self, state: int) -> bool:
+        bit = (state >> self.wire) & 1
+        return bool(bit) == self.positive
+
+
+def _normalize_controls(controls: Iterable) -> Tuple[Control, ...]:
+    normalized = []
+    seen = set()
+    for control in controls:
+        if isinstance(control, int):
+            control = Control(control)
+        if control.wire in seen:
+            raise ValueError(f"duplicate control on wire {control.wire}")
+        seen.add(control.wire)
+        normalized.append(control)
+    return tuple(sorted(normalized, key=lambda c: c.wire))
+
+
+@dataclass(frozen=True)
+class MctGate:
+    """Multiple-control Toffoli: flips ``target`` when all controls fire.
+
+    Zero controls is a NOT, one a CNOT, two the classic Toffoli.
+    """
+
+    target: int
+    controls: Tuple[Control, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        controls = _normalize_controls(self.controls)
+        object.__setattr__(self, "controls", controls)
+        if any(c.wire == self.target for c in controls):
+            raise ValueError("MCT target cannot also be a control")
+
+    @property
+    def wires(self) -> FrozenSet[int]:
+        return frozenset({self.target} | {c.wire for c in self.controls})
+
+    def apply(self, state: int) -> int:
+        if all(c.satisfied(state) for c in self.controls):
+            return state ^ (1 << self.target)
+        return state
+
+    def inverse(self) -> "MctGate":
+        return self  # self-inverse
+
+    def __str__(self) -> str:
+        ctrl = ",".join(
+            f"{'!' if not c.positive else ''}x{c.wire}" for c in self.controls
+        )
+        return f"MCT([{ctrl}] -> x{self.target})"
+
+
+@dataclass(frozen=True)
+class McfGate:
+    """Multiple-control Fredkin: swaps two targets when controls fire."""
+
+    target_a: int
+    target_b: int
+    controls: Tuple[Control, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        controls = _normalize_controls(self.controls)
+        object.__setattr__(self, "controls", controls)
+        if self.target_a == self.target_b:
+            raise ValueError("MCF targets must differ")
+        if any(c.wire in (self.target_a, self.target_b) for c in controls):
+            raise ValueError("MCF targets cannot also be controls")
+
+    @property
+    def wires(self) -> FrozenSet[int]:
+        return frozenset({self.target_a, self.target_b}
+                         | {c.wire for c in self.controls})
+
+    def apply(self, state: int) -> int:
+        if not all(c.satisfied(state) for c in self.controls):
+            return state
+        bit_a = (state >> self.target_a) & 1
+        bit_b = (state >> self.target_b) & 1
+        if bit_a != bit_b:
+            state ^= (1 << self.target_a) | (1 << self.target_b)
+        return state
+
+    def inverse(self) -> "McfGate":
+        return self  # self-inverse
+
+    def __str__(self) -> str:
+        ctrl = ",".join(
+            f"{'!' if not c.positive else ''}x{c.wire}" for c in self.controls
+        )
+        return f"MCF([{ctrl}] -> x{self.target_a}<->x{self.target_b})"

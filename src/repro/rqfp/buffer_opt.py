@@ -1,0 +1,106 @@
+"""Provably minimal buffer insertion via linear programming.
+
+:func:`repro.rqfp.buffers.schedule_levels` is a fast coordinate-descent
+heuristic.  The underlying problem — choose integer gate levels
+minimizing total buffers subject to ``level(head) >= level(tail) + 1``
+on every gate-to-gate edge (with the PI stage fixed at 0 and the PO
+stage at the critical-path depth ``D``) — has a totally unimodular
+constraint matrix, so its LP relaxation has an integral optimal vertex.
+:func:`optimal_levels` solves that LP with SciPy's HiGHS backend and
+rounds the (already integral up to float noise) solution, giving
+
+* an *optimal* reference the heuristic is benchmarked against (A7),
+* a drop-in upgrade for final circuits where runtime is irrelevant.
+
+Objective bookkeeping.  With gate levels ``p`` and depth ``D``::
+
+    buffers = sum_gg (p[dst] - p[src] - 1)
+            + sum_ig (p[dst] - 1)
+            + sum_go (D - p[src])
+            + sum_io (D)
+
+Only the ``p`` terms matter for optimization; each gate's objective
+coefficient is (its gate+PI in-degree) − (its gate+PO out-degree), and
+the constants are added back at the end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import coo_matrix
+
+from ..errors import NetlistError
+from .buffers import BufferPlan, _count_buffers, _edge_list, asap_levels
+from .netlist import RqfpNetlist
+
+
+def optimal_levels(netlist: RqfpNetlist,
+                   depth: Optional[int] = None) -> BufferPlan:
+    """Minimum-buffer level assignment (exact).
+
+    ``depth`` defaults to the ASAP critical-path depth — raising it can
+    never help because every PI→PO path pays the full pipeline length.
+    """
+    num_gates = netlist.num_gates
+    if num_gates == 0:
+        return BufferPlan([], 0, {}, 0)
+    base = asap_levels(netlist)
+    critical = max(base)
+    if depth is None:
+        depth = critical
+    elif depth < critical:
+        raise NetlistError(
+            f"depth {depth} below the critical path {critical}"
+        )
+
+    edges = _edge_list(netlist)
+    cost = np.zeros(num_gates)
+    entries_r: List[int] = []
+    entries_c: List[int] = []
+    entries_v: List[float] = []
+    rhs: List[float] = []
+    for kind, src, dst, _slot in edges:
+        if kind == "gg":
+            cost[dst] += 1.0
+            cost[src] -= 1.0
+            row = len(rhs)
+            entries_r += [row, row]     # p[src] - p[dst] <= -1
+            entries_c += [src, dst]
+            entries_v += [1.0, -1.0]
+            rhs.append(-1.0)
+        elif kind == "ig":
+            cost[dst] += 1.0
+        elif kind == "go":
+            cost[src] -= 1.0
+        # io edges are constant-cost.
+
+    bounds = [(1, depth) for _ in range(num_gates)]
+    a_ub = (coo_matrix((entries_v, (entries_r, entries_c)),
+                       shape=(len(rhs), num_gates)).tocsr()
+            if rhs else None)
+    result = linprog(
+        c=cost,
+        A_ub=a_ub,
+        b_ub=np.array(rhs) if rhs else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - the LP is always feasible
+        raise NetlistError(f"buffer LP failed: {result.message}")
+
+    levels = [int(round(x)) for x in result.x]
+    # Guard against float noise: restore topological feasibility by an
+    # ASAP sweep that never lowers a level below its LP value.
+    for g, gate in enumerate(netlist.gates):
+        lo = 1
+        for port in gate.inputs:
+            if netlist.is_gate_port(port):
+                lo = max(lo, levels[netlist.port_gate(port)] + 1)
+        if levels[g] < lo:
+            levels[g] = lo
+        levels[g] = min(levels[g], depth)
+    edge_buffers, total = _count_buffers(netlist, levels, depth)
+    return BufferPlan(levels, depth, edge_buffers, total)

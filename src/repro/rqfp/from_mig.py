@@ -1,0 +1,168 @@
+"""MIG → RQFP netlist conversion (paper Fig. 2, "netlist conversion").
+
+Every MIG node is one 3-input majority; an RQFP gate offers *three*
+majorities over the same input triple (with independent per-port
+inverters).  The converter therefore **packs** up to three MIG nodes
+with identical child-node support into a single RQFP gate — the
+constant-specialization trick of §3.1 (``R(a,b,1)`` yields AND plus two
+byproduct functions) falls out of this packing naturally, and whatever
+sharing the converter misses is exactly what the CGP stage later
+recovers.
+
+Complemented fan-ins are free (consumer-side inverter bits).
+Complemented primary outputs need an explicit RQFP inverter gate
+(``R(x,1,1)`` with :data:`~repro.rqfp.gate.INVERTER_CONFIG`), whose
+three identical outputs are shared across consumers.
+
+The result generally violates the single-fan-out rule; run
+:func:`repro.rqfp.splitters.insert_splitters` afterwards, as the paper's
+initialization phase does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import NetlistError
+from ..networks.aig import lit_complement, lit_node
+from ..networks.mig import Mig
+from .gate import INVERTER_CONFIG
+from .netlist import CONST_PORT, RqfpNetlist
+
+
+def _source_port(node: int, mig: Mig, assigned: Dict[int, int],
+                 pi_port: Dict[int, int]) -> int:
+    """Netlist port carrying MIG node ``node``'s (uncomplemented) value."""
+    if node == 0:
+        return CONST_PORT  # constant — polarity handled by inverter bits
+    if mig.is_input(node):
+        return pi_port[node]
+    return assigned[node]
+
+
+def _child_inverter_bit(child_lit: int) -> int:
+    """Inverter bit so the majority port sees the child literal's value.
+
+    The constant *port* carries 1; MIG literal 0 is constant **0**, so a
+    plain const-0 child needs an inverter and a complemented one does
+    not.  For all other sources the bit is simply the complement flag.
+    """
+    if lit_node(child_lit) == 0:
+        return 0 if lit_complement(child_lit) else 1
+    return 1 if lit_complement(child_lit) else 0
+
+
+def mig_to_rqfp(mig: Mig) -> RqfpNetlist:
+    """Convert an MIG into an (un-legalized) RQFP netlist."""
+    mig = mig.cleanup()
+    netlist = RqfpNetlist(mig.num_inputs, mig.name, list(mig.input_names), [])
+    pi_port = {node: 1 + i for i, node in enumerate(mig.inputs)}
+
+    # Pick the polarity to *materialize* per majority node: gate
+    # consumers invert for free (their own inverter bits), but primary
+    # outputs cannot, so a node consumed only by complemented POs is
+    # built complemented outright (self-duality: flip all three port
+    # inverters).  Mixed PO polarities materialize plain and pay one
+    # inverter gate for the complemented side.
+    materialize_comp: Dict[int, bool] = {}
+    for literal in mig.outputs:
+        node = lit_node(literal)
+        if mig.is_maj(node):
+            want = lit_complement(literal)
+            if node in materialize_comp and materialize_comp[node] != want:
+                materialize_comp[node] = False  # mixed: prefer plain
+            elif node not in materialize_comp:
+                materialize_comp[node] = want
+
+    def node_comp(node: int) -> bool:
+        return materialize_comp.get(node, False)
+
+    # Group majority nodes by their (sorted) child-node support.
+    order = mig.reachable_majs()
+    groups: Dict[Tuple[int, ...], List[int]] = {}
+    for node in order:
+        key = tuple(sorted(lit_node(c) for c in mig.children(node)))
+        groups.setdefault(key, []).append(node)
+
+    assigned: Dict[int, int] = {}   # MIG node -> netlist port
+    for node in order:
+        if node in assigned:
+            continue
+        key = tuple(sorted(lit_node(c) for c in mig.children(node)))
+        members = [n for n in groups[key] if n not in assigned][:3]
+        # All members share child sources, so they are simultaneously
+        # computable; the gate's input order is the sorted support.
+        input_ports = [
+            _source_port(src, mig, assigned, pi_port) for src in key
+        ]
+        config = 0
+        member_bits: List[int] = []
+        for slot in range(3):
+            member = members[slot] if slot < len(members) else None
+            if member is None:
+                bits = member_bits[0]  # idle slot mirrors slot 0 (garbage)
+            else:
+                bits = 0
+                children = mig.children(member)
+                if len({lit_node(c) for c in children}) != 3:
+                    raise NetlistError(
+                        f"MIG node {member} has duplicate child sources"
+                    )
+                for src in key:
+                    child_lit = next(
+                        c for c in children if lit_node(c) == src
+                    )
+                    bit = _child_inverter_bit(child_lit)
+                    # A source materialized complemented arrives inverted;
+                    # compensate at this consumer's port.
+                    if lit_node(child_lit) != 0 and \
+                            mig.is_maj(lit_node(child_lit)) and \
+                            node_comp(lit_node(child_lit)):
+                        bit ^= 1
+                    bits = (bits << 1) | bit
+                if node_comp(member):
+                    bits ^= 0b111  # self-duality: emit the complement
+            member_bits.append(bits)
+            config = (config << 3) | bits
+        gate = netlist.add_gate(input_ports[0], input_ports[1],
+                                input_ports[2], config)
+        for slot, member in enumerate(members):
+            assigned[member] = netlist.gate_output_port(gate, slot)
+
+    # Primary outputs; residual complemented ones share inverter gates.
+    inverter_copies: Dict[int, List[int]] = {}
+
+    def inverted_port(node: int) -> int:
+        copies = inverter_copies.get(node)
+        if copies:
+            return copies.pop()
+        if node == 0:
+            gate = netlist.add_gate(CONST_PORT, CONST_PORT, CONST_PORT,
+                                    INVERTER_CONFIG)
+        else:
+            src = _source_port(node, mig, assigned, pi_port)
+            gate = netlist.add_gate(src, CONST_PORT, CONST_PORT,
+                                    INVERTER_CONFIG)
+        ports = [netlist.gate_output_port(gate, m) for m in range(3)]
+        inverter_copies[node] = ports[1:]
+        return ports[0]
+
+    for literal, name in zip(mig.outputs, mig.output_names):
+        node = lit_node(literal)
+        want_comp = lit_complement(literal)
+        if node == 0:
+            if want_comp:
+                netlist.add_output(CONST_PORT, name)   # !const0 == 1
+            else:
+                netlist.add_output(inverted_port(0), name)  # constant 0
+            continue
+        have_comp = mig.is_maj(node) and node_comp(node)
+        if want_comp == have_comp:
+            netlist.add_output(
+                _source_port(node, mig, assigned, pi_port), name
+            )
+        else:
+            netlist.add_output(inverted_port(node), name)
+
+    netlist.validate(require_single_fanout=False)
+    return netlist

@@ -1,0 +1,362 @@
+"""RQFP netlists.
+
+A netlist is an ordered list of RQFP gates over a shared *port index
+space* that follows the paper's Fig. 3 convention exactly:
+
+* port ``0`` — the constant 1 (exempt from the fan-out limit; constants
+  are supplied by the excitation environment),
+* ports ``1 .. n_pi`` — primary inputs,
+* ports ``n_pi + 1 + 3*p + m`` — output ``m`` of gate ``p``.
+
+Gate inputs may only reference ports of strictly earlier gates (the
+netlist is a DAG by construction).  Primary outputs are port references.
+
+*Garbage outputs* are gate output ports that drive neither a gate input
+nor a primary output — the quantity the paper minimizes alongside gate
+count, because every garbage output dissipates the information (and
+energy) reversibility was meant to preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import FanoutViolation, NetlistError
+from ..logic.bitops import full_mask, variable_pattern
+from ..logic.truth_table import TruthTable
+from ..sat.cnf import CNF
+from ..sat.tseitin import encode_const, encode_maj3
+from .gate import check_config, config_to_string
+
+CONST_PORT = 0
+
+
+@dataclass
+class RqfpGate:
+    """One RQFP logic gate: three input port references + inverter config."""
+
+    in0: int
+    in1: int
+    in2: int
+    config: int
+
+    def __post_init__(self):
+        check_config(self.config)
+
+    @property
+    def inputs(self) -> Tuple[int, int, int]:
+        return (self.in0, self.in1, self.in2)
+
+    def replace_input(self, position: int, port: int) -> None:
+        if position == 0:
+            self.in0 = port
+        elif position == 1:
+            self.in1 = port
+        elif position == 2:
+            self.in2 = port
+        else:
+            raise ValueError(f"gate input position {position} out of range")
+
+    def __str__(self) -> str:
+        return (f"({self.in0}, {self.in1}, {self.in2}, "
+                f"{config_to_string(self.config)})")
+
+
+class RqfpNetlist:
+    """An RQFP logic circuit prior to buffer insertion."""
+
+    def __init__(self, num_inputs: int, name: str = "",
+                 input_names: Sequence[str] = (),
+                 output_names: Sequence[str] = ()):
+        if num_inputs < 0:
+            raise NetlistError("num_inputs must be >= 0")
+        self.name = name
+        self.num_inputs = num_inputs
+        self.gates: List[RqfpGate] = []
+        self.outputs: List[int] = []
+        self.input_names = list(input_names) or [f"x{i}" for i in range(num_inputs)]
+        self.output_names: List[str] = list(output_names)
+
+    # -- port arithmetic ---------------------------------------------------
+
+    def first_gate_port(self, gate_index: int) -> int:
+        return self.num_inputs + 1 + 3 * gate_index
+
+    def gate_output_port(self, gate_index: int, output: int) -> int:
+        if not 0 <= output < 3:
+            raise NetlistError(f"gate output index {output} out of range")
+        return self.first_gate_port(gate_index) + output
+
+    def num_ports(self) -> int:
+        return self.num_inputs + 1 + 3 * len(self.gates)
+
+    def is_const_port(self, port: int) -> bool:
+        return port == CONST_PORT
+
+    def is_input_port(self, port: int) -> bool:
+        return 1 <= port <= self.num_inputs
+
+    def is_gate_port(self, port: int) -> bool:
+        return self.num_inputs < port < self.num_ports() and port != CONST_PORT
+
+    def port_gate(self, port: int) -> int:
+        """Gate index owning an output port."""
+        if not self.is_gate_port(port):
+            raise NetlistError(f"port {port} is not a gate output port")
+        return (port - self.num_inputs - 1) // 3
+
+    def port_output_index(self, port: int) -> int:
+        """Which of the owning gate's three outputs a port is."""
+        if not self.is_gate_port(port):
+            raise NetlistError(f"port {port} is not a gate output port")
+        return (port - self.num_inputs - 1) % 3
+
+    def _check_port(self, port: int, max_gate: Optional[int] = None) -> None:
+        limit = self.num_ports() if max_gate is None else self.first_gate_port(max_gate)
+        if not 0 <= port < limit:
+            raise NetlistError(
+                f"port {port} out of range (limit {limit})"
+            )
+
+    # -- construction ------------------------------------------------------
+
+    def add_gate(self, in0: int, in1: int, in2: int, config: int) -> int:
+        """Append a gate; inputs must reference earlier ports.  Returns the
+        new gate's index."""
+        gate_index = len(self.gates)
+        for port in (in0, in1, in2):
+            self._check_port(port, max_gate=gate_index)
+        self.gates.append(RqfpGate(in0, in1, in2, check_config(config)))
+        return gate_index
+
+    def add_output(self, port: int, name: Optional[str] = None) -> None:
+        self._check_port(port)
+        self.outputs.append(port)
+        self.output_names.append(
+            name if name is not None else f"y{len(self.outputs) - 1}"
+        )
+
+    def copy(self) -> "RqfpNetlist":
+        dup = RqfpNetlist(self.num_inputs, self.name,
+                          list(self.input_names), [])
+        dup.gates = [RqfpGate(g.in0, g.in1, g.in2, g.config) for g in self.gates]
+        dup.outputs = list(self.outputs)
+        dup.output_names = list(self.output_names)
+        return dup
+
+    # -- connectivity ---------------------------------------------------------
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    def consumers(self) -> Dict[int, List[Tuple[str, int, int]]]:
+        """Map port -> list of consumers.
+
+        A consumer is ``("gate", gate_index, position)`` or
+        ``("po", output_index, 0)``.  The constant port's consumers are
+        tracked too, though it is exempt from the fan-out limit.
+        """
+        result: Dict[int, List[Tuple[str, int, int]]] = {}
+        for g, gate in enumerate(self.gates):
+            for pos, port in enumerate(gate.inputs):
+                result.setdefault(port, []).append(("gate", g, pos))
+        for o, port in enumerate(self.outputs):
+            result.setdefault(port, []).append(("po", o, 0))
+        return result
+
+    def fanout_counts(self) -> Dict[int, int]:
+        return {port: len(users) for port, users in self.consumers().items()}
+
+    def fanout_violations(self) -> List[int]:
+        """Non-constant ports with more than one consumer."""
+        return [port for port, users in self.consumers().items()
+                if port != CONST_PORT and len(users) > 1]
+
+    def garbage_ports(self) -> List[int]:
+        """Gate output ports with no consumer at all."""
+        used = self.consumers()
+        garbage = []
+        for g in range(len(self.gates)):
+            for m in range(3):
+                port = self.gate_output_port(g, m)
+                if port not in used:
+                    garbage.append(port)
+        return garbage
+
+    @property
+    def num_garbage(self) -> int:
+        return len(self.garbage_ports())
+
+    def levels(self) -> List[int]:
+        """ASAP level per gate (a gate fed only by PIs/constant is level 1)."""
+        levels: List[int] = []
+        for gate in self.gates:
+            level = 1
+            for port in gate.inputs:
+                if self.is_gate_port(port):
+                    level = max(level, levels[self.port_gate(port)] + 1)
+            levels.append(level)
+        return levels
+
+    def depth(self) -> int:
+        """Circuit depth in gate levels (the paper's ``n_d``)."""
+        levels = self.levels()
+        return max(levels, default=0)
+
+    def reachable_gates(self) -> List[int]:
+        """Gates in the transitive fan-in of the primary outputs."""
+        base = self.num_inputs + 1
+        seen = set()
+        stack = [(p - base) // 3 for p in self.outputs if p >= base]
+        gates = self.gates
+        while stack:
+            gate = stack.pop()
+            if gate in seen:
+                continue
+            seen.add(gate)
+            record = gates[gate]
+            for port in (record.in0, record.in1, record.in2):
+                if port >= base:
+                    stack.append((port - base) // 3)
+        return sorted(seen)
+
+    def shrink(self) -> "RqfpNetlist":
+        """Remove gates unreachable from the POs (paper §3.2.3).
+
+        Returns a new netlist; port indices are remapped compactly.
+        Runs on every functional fitness evaluation, so the remap is
+        plain arithmetic on the port-index layout.
+        """
+        keep = self.reachable_gates()
+        remap_gate = {old: new for new, old in enumerate(keep)}
+        fresh = RqfpNetlist(self.num_inputs, self.name,
+                            list(self.input_names), [])
+        base = self.num_inputs + 1
+
+        def remap_port(port: int) -> int:
+            offset = port - base
+            if offset < 0:
+                return port
+            return base + 3 * remap_gate[offset // 3] + offset % 3
+
+        gates = self.gates
+        fresh_gates = fresh.gates
+        for old in keep:
+            gate = gates[old]
+            fresh_gates.append(RqfpGate(remap_port(gate.in0),
+                                        remap_port(gate.in1),
+                                        remap_port(gate.in2),
+                                        gate.config))
+        for port, name in zip(self.outputs, self.output_names):
+            fresh.add_output(remap_port(port), name)
+        return fresh
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(self, require_single_fanout: bool = True) -> None:
+        """Raise if the netlist is structurally ill-formed."""
+        for g, gate in enumerate(self.gates):
+            for port in gate.inputs:
+                if port >= self.first_gate_port(g):
+                    raise NetlistError(
+                        f"gate {g} consumes port {port} from a later gate"
+                    )
+                if port < 0:
+                    raise NetlistError(f"gate {g} has negative input port")
+            check_config(gate.config)
+        for port in self.outputs:
+            self._check_port(port)
+        if require_single_fanout:
+            bad = self.fanout_violations()
+            if bad:
+                raise FanoutViolation(
+                    f"ports {bad} drive more than one consumer"
+                )
+
+    # -- semantics -----------------------------------------------------------------
+
+    def simulate_ports(self, input_words: Sequence[int], mask: int) -> List[int]:
+        """Bit-parallel simulation returning a value word for every port.
+
+        This is the innermost loop of the CGP fitness function, so the
+        per-majority evaluation is inlined rather than calling
+        :func:`repro.rqfp.gate.gate_outputs`.
+        """
+        if len(input_words) != self.num_inputs:
+            raise NetlistError(
+                f"expected {self.num_inputs} input words, got {len(input_words)}"
+            )
+        values = [0] * self.num_ports()
+        values[CONST_PORT] = mask
+        for i, word in enumerate(input_words):
+            values[1 + i] = word & mask
+        index = self.num_inputs + 1
+        for gate in self.gates:
+            a = values[gate.in0]
+            b = values[gate.in1]
+            c = values[gate.in2]
+            config = gate.config
+            for shift in (6, 3, 0):
+                bits = config >> shift
+                pa = a ^ mask if bits & 4 else a
+                pb = b ^ mask if bits & 2 else b
+                pc = c ^ mask if bits & 1 else c
+                values[index] = (pa & pb) | (pa & pc) | (pb & pc)
+                index += 1
+        return values
+
+    def simulate(self, input_words: Sequence[int], mask: int) -> List[int]:
+        """Bit-parallel simulation returning one word per primary output."""
+        values = self.simulate_ports(input_words, mask)
+        return [values[p] for p in self.outputs]
+
+    def to_truth_tables(self) -> List[TruthTable]:
+        n = self.num_inputs
+        mask = full_mask(n)
+        words = [variable_pattern(i, n) for i in range(n)]
+        return [TruthTable(n, w) for w in self.simulate(words, mask)]
+
+    def to_cnf(self, cnf: CNF, input_lits: Sequence[int]) -> List[int]:
+        """Tseitin-encode the netlist; returns PO literals."""
+        if len(input_lits) != self.num_inputs:
+            raise NetlistError("input literal count mismatch")
+        const = encode_const(cnf, True)
+        port_lit: List[int] = [0] * self.num_ports()
+        port_lit[CONST_PORT] = const
+        for i, external in enumerate(input_lits):
+            port_lit[1 + i] = external
+        base = self.num_inputs + 1
+        for g, gate in enumerate(self.gates):
+            ins = [port_lit[gate.in0], port_lit[gate.in1], port_lit[gate.in2]]
+            for m in range(3):
+                lits = []
+                for p in range(3):
+                    lit = ins[p]
+                    if (gate.config >> (8 - (3 * m + p))) & 1:
+                        lit = -lit
+                    lits.append(lit)
+                port_lit[base + 3 * g + m] = encode_maj3(cnf, *lits)
+        return [port_lit[p] for p in self.outputs]
+
+    def encoder(self):
+        """CEC-compatible encoder for :mod:`repro.sat.equivalence`."""
+        return lambda cnf, inputs: self.to_cnf(cnf, inputs)
+
+    # -- presentation -----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Paper-style chromosome rendering (Fig. 3's green string)."""
+        gates = " ".join(str(g) for g in self.gates)
+        outs = ", ".join(str(p) for p in self.outputs)
+        return f"{gates} ({outs})"
+
+    def __repr__(self) -> str:
+        return (f"RqfpNetlist(name={self.name!r}, inputs={self.num_inputs}, "
+                f"outputs={self.num_outputs}, gates={self.num_gates}, "
+                f"garbage={self.num_garbage}, depth={self.depth()})")

@@ -1,0 +1,135 @@
+"""Deterministic peephole simplification of RQFP netlists.
+
+CGP's garbage-output trimming routinely strands *wire gates*: splitters
+whose other copies became garbage, buffers, and inverter gates whose
+single remaining consumer could read the source directly (complements
+fold into the consumer's inverter configuration for free).  Removing
+them is pure bookkeeping, so RCGP does not need to rediscover each
+removal by random mutation:
+
+* a gate output is a **wire** of input port ``p`` if, as a function of
+  the gate's non-constant inputs, it equals that input (or its
+  complement — an *inverter wire*);
+* a gate whose used outputs consist of exactly one wire output can be
+  **bypassed**: the consumer reads the wire's source directly (flipping
+  its own inverter bit if the wire was inverting), after which the gate
+  is dead and shrink removes it.  Single-fan-out is preserved because
+  the bypassed gate simultaneously stops consuming the source.
+
+The pass iterates to a fixpoint.  It is semantics-preserving by
+construction and is additionally asserted by simulation in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..logic.bitops import variable_pattern
+from .gate import gate_outputs
+from .netlist import CONST_PORT, RqfpNetlist
+
+_MASK8 = 0xFF
+
+
+def wire_targets(gate) -> List[Optional[Tuple[int, bool]]]:
+    """Per output: ``(input_position, inverted)`` if the output is a wire
+    of that input under the gate's constant hookup, else None."""
+    words = []
+    for port in gate.inputs:
+        if port == CONST_PORT:
+            words.append(_MASK8)
+        else:
+            words.append(variable_pattern(len(words), 3))
+    # Distinct variables even for repeated ports would be wrong — a port
+    # used twice must share its variable.
+    seen = {}
+    for pos, port in enumerate(gate.inputs):
+        if port == CONST_PORT:
+            continue
+        if port in seen:
+            words[pos] = words[seen[port]]
+        else:
+            seen[port] = pos
+    outs = gate_outputs(words[0], words[1], words[2], gate.config, _MASK8)
+    result: List[Optional[Tuple[int, bool]]] = []
+    for m in range(3):
+        target: Optional[Tuple[int, bool]] = None
+        if outs[m] == _MASK8:
+            target = (-1, False)   # constant 1: rewire to the const port
+        elif outs[m] == 0:
+            target = (-1, True)    # constant 0: const port + inverter bit
+        else:
+            for pos, port in enumerate(gate.inputs):
+                if port == CONST_PORT:
+                    continue
+                if outs[m] == words[pos]:
+                    target = (pos, False)
+                    break
+                if outs[m] == words[pos] ^ _MASK8:
+                    target = (pos, True)
+                    break
+        result.append(target)
+    return result
+
+
+def _bypass_once(netlist: RqfpNetlist) -> bool:
+    """One sweep; returns True if any gate was bypassed."""
+    consumers = netlist.consumers()
+    changed = False
+    for g, gate in enumerate(netlist.gates):
+        used = []
+        for m in range(3):
+            port = netlist.gate_output_port(g, m)
+            if port in consumers:
+                used.append((m, port))
+        if len(used) != 1:
+            continue
+        m, port = used[0]
+        users = consumers[port]
+        if len(users) != 1:
+            continue  # PO-sharing violations are the evaluator's business
+        targets = wire_targets(gate)
+        target = targets[m]
+        if target is None:
+            continue
+        pos, inverted = target
+        if pos < 0:
+            source = CONST_PORT
+        else:
+            source = gate.inputs[pos]
+            if source == CONST_PORT:
+                continue
+        kind, index, cpos = users[0]
+        if kind == "po":
+            if inverted:
+                continue  # POs have no inverters to absorb the complement
+            netlist.outputs[index] = source
+        else:
+            consumer = netlist.gates[index]
+            consumer.replace_input(cpos, source)
+            if inverted:
+                # Flip the consumer's inverter bit for this port in all
+                # three majorities so every output sees the same value.
+                for mm in range(3):
+                    consumer.config ^= 1 << (8 - (3 * mm + cpos))
+        changed = True
+        # The bypassed gate keeps its stale input references until the
+        # final shrink; recompute consumers before further bypasses.
+        return True
+    return changed
+
+
+def bypass_wire_gates(netlist: RqfpNetlist,
+                      max_passes: int = 10_000) -> RqfpNetlist:
+    """Remove bypassable wire gates until fixpoint; returns a shrunk copy.
+
+    Shrinking after every bypass keeps the consumer map free of stale
+    references from just-killed gates, so chains of wire gates collapse
+    completely.
+    """
+    work = netlist.copy()
+    for _ in range(max_passes):
+        if not _bypass_once(work):
+            break
+        work = work.shrink()
+    return work.shrink()

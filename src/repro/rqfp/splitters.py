@@ -1,0 +1,102 @@
+"""RQFP splitter insertion (fan-out legalization).
+
+AQFP — and therefore RQFP — gates may drive exactly one consumer per
+output port.  A signal with ``k`` consumers needs a tree of RQFP
+splitters (``R(1, x, 1)`` with :data:`~repro.rqfp.gate.SPLITTER_CONFIG`,
+three copies per splitter, so ``ceil((k-1)/2)`` splitters).
+
+The legalizer rebuilds the netlist in topological order, materializing
+splitters lazily right before the first consumer that would otherwise
+exceed the limit.  Leftover splitter copies become garbage outputs —
+this is precisely why the paper's *Initialization* columns show large
+garbage counts that RCGP then optimizes away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import NetlistError
+from .gate import SPLITTER_CONFIG
+from .netlist import CONST_PORT, RqfpNetlist
+
+
+class _SignalState:
+    """Book-keeping for one original port during legalization."""
+
+    __slots__ = ("available", "pending")
+
+    def __init__(self, first_copy: int, pending: int):
+        self.available: List[int] = [first_copy]
+        self.pending = pending
+
+
+def insert_splitters(netlist: RqfpNetlist) -> RqfpNetlist:
+    """Return an equivalent netlist satisfying the single-fan-out limit.
+
+    Idempotent: a netlist that is already legal is copied unchanged.
+    """
+    consumers = netlist.consumers()
+    demand: Dict[int, int] = {
+        port: len(users) for port, users in consumers.items() if port != CONST_PORT
+    }
+
+    fresh = RqfpNetlist(netlist.num_inputs, netlist.name,
+                        list(netlist.input_names), [])
+    state: Dict[int, _SignalState] = {}
+    for i in range(netlist.num_inputs):
+        port = 1 + i
+        state[port] = _SignalState(port, demand.get(port, 0))
+
+    def take_copy(orig_port: int) -> int:
+        """A fresh-netlist port carrying ``orig_port``'s signal, splitting
+        on demand so every copy feeds exactly one consumer."""
+        if orig_port == CONST_PORT:
+            return CONST_PORT
+        sig = state.get(orig_port)
+        if sig is None or sig.pending <= 0 or not sig.available:
+            raise NetlistError(
+                f"internal fan-out accounting error on port {orig_port}"
+            )
+        while sig.pending > len(sig.available):
+            source = sig.available.pop(0)
+            splitter = fresh.add_gate(CONST_PORT, source, CONST_PORT,
+                                      SPLITTER_CONFIG)
+            sig.available.extend(
+                fresh.gate_output_port(splitter, m) for m in range(3)
+            )
+        sig.pending -= 1
+        return sig.available.pop(0)
+
+    for g, gate in enumerate(netlist.gates):
+        new_inputs = [take_copy(p) for p in gate.inputs]
+        new_gate = fresh.add_gate(new_inputs[0], new_inputs[1], new_inputs[2],
+                                  gate.config)
+        for m in range(3):
+            orig_port = netlist.gate_output_port(g, m)
+            state[orig_port] = _SignalState(
+                fresh.gate_output_port(new_gate, m),
+                demand.get(orig_port, 0),
+            )
+
+    for port, name in zip(netlist.outputs, netlist.output_names):
+        fresh.add_output(take_copy(port), name)
+
+    fresh.validate(require_single_fanout=True)
+    return fresh
+
+
+def count_required_splitters(netlist: RqfpNetlist) -> int:
+    """Splitters :func:`insert_splitters` would add (cheap estimate).
+
+    Each splitter turns one copy into three, so a port with ``k > 1``
+    consumers costs ``ceil((k - 1) / 2)`` splitters.
+    """
+    total = 0
+    for port, users in netlist.consumers().items():
+        if port == CONST_PORT:
+            continue
+        k = len(users)
+        if k > 1:
+            total += (k - 1 + 1) // 2  # ceil((k-1)/2)
+    return total

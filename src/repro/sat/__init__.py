@@ -1,0 +1,39 @@
+"""SAT substrate: CNF, a CDCL solver, Tseitin encodings and CEC miters."""
+
+from .cardinality import (
+    at_least_one,
+    at_most_k_sequential,
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    exactly_one,
+)
+from .cnf import CNF, negate
+from .equivalence import (
+    CecResult,
+    build_miter,
+    check_against_tables,
+    check_equivalence,
+    truth_table_encoder,
+)
+from .solver import SAT, UNKNOWN, UNSAT, Solver, luby, solve_cnf
+
+__all__ = [
+    "CNF",
+    "negate",
+    "Solver",
+    "solve_cnf",
+    "luby",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "CecResult",
+    "build_miter",
+    "check_equivalence",
+    "check_against_tables",
+    "truth_table_encoder",
+    "exactly_one",
+    "at_least_one",
+    "at_most_one_pairwise",
+    "at_most_one_sequential",
+    "at_most_k_sequential",
+]

@@ -1,0 +1,69 @@
+"""Cardinality constraint encodings.
+
+The exact-synthesis baseline needs "exactly one source per gate input
+port" (selector one-hot) and "at most one consumer per output port"
+(single-fan-out) constraints; these are the standard pairwise and
+sequential-counter encodings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .cnf import CNF
+
+
+def at_most_one_pairwise(cnf: CNF, lits: Sequence[int]) -> None:
+    """Pairwise AMO — O(n²) clauses, zero auxiliary variables.
+
+    The right choice for the small selector groups in the exact encoder.
+    """
+    for i in range(len(lits)):
+        for j in range(i + 1, len(lits)):
+            cnf.add_clause([-lits[i], -lits[j]])
+
+
+def at_least_one(cnf: CNF, lits: Sequence[int]) -> None:
+    if not lits:
+        raise ValueError("at_least_one over an empty literal set is UNSAT")
+    cnf.add_clause(list(lits))
+
+
+def exactly_one(cnf: CNF, lits: Sequence[int]) -> None:
+    at_least_one(cnf, lits)
+    at_most_one_pairwise(cnf, lits)
+
+
+def at_most_k_sequential(cnf: CNF, lits: Sequence[int], k: int) -> None:
+    """Sinz sequential-counter AMK — O(n·k) clauses and auxiliaries.
+
+    Encodes ``sum(lits) <= k``.  ``k >= len(lits)`` is a no-op and
+    ``k == 0`` forces every literal false.
+    """
+    n = len(lits)
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    if k == 0:
+        for lit in lits:
+            cnf.add_clause([-lit])
+        return
+    if k >= n:
+        return
+    # registers[i][j] == "at least j+1 of lits[0..i] are true"
+    registers: List[List[int]] = [cnf.new_vars(k) for _ in range(n)]
+    cnf.add_clause([-lits[0], registers[0][0]])
+    for j in range(1, k):
+        cnf.add_clause([-registers[0][j]])
+    for i in range(1, n):
+        cnf.add_clause([-lits[i], registers[i][0]])
+        cnf.add_clause([-registers[i - 1][0], registers[i][0]])
+        for j in range(1, k):
+            cnf.add_clause([-lits[i], -registers[i - 1][j - 1], registers[i][j]])
+            cnf.add_clause([-registers[i - 1][j], registers[i][j]])
+        cnf.add_clause([-lits[i], -registers[i - 1][k - 1]])
+    # Note: the final overflow clauses above already forbid k+1 trues.
+
+
+def at_most_one_sequential(cnf: CNF, lits: Sequence[int]) -> None:
+    """Linear AMO via the sequential counter, for larger groups."""
+    at_most_k_sequential(cnf, lits, 1)

@@ -1,0 +1,503 @@
+"""A CDCL SAT solver.
+
+This is the in-repo replacement for the Z3/MiniSat role in the paper's
+flow: it backs combinational equivalence checking (the formal half of the
+RCGP fitness function) and the exact-synthesis baseline.  The solver
+implements the standard modern recipe:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and backjumping,
+* VSIDS-style variable activities (exponential bumping) with phase saving,
+* Luby-sequence restarts,
+* learned-clause database reduction keyed by literal-block distance (LBD),
+* solving under assumptions and optional conflict / time budgets
+  (budget exhaustion reports :data:`UNKNOWN`, which the exact-synthesis
+  baseline maps onto the paper's ``\\`` timeout entries).
+
+It is pure Python and therefore slow compared to a C solver, but the CNF
+instances produced by this package (miters of ≤10-input circuits, tiny
+exact-synthesis encodings) are well within its reach.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .cnf import CNF
+
+SAT = "SAT"
+UNSAT = "UNSAT"
+UNKNOWN = "UNKNOWN"
+
+_UNASSIGNED = 0
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ..."""
+    if i <= 0:
+        raise ValueError("Luby sequence is 1-based")
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class _Clause:
+    """Internal clause record; ``lits[0:2]`` are the watched literals."""
+
+    __slots__ = ("lits", "learnt", "lbd", "activity")
+
+    def __init__(self, lits: List[int], learnt: bool = False, lbd: int = 0):
+        self.lits = lits
+        self.learnt = learnt
+        self.lbd = lbd
+        self.activity = 0.0
+
+
+class Solver:
+    """CDCL solver over DIMACS-style integer literals."""
+
+    def __init__(self, cnf: Optional[CNF] = None):
+        self._num_vars = 0
+        # Indexed by variable (1-based; slot 0 unused).
+        self._value: List[int] = [_UNASSIGNED]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._seen: List[bool] = [False]
+        # Watch lists indexed by encoded literal.
+        self._watches: List[List[_Clause]] = [[], []]
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._heap: List[Tuple[float, int]] = []
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._cla_inc = 1.0
+        self._order: List[int] = []  # lazy heap replacement: sorted on demand
+        self._ok = True
+        self._model: Dict[int, bool] = {}
+        self.stats = {
+            "conflicts": 0,
+            "decisions": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+            "deleted": 0,
+        }
+        if cnf is not None:
+            self._ensure_vars(cnf.num_vars)
+            for clause in cnf.clauses:
+                self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def _ensure_vars(self, num_vars: int) -> None:
+        while self._num_vars < num_vars:
+            self._num_vars += 1
+            self._value.append(_UNASSIGNED)
+            self._level.append(0)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            self._seen.append(False)
+            self._watches.append([])
+            self._watches.append([])
+
+    def new_var(self) -> int:
+        self._ensure_vars(self._num_vars + 1)
+        return self._num_vars
+
+    @staticmethod
+    def _widx(lit: int) -> int:
+        """Watch-list index of a literal (2v for +v, 2v+1 for -v)."""
+        return (abs(lit) << 1) | (lit < 0)
+
+    def _lit_value(self, lit: int) -> int:
+        """+1 true, -1 false, 0 unassigned, under the current trail."""
+        v = self._value[abs(lit)]
+        return v if lit > 0 else -v
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a problem clause; returns False on immediate inconsistency."""
+        if not self._ok:
+            return False
+        if self._trail_lim:
+            raise RuntimeError("add_clause only allowed at decision level 0")
+        lits: List[int] = []
+        seen = set()
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a literal")
+            self._ensure_vars(abs(lit))
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            value = self._lit_value(lit)
+            if value == 1:
+                return True  # already satisfied at level 0
+            if value == -1:
+                continue  # falsified at level 0: drop literal
+            seen.add(lit)
+            lits.append(lit)
+        if not lits:
+            self._ok = False
+            return False
+        if len(lits) == 1:
+            if not self._enqueue(lits[0], None):
+                self._ok = False
+                return False
+            self._ok = self._propagate() is None
+            return self._ok
+        clause = _Clause(lits)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[self._widx(-clause.lits[0])].append(clause)
+        self._watches[self._widx(-clause.lits[1])].append(clause)
+
+    # ------------------------------------------------------------------
+    # trail management
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        value = self._lit_value(lit)
+        if value == 1:
+            return True
+        if value == -1:
+            return False
+        var = abs(lit)
+        self._value[var] = 1 if lit > 0 else -1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for lit in reversed(self._trail[bound:]):
+            var = abs(lit)
+            self._phase[var] = lit > 0
+            self._value[var] = _UNASSIGNED
+            self._reason[var] = None
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = min(self._qhead, len(self._trail))
+
+    # ------------------------------------------------------------------
+    # propagation
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats["propagations"] += 1
+            widx = self._widx(lit)
+            watching = self._watches[widx]
+            self._watches[widx] = keep = []
+            i = 0
+            n = len(watching)
+            while i < n:
+                clause = watching[i]
+                i += 1
+                lits = clause.lits
+                # Normalize so the falsified watch sits at position 1.
+                if lits[0] == -lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) == 1:
+                    keep.append(clause)
+                    continue
+                # Search for a replacement watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) != -1:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[self._widx(-lits[1])].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                keep.append(clause)
+                if not self._enqueue(first, clause):
+                    # Conflict: restore remaining watchers and report.
+                    keep.extend(watching[i:])
+                    self._qhead = len(self._trail)
+                    return clause
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis (first UIP)
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+            self._heap = [(-self._activity[v], v) for v in range(1, self._num_vars + 1)
+                          if self._value[v] == _UNASSIGNED]
+            heapq.heapify(self._heap)
+            return
+        heapq.heappush(self._heap, (-self._activity[var], var))
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learnts:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _analyze(self, conflict: _Clause):
+        """Derive a 1UIP learnt clause; returns (lits, backjump level, lbd)."""
+        learnt: List[int] = [0]  # slot 0 reserved for the asserting literal
+        seen = self._seen
+        to_clear: List[int] = []
+        counter = 0
+        lit = None
+        index = len(self._trail)
+        clause: Optional[_Clause] = conflict
+        current_level = self._decision_level()
+
+        while True:
+            assert clause is not None
+            self._bump_clause(clause)
+            start = 0 if lit is None else 1
+            for q in clause.lits[start:]:
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    to_clear.append(var)
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Walk the trail back to the next marked literal.
+            while True:
+                index -= 1
+                lit = self._trail[index]
+                if seen[abs(lit)]:
+                    break
+            var = abs(lit)
+            counter -= 1
+            if counter == 0:
+                learnt[0] = -lit
+                break
+            clause = self._reason[var]
+            if clause is not None and clause.lits[0] != lit:
+                # Reason invariant: lits[0] is the implied literal.
+                lits = clause.lits
+                pos = lits.index(lit)
+                lits[pos], lits[0] = lits[0], lits[pos]
+
+        # Clause minimization: drop literals whose reason is already
+        # subsumed by the remaining learnt literals (seen flags stay set
+        # for the duration of the check, as in MiniSat's local mode).
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            reason = self._reason[abs(q)]
+            if reason is None:
+                minimized.append(q)
+                continue
+            redundant = all(
+                seen[abs(p)] or self._level[abs(p)] == 0
+                for p in reason.lits
+                if abs(p) != abs(q)
+            )
+            if not redundant:
+                minimized.append(q)
+        learnt = minimized
+
+        if len(learnt) == 1:
+            backjump = 0
+        else:
+            # Second-highest decision level among the learnt literals.
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self._level[abs(learnt[i])] > self._level[abs(learnt[max_i])]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            backjump = self._level[abs(learnt[1])]
+
+        lbd = len({self._level[abs(q)] for q in learnt})
+        for var in to_clear:
+            seen[var] = False
+        return learnt, backjump, lbd
+
+    # ------------------------------------------------------------------
+    # decision heuristic
+
+    def _pick_branch_var(self) -> int:
+        # Lazy-deletion activity heap: entries with stale activity or an
+        # assigned variable are discarded on pop.
+        heap = self._heap
+        while heap:
+            neg_act, var = heapq.heappop(heap)
+            if self._value[var] == _UNASSIGNED and -neg_act == self._activity[var]:
+                return var
+        # Heap exhausted: rebuild from scratch (covers fresh variables and
+        # stale-entry starvation alike).
+        self._heap = [(-self._activity[v], v)
+                      for v in range(1, self._num_vars + 1)
+                      if self._value[v] == _UNASSIGNED]
+        heapq.heapify(self._heap)
+        if not self._heap:
+            return 0
+        neg_act, var = heapq.heappop(self._heap)
+        return var
+
+    # ------------------------------------------------------------------
+    # learned clause DB reduction
+
+    def _reduce_db(self) -> None:
+        self._learnts.sort(key=lambda c: (c.lbd, -c.activity))
+        keep_count = len(self._learnts) // 2
+        kept: List[_Clause] = []
+        locked = {id(self._reason[abs(lit)]) for lit in self._trail
+                  if self._reason[abs(lit)] is not None}
+        for i, clause in enumerate(self._learnts):
+            if i < keep_count or clause.lbd <= 2 or id(clause) in locked:
+                kept.append(clause)
+            else:
+                self._detach(clause)
+                self.stats["deleted"] += 1
+        self._learnts = kept
+
+    def _detach(self, clause: _Clause) -> None:
+        for lit in clause.lits[:2]:
+            watchers = self._watches[self._widx(-lit)]
+            try:
+                watchers.remove(clause)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+
+    # ------------------------------------------------------------------
+    # main search
+
+    def solve(self, assumptions: Sequence[int] = (),
+              conflict_budget: Optional[int] = None,
+              time_budget: Optional[float] = None) -> str:
+        """Run CDCL search; returns :data:`SAT`, :data:`UNSAT` or
+        :data:`UNKNOWN` (budget exhausted)."""
+        if not self._ok:
+            return UNSAT
+        self._model = {}
+        start_time = time.monotonic()
+        start_conflicts = self.stats["conflicts"]
+        restart_idx = 1
+        restart_base = 64
+        restart_limit = luby(restart_idx) * restart_base
+        conflicts_since_restart = 0
+        max_learnts = max(1000, len(self._clauses) // 2)
+
+        self._cancel_until(0)
+        assumption_list = list(assumptions)
+        for lit in assumption_list:
+            self._ensure_vars(abs(lit))
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return UNSAT
+                learnt, backjump, lbd = self._analyze(conflict)
+                self._cancel_until(backjump)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._ok = False
+                        return UNSAT
+                else:
+                    clause = _Clause(learnt, learnt=True, lbd=lbd)
+                    self._learnts.append(clause)
+                    self.stats["learned"] += 1
+                    self._attach(clause)
+                    # 1UIP guarantees the asserting literal is unassigned
+                    # after the backjump, so this enqueue always succeeds.
+                    self._enqueue(learnt[0], clause)
+                self._var_inc *= self._var_decay
+                self._cla_inc *= 1.001
+                if conflict_budget is not None and \
+                        self.stats["conflicts"] - start_conflicts >= conflict_budget:
+                    self._cancel_until(0)
+                    return UNKNOWN
+                if time_budget is not None and \
+                        time.monotonic() - start_time >= time_budget:
+                    self._cancel_until(0)
+                    return UNKNOWN
+                continue
+
+            if conflicts_since_restart >= restart_limit:
+                self.stats["restarts"] += 1
+                restart_idx += 1
+                restart_limit = luby(restart_idx) * restart_base
+                conflicts_since_restart = 0
+                self._cancel_until(0)
+                continue
+
+            if len(self._learnts) >= max_learnts:
+                self._reduce_db()
+                max_learnts = int(max_learnts * 1.3)
+
+            # Extend with the next unassigned assumption, if any.
+            next_lit = None
+            for lit in assumption_list:
+                value = self._lit_value(lit)
+                if value == -1:
+                    # Assumption contradicted by current (level-0 / implied)
+                    # assignment: the instance is UNSAT under assumptions.
+                    self._cancel_until(0)
+                    return UNSAT
+                if value == 0:
+                    next_lit = lit
+                    break
+            if next_lit is None:
+                var = self._pick_branch_var()
+                if var == 0:
+                    self._record_model()
+                    self._cancel_until(0)
+                    return SAT
+                next_lit = var if self._phase[var] else -var
+
+            self.stats["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(next_lit, None)
+
+    def _record_model(self) -> None:
+        self._model = {
+            var: self._value[var] == 1
+            for var in range(1, self._num_vars + 1)
+            if self._value[var] != _UNASSIGNED
+        }
+
+    def model(self) -> Dict[int, bool]:
+        """The satisfying assignment from the last :data:`SAT` answer."""
+        return dict(self._model)
+
+
+def solve_cnf(cnf: CNF, assumptions: Sequence[int] = (),
+              conflict_budget: Optional[int] = None,
+              time_budget: Optional[float] = None):
+    """One-shot convenience wrapper: returns ``(status, model)``."""
+    solver = Solver(cnf)
+    status = solver.solve(assumptions, conflict_budget, time_budget)
+    return status, (solver.model() if status == SAT else {})

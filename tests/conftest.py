@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.logic.truth_table import TruthTable
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG so failures reproduce."""
+    return random.Random(0xC61)
+
+
+@pytest.fixture
+def random_tables(rng):
+    """Factory for random multi-output specifications."""
+    def make(num_inputs: int, num_outputs: int):
+        return [TruthTable(num_inputs, rng.getrandbits(1 << num_inputs))
+                for _ in range(num_outputs)]
+    return make

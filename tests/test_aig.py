@@ -1,0 +1,164 @@
+"""Unit tests for the AIG network."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.logic.bitops import full_mask, variable_pattern
+from repro.logic.truth_table import TruthTable
+from repro.networks.aig import (
+    CONST0,
+    CONST1,
+    Aig,
+    lit,
+    lit_complement,
+    lit_node,
+    lit_not,
+)
+
+
+class TestLiterals:
+    def test_round_trip(self):
+        assert lit(5) == 10
+        assert lit(5, True) == 11
+        assert lit_node(11) == 5
+        assert lit_complement(11) and not lit_complement(10)
+
+    def test_lit_not_involution(self):
+        assert lit_not(lit_not(6)) == 6
+
+    def test_constants(self):
+        assert CONST0 == 0 and CONST1 == 1
+        assert lit_not(CONST0) == CONST1
+
+
+class TestConstruction:
+    def test_inputs_named(self):
+        aig = Aig(2)
+        assert aig.input_names == ["x0", "x1"]
+        assert aig.num_inputs == 2
+
+    def test_and_folding_rules(self):
+        aig = Aig(2)
+        a, b = lit(aig.inputs[0]), lit(aig.inputs[1])
+        assert aig.add_and(a, CONST0) == CONST0
+        assert aig.add_and(a, CONST1) == a
+        assert aig.add_and(a, a) == a
+        assert aig.add_and(a, lit_not(a)) == CONST0
+        assert aig.num_ands() == 0
+
+    def test_structural_hashing(self):
+        aig = Aig(2)
+        a, b = lit(aig.inputs[0]), lit(aig.inputs[1])
+        first = aig.add_and(a, b)
+        second = aig.add_and(b, a)  # commuted
+        assert first == second
+        assert aig.num_ands() == 1
+
+    def test_derived_gates(self):
+        aig = Aig(3)
+        a, b, c = (lit(n) for n in aig.inputs)
+        aig.add_output(aig.add_xor(a, b))
+        aig.add_output(aig.add_mux(a, b, c))
+        aig.add_output(aig.add_maj(a, b, c))
+        tts = aig.to_truth_tables()
+        assert tts[0] == TruthTable.from_function(lambda x, y, z: x ^ y, 3)
+        assert tts[1] == TruthTable.from_function(
+            lambda x, y, z: z if x else y, 3)
+        assert tts[2] == TruthTable.from_function(
+            lambda x, y, z: (x & y) | (x & z) | (y & z), 3)
+
+    def test_and_or_many_balanced(self):
+        aig = Aig(5)
+        lits = [lit(n) for n in aig.inputs]
+        aig.add_output(aig.add_and_many(lits))
+        assert aig.depth() == 3  # ceil(log2(5)) = 3
+        assert aig.to_truth_tables()[0].count_ones() == 1
+
+    def test_empty_and_many_is_const1(self):
+        aig = Aig(1)
+        assert aig.add_and_many([]) == CONST1
+
+    def test_bad_literal_rejected(self):
+        aig = Aig(1)
+        with pytest.raises(NetlistError):
+            aig.add_and(lit(99), CONST1)
+
+
+class TestStructureQueries:
+    def _build(self):
+        aig = Aig(3)
+        a, b, c = (lit(n) for n in aig.inputs)
+        ab = aig.add_and(a, b)
+        abc = aig.add_and(ab, c)
+        dead = aig.add_and(a, c)  # not connected to any output
+        aig.add_output(abc)
+        return aig, dead
+
+    def test_reachable_excludes_dead(self):
+        aig, dead = self._build()
+        assert aig.num_ands() == 3
+        assert aig.size() == 2
+        assert lit_node(dead) not in aig.reachable_ands()
+
+    def test_cleanup_removes_dead(self):
+        aig, _ = self._build()
+        clean = aig.cleanup()
+        assert clean.size() == clean.num_ands() == 2
+        assert clean.to_truth_tables() == aig.to_truth_tables()
+
+    def test_levels_and_depth(self):
+        aig, _ = self._build()
+        assert aig.depth() == 2
+
+    def test_fanins_of_input_rejected(self):
+        aig = Aig(1)
+        with pytest.raises(NetlistError):
+            aig.fanins(aig.inputs[0])
+
+
+class TestSimulation:
+    def test_exhaustive_matches_pointwise(self, rng):
+        for _ in range(20):
+            n = rng.randint(1, 5)
+            aig = Aig(n)
+            pool = [lit(node) for node in aig.inputs] + [CONST0, CONST1]
+            for _ in range(10):
+                a, b = rng.choice(pool), rng.choice(pool)
+                if rng.random() < 0.5:
+                    a = lit_not(a)
+                pool.append(aig.add_and(a, b))
+            aig.add_output(pool[-1])
+            table = aig.to_truth_tables()[0]
+            mask = full_mask(n)
+            for t in range(1 << n):
+                words = [(variable_pattern(i, n) >> t) & 1 for i in range(n)]
+                assert aig.simulate(words, 1)[0] == table.value(t)
+
+    def test_simulate_requires_mask(self):
+        aig = Aig(1)
+        aig.add_output(lit(aig.inputs[0]))
+        with pytest.raises(NetlistError):
+            aig.simulate([1], -1)
+
+    def test_wrong_input_count(self):
+        aig = Aig(2)
+        with pytest.raises(NetlistError):
+            aig.simulate([1], 1)
+
+
+class TestCnfEncoding:
+    def test_to_cnf_output_count(self, random_tables):
+        from repro.networks.convert import tables_to_aig
+        from repro.sat.cnf import CNF
+        tables = random_tables(3, 2)
+        aig = tables_to_aig(tables)
+        cnf = CNF()
+        inputs = cnf.new_vars(3)
+        outs = aig.to_cnf(cnf, inputs)
+        assert len(outs) == 2
+
+    def test_to_cnf_wrong_inputs(self):
+        from repro.sat.cnf import CNF
+        aig = Aig(2)
+        with pytest.raises(NetlistError):
+            aig.to_cnf(CNF(), [1])

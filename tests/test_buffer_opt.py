@@ -1,0 +1,98 @@
+"""Unit tests for LP-exact buffer insertion."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.random_circuits import random_rqfp
+from repro.errors import NetlistError
+from repro.rqfp.buffer_opt import optimal_levels
+from repro.rqfp.buffers import greedy_plan, schedule_levels, _count_buffers
+from repro.rqfp.gate import NORMAL_CONFIG
+from repro.rqfp.netlist import CONST_PORT, RqfpNetlist
+
+
+def _brute_force_minimum(netlist, depth):
+    """Exhaustive minimum buffer count over all feasible level maps."""
+    n = netlist.num_gates
+    best = None
+    for levels in itertools.product(range(1, depth + 1), repeat=n):
+        feasible = True
+        for g, gate in enumerate(netlist.gates):
+            for port in gate.inputs:
+                if netlist.is_gate_port(port):
+                    if levels[g] <= levels[netlist.port_gate(port)]:
+                        feasible = False
+                        break
+            if not feasible:
+                break
+        if not feasible:
+            continue
+        _, total = _count_buffers(netlist, list(levels), depth)
+        if best is None or total < best:
+            best = total
+    return best
+
+
+class TestOptimalLevels:
+    def test_empty_netlist(self):
+        plan = optimal_levels(RqfpNetlist(2))
+        assert plan.num_buffers == 0 and plan.depth == 0
+
+    def test_matches_brute_force_on_small_random(self, rng):
+        for _ in range(15):
+            netlist = random_rqfp(2, rng.randint(1, 4), 2, rng)
+            plan = optimal_levels(netlist)
+            expected = _brute_force_minimum(netlist, plan.depth)
+            assert plan.num_buffers == expected, netlist.describe()
+
+    def test_never_worse_than_heuristic(self, rng):
+        for _ in range(20):
+            netlist = random_rqfp(3, rng.randint(1, 10), 2, rng)
+            exact = optimal_levels(netlist)
+            heuristic = schedule_levels(netlist)
+            assert exact.num_buffers <= heuristic.num_buffers
+            assert exact.depth == heuristic.depth
+
+    def test_respects_topological_order(self, rng):
+        netlist = random_rqfp(3, 8, 2, rng)
+        plan = optimal_levels(netlist)
+        for g, gate in enumerate(netlist.gates):
+            for port in gate.inputs:
+                if netlist.is_gate_port(port):
+                    assert plan.levels[g] > plan.levels[netlist.port_gate(port)]
+
+    def test_deeper_pipeline_rejected_below_critical(self):
+        netlist = RqfpNetlist(1)
+        g0 = netlist.add_gate(1, CONST_PORT, CONST_PORT, NORMAL_CONFIG)
+        g1 = netlist.add_gate(netlist.gate_output_port(g0, 0), CONST_PORT,
+                              CONST_PORT, NORMAL_CONFIG)
+        netlist.add_output(netlist.gate_output_port(g1, 0))
+        with pytest.raises(NetlistError):
+            optimal_levels(netlist, depth=1)
+
+    def test_explicit_deeper_depth_allowed(self):
+        netlist = RqfpNetlist(1)
+        g0 = netlist.add_gate(1, CONST_PORT, CONST_PORT, NORMAL_CONFIG)
+        netlist.add_output(netlist.gate_output_port(g0, 0))
+        plan = optimal_levels(netlist, depth=3)
+        assert plan.depth == 3
+        # The single gate floats to minimize PI cost (level 1) vs PO
+        # cost (level 3); either extreme costs 2 buffers total.
+        assert plan.num_buffers == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 3), st.integers(1, 6), st.integers(1, 2),
+       st.integers(0, 2 ** 31))
+def test_lp_optimum_dominates_all_heuristics(num_inputs, num_gates,
+                                             num_outputs, seed):
+    netlist = random_rqfp(num_inputs, num_gates, num_outputs,
+                          random.Random(seed))
+    exact = optimal_levels(netlist)
+    assert exact.num_buffers <= schedule_levels(netlist).num_buffers
+    assert exact.num_buffers <= greedy_plan(netlist).num_buffers
+    assert exact.num_buffers == sum(exact.edge_buffers.values())

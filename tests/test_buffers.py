@@ -1,0 +1,141 @@
+"""Unit tests for buffer insertion (path balancing)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.random_circuits import random_rqfp
+from repro.rqfp.buffers import (
+    asap_levels,
+    estimate_buffers,
+    greedy_plan,
+    schedule_levels,
+)
+from repro.rqfp.gate import NORMAL_CONFIG
+from repro.rqfp.netlist import CONST_PORT, RqfpNetlist
+
+
+def _chain(length: int) -> RqfpNetlist:
+    netlist = RqfpNetlist(1)
+    src = 1
+    for _ in range(length):
+        gate = netlist.add_gate(src, CONST_PORT, CONST_PORT, NORMAL_CONFIG)
+        src = netlist.gate_output_port(gate, 0)
+    netlist.add_output(src)
+    return netlist
+
+
+def _diamond() -> RqfpNetlist:
+    """PI -> g0; g0 -> g1 (short path) and g0 -> g2 -> g3; g1,g3 -> g4-ish.
+
+    Actually: g1 consumes g0 out0; g2 consumes g0 out1; g3 consumes g2;
+    g4 consumes g1 and g3 — the g1 edge spans 2 levels and needs a buffer.
+    """
+    n = RqfpNetlist(1)
+    g0 = n.add_gate(1, CONST_PORT, CONST_PORT, NORMAL_CONFIG)
+    g1 = n.add_gate(n.gate_output_port(g0, 0), CONST_PORT, CONST_PORT,
+                    NORMAL_CONFIG)
+    g2 = n.add_gate(n.gate_output_port(g0, 1), CONST_PORT, CONST_PORT,
+                    NORMAL_CONFIG)
+    g3 = n.add_gate(n.gate_output_port(g2, 0), CONST_PORT, CONST_PORT,
+                    NORMAL_CONFIG)
+    g4 = n.add_gate(n.gate_output_port(g1, 0), n.gate_output_port(g3, 0),
+                    CONST_PORT, NORMAL_CONFIG)
+    n.add_output(n.gate_output_port(g4, 0))
+    return n
+
+
+class TestChains:
+    def test_pure_chain_needs_no_buffers(self):
+        plan = schedule_levels(_chain(5))
+        assert plan.num_buffers == 0
+        assert plan.depth == 5
+
+    def test_empty_netlist(self):
+        netlist = RqfpNetlist(2)
+        plan = schedule_levels(netlist)
+        assert plan.depth == 0 and plan.num_buffers == 0
+
+    def test_pi_to_po_passthrough(self):
+        netlist = RqfpNetlist(1)
+        netlist.add_output(1)
+        plan = schedule_levels(netlist)
+        # Depth 0: the PI->PO edge spans the whole (empty) pipeline.
+        assert plan.num_buffers == 0
+
+
+class TestDiamond:
+    def test_asap_unbalanced_edge_buffered(self):
+        netlist = _diamond()
+        plan = greedy_plan(netlist)
+        # ASAP: g1 at level 2, g4 at level 4 -> one buffer on g1->g4.
+        assert plan.num_buffers >= 1
+
+    def test_coordinate_descent_not_worse(self):
+        netlist = _diamond()
+        greedy = greedy_plan(netlist)
+        optimized = schedule_levels(netlist)
+        assert optimized.num_buffers <= greedy.num_buffers
+        assert optimized.depth == greedy.depth
+
+    def test_retiming_wins_when_slack_exists(self):
+        """A gate feeding a deep consumer should slide down (ALAP-ward)."""
+        n = RqfpNetlist(2)
+        g0 = n.add_gate(1, CONST_PORT, CONST_PORT, NORMAL_CONFIG)
+        g1 = n.add_gate(n.gate_output_port(g0, 0), CONST_PORT, CONST_PORT,
+                        NORMAL_CONFIG)
+        g2 = n.add_gate(n.gate_output_port(g1, 0), CONST_PORT, CONST_PORT,
+                        NORMAL_CONFIG)
+        # g3 reads PI 2 directly and g2: at ASAP level 1 the PI edge is
+        # free but the g2 edge would be impossible; feasible window puts
+        # g3 at level 4; the PI->g3 edge then costs 3 buffers no matter
+        # what, but a floater gate placed late saves its own input edge.
+        g3 = n.add_gate(2, n.gate_output_port(g2, 0), CONST_PORT,
+                        NORMAL_CONFIG)
+        n.add_output(n.gate_output_port(g3, 0))
+        plan = schedule_levels(n)
+        for (kind, src, dst, slot), count in plan.edge_buffers.items():
+            assert count >= 0
+
+
+class TestPlanConsistency:
+    def test_levels_topological(self, rng):
+        for _ in range(20):
+            netlist = random_rqfp(3, 8, 2, rng)
+            plan = schedule_levels(netlist)
+            for g, gate in enumerate(netlist.gates):
+                for port in gate.inputs:
+                    if netlist.is_gate_port(port):
+                        src = netlist.port_gate(port)
+                        assert plan.levels[g] > plan.levels[src]
+
+    def test_buffer_total_matches_edges(self, rng):
+        for _ in range(20):
+            netlist = random_rqfp(3, 8, 2, rng)
+            plan = schedule_levels(netlist)
+            assert plan.num_buffers == sum(plan.edge_buffers.values())
+
+    def test_estimate_matches_greedy(self, rng):
+        for _ in range(20):
+            netlist = random_rqfp(2, 6, 2, rng)
+            assert estimate_buffers(netlist) == greedy_plan(netlist).num_buffers
+
+    def test_depth_equals_netlist_depth(self, rng):
+        for _ in range(10):
+            netlist = random_rqfp(3, 6, 2, rng)
+            assert schedule_levels(netlist).depth == netlist.depth()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 4), st.integers(0, 8), st.integers(1, 3),
+       st.integers(0, 2 ** 31))
+def test_schedule_never_worse_than_asap(num_inputs, num_gates, num_outputs,
+                                        seed):
+    netlist = random_rqfp(num_inputs, num_gates, num_outputs,
+                          random.Random(seed))
+    optimized = schedule_levels(netlist)
+    greedy = greedy_plan(netlist)
+    assert optimized.num_buffers <= greedy.num_buffers
+    assert optimized.depth == greedy.depth

@@ -1,0 +1,98 @@
+"""Unit tests for cardinality-constraint encodings."""
+
+import itertools
+
+import pytest
+
+from repro.sat.cardinality import (
+    at_least_one,
+    at_most_k_sequential,
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    exactly_one,
+)
+from repro.sat.cnf import CNF
+from repro.sat.solver import SAT, UNSAT, Solver
+
+
+def _count_models(cnf: CNF, vars_of_interest):
+    """Brute-force model count projected onto the given variables."""
+    count = 0
+    n = len(vars_of_interest)
+    for pattern in range(1 << n):
+        assignment = {v: bool((pattern >> i) & 1)
+                      for i, v in enumerate(vars_of_interest)}
+        # Extend with all assignments of auxiliaries.
+        aux = [v for v in range(1, cnf.num_vars + 1)
+               if v not in assignment]
+        found = False
+        for aux_pattern in range(1 << len(aux)):
+            full = dict(assignment)
+            for i, v in enumerate(aux):
+                full[v] = bool((aux_pattern >> i) & 1)
+            if cnf.evaluate(full):
+                found = True
+                break
+        if found:
+            count += 1
+    return count
+
+
+class TestAmoEncodings:
+    @pytest.mark.parametrize("encoder", [at_most_one_pairwise,
+                                         at_most_one_sequential])
+    def test_allows_at_most_one(self, encoder):
+        for n in range(1, 5):
+            cnf = CNF()
+            lits = cnf.new_vars(n)
+            encoder(cnf, lits)
+            # exactly n "one-hot or empty" assignments projected on lits
+            assert _count_models(cnf, lits) == n + 1
+
+    @pytest.mark.parametrize("encoder", [at_most_one_pairwise,
+                                         at_most_one_sequential])
+    def test_two_true_unsat(self, encoder):
+        cnf = CNF()
+        lits = cnf.new_vars(3)
+        encoder(cnf, lits)
+        cnf.add_clauses([[lits[0]], [lits[2]]])
+        assert Solver(cnf).solve() == UNSAT
+
+
+class TestExactlyOne:
+    def test_model_count(self):
+        cnf = CNF()
+        lits = cnf.new_vars(4)
+        exactly_one(cnf, lits)
+        assert _count_models(cnf, lits) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            at_least_one(CNF(), [])
+
+
+class TestAtMostK:
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 3), (5, 1), (3, 0), (4, 4)])
+    def test_model_counts(self, n, k):
+        cnf = CNF()
+        lits = cnf.new_vars(n)
+        at_most_k_sequential(cnf, lits, k)
+        expected = sum(
+            1 for pattern in range(1 << n)
+            if bin(pattern).count("1") <= k
+        )
+        assert _count_models(cnf, lits) == expected
+
+    def test_k_boundary_sat_and_unsat(self):
+        cnf = CNF()
+        lits = cnf.new_vars(5)
+        at_most_k_sequential(cnf, lits, 2)
+        for lit in lits[:2]:
+            cnf.add_clause([lit])
+        assert Solver(cnf).solve() == SAT
+        cnf.add_clause([lits[2]])
+        assert Solver(cnf).solve() == UNSAT
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            at_most_k_sequential(CNF(), [], -1)

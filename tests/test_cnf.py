@@ -1,0 +1,90 @@
+"""Unit tests for repro.sat.cnf."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sat.cnf import CNF, negate
+
+
+class TestCnfBuilding:
+    def test_new_vars(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_vars(3) == [2, 3, 4]
+        assert cnf.num_vars == 4
+
+    def test_add_clause_dedup(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 1, 2])
+        assert cnf.clauses == [[1, 2]]
+
+    def test_tautology_dropped(self):
+        cnf = CNF(1)
+        cnf.add_clause([1, -1])
+        assert len(cnf) == 0
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF(1)
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+    def test_out_of_range_literal_rejected(self):
+        cnf = CNF(1)
+        with pytest.raises(ValueError):
+            cnf.add_clause([2])
+
+    def test_assume_true(self):
+        cnf = CNF(1)
+        cnf.assume_true(-1)
+        assert cnf.clauses == [[-1]]
+
+
+class TestEvaluate:
+    def test_satisfied(self):
+        cnf = CNF(2)
+        cnf.add_clauses([[1, 2], [-1, 2]])
+        assert cnf.evaluate({1: False, 2: True})
+
+    def test_unsatisfied(self):
+        cnf = CNF(2)
+        cnf.add_clauses([[1], [-1]])
+        assert not cnf.evaluate({1: True, 2: False})
+
+    def test_missing_vars_default_false(self):
+        cnf = CNF(2)
+        cnf.add_clause([-1])
+        assert cnf.evaluate({})
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        cnf = CNF(3)
+        cnf.add_clauses([[1, -2], [3], [-1, 2, -3]])
+        again = CNF.from_dimacs(cnf.to_dimacs())
+        assert again.num_vars == 3
+        assert again.clauses == cnf.clauses
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 2 1\n1 -2 0\n"
+        cnf = CNF.from_dimacs(text)
+        assert cnf.clauses == [[1, -2]]
+
+    def test_parse_missing_header(self):
+        with pytest.raises(ParseError):
+            CNF.from_dimacs("1 2 0\n")
+
+    def test_parse_bad_problem_line(self):
+        with pytest.raises(ParseError):
+            CNF.from_dimacs("p sat 2 1\n")
+
+    def test_parse_bad_literal(self):
+        with pytest.raises(ParseError):
+            CNF.from_dimacs("p cnf 1 1\nx 0\n")
+
+    def test_clause_spanning_lines(self):
+        cnf = CNF.from_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert cnf.clauses == [[1, 2, 3]]
+
+
+def test_negate():
+    assert negate([1, -2, 3]) == [-1, 2, -3]

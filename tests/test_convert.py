@@ -1,0 +1,73 @@
+"""Unit + property tests for representation conversions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.truth_table import TruthTable
+from repro.networks.convert import (
+    aig_to_mig,
+    mig_to_aig,
+    tables_to_aig,
+    tables_to_mig,
+)
+
+
+class TestTablesToAig:
+    def test_identity_and_names(self):
+        tables = [TruthTable.variable(0, 2)]
+        aig = tables_to_aig(tables, name="id", input_names=["a", "b"],
+                            output_names=["out"])
+        assert aig.name == "id"
+        assert aig.input_names == ["a", "b"]
+        assert aig.output_names == ["out"]
+        assert aig.to_truth_tables() == tables
+        assert aig.size() == 0  # pure wire
+
+    def test_constants(self):
+        tables = [TruthTable.constant(True, 2), TruthTable.constant(False, 2)]
+        aig = tables_to_aig(tables)
+        assert aig.to_truth_tables() == tables
+        assert aig.size() == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tables_to_aig([])
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            tables_to_aig([TruthTable.variable(0, 2),
+                           TruthTable.variable(0, 3)])
+
+    def test_shared_cubes_are_hashed(self):
+        """Two outputs with a common product share AND nodes."""
+        f = TruthTable.from_function(lambda a, b, c: a & b, 3)
+        g = TruthTable.from_function(lambda a, b, c: (a & b) | c, 3)
+        aig = tables_to_aig([f, g])
+        # a&b must exist once: total ANDs is 1 (f) + 1 (the OR) = 2.
+        assert aig.size() == 2
+
+
+class TestRoundTrips:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 5), st.data())
+    def test_aig_mig_aig(self, n, data):
+        bits = data.draw(st.integers(0, (1 << (1 << n)) - 1))
+        tables = [TruthTable(n, bits)]
+        aig = tables_to_aig(tables)
+        mig = aig_to_mig(aig)
+        back = mig_to_aig(mig)
+        assert mig.to_truth_tables() == tables
+        assert back.to_truth_tables() == tables
+
+    def test_mig_not_larger_than_aig(self, random_tables):
+        """AND→MAJ conversion is one-to-one, so sizes match or shrink."""
+        tables = random_tables(4, 2)
+        aig = tables_to_aig(tables)
+        mig = aig_to_mig(aig)
+        assert mig.size() <= aig.size()
+
+    def test_tables_to_mig(self, random_tables):
+        tables = random_tables(3, 3)
+        mig = tables_to_mig(tables)
+        assert mig.to_truth_tables() == tables

@@ -1,0 +1,46 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    EncodingError,
+    ExactSynthesisTimeout,
+    FanoutViolation,
+    NetlistError,
+    ParseError,
+    PathBalanceViolation,
+    ReproError,
+    SynthesisError,
+    VerificationError,
+)
+
+
+def test_hierarchy():
+    for exc in (ParseError, NetlistError, EncodingError, SynthesisError,
+                VerificationError):
+        assert issubclass(exc, ReproError)
+    assert issubclass(FanoutViolation, NetlistError)
+    assert issubclass(PathBalanceViolation, NetlistError)
+    assert issubclass(ExactSynthesisTimeout, SynthesisError)
+
+
+def test_parse_error_location_formatting():
+    error = ParseError("bad token", filename="x.blif", line=12)
+    assert "x.blif:12" in str(error)
+    assert error.line == 12
+    no_line = ParseError("oops", filename="y.v")
+    assert str(no_line).startswith("y.v:")
+    bare = ParseError("plain")
+    assert str(bare) == "plain"
+
+
+def test_exact_timeout_payload():
+    error = ExactSynthesisTimeout("over budget", conflicts=42, elapsed=1.5)
+    assert error.conflicts == 42
+    assert error.elapsed == 1.5
+    assert "over budget" in str(error)
+
+
+def test_catch_all_library_errors():
+    with pytest.raises(ReproError):
+        raise FanoutViolation("port 3 drives two consumers")

@@ -1,0 +1,64 @@
+"""Unit tests for experiment export (JSON / Markdown)."""
+
+import json
+
+import pytest
+
+from repro.harness.export import load_rows_json, rows_to_json, rows_to_markdown
+from repro.harness.runner import ExperimentRow, HarnessConfig
+from repro.rqfp.metrics import CircuitCost
+
+
+def _row(name="demo", exact=None):
+    return ExperimentRow(
+        name=name, n_pi=2, n_po=4, g_lb=0,
+        init=CircuitCost(5, 3, 3, 6, 0.1),
+        rcgp=CircuitCost(4, 2, 3, 2, 1.5),
+        exact=exact, exact_timeout=exact is None,
+        paper={"init": {"n_r": 8, "n_g": 10, "JJs": 204},
+               "rcgp": {"n_r": 3, "n_g": 1, "JJs": 84}},
+    )
+
+
+class TestJson:
+    def test_round_trip(self):
+        config = HarnessConfig(generations=100, seed=7)
+        text = rows_to_json([_row()], config, label="unit")
+        document = load_rows_json(text)
+        assert document["label"] == "unit"
+        assert document["budgets"]["generations"] == 100
+        assert document["rows"][0]["name"] == "demo"
+        assert document["rows"][0]["exact"] is None
+        assert document["aggregates"]["gate_reduction"] == pytest.approx(0.2)
+
+    def test_exact_row_serialized(self):
+        text = rows_to_json([_row(exact=CircuitCost(3, 3, 3, 1, 40.0))])
+        document = load_rows_json(text)
+        assert document["rows"][0]["exact"]["n_r"] == 3
+        assert document["budgets"] is None
+
+    def test_bad_document_rejected(self):
+        with pytest.raises(ValueError):
+            load_rows_json(json.dumps({"format": "other"}))
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = rows_to_markdown([_row()], title="Demo Table")
+        lines = text.splitlines()
+        assert lines[0] == "### Demo Table"
+        assert lines[2].startswith("| Testcase |")
+        assert any("demo" in line for line in lines)
+        assert any("\\" in line for line in lines)  # exact timeout cell
+        assert "Measured:" in text and "Paper:" in text
+
+    def test_without_exact_columns(self):
+        text = rows_to_markdown([_row()], include_exact=False)
+        assert "exact n_r" not in text
+
+    def test_cell_counts_consistent(self):
+        text = rows_to_markdown([_row(exact=CircuitCost(3, 3, 3, 1))])
+        table_lines = [l for l in text.splitlines() if l.startswith("|")]
+        header_cells = table_lines[0].count("|")
+        for line in table_lines[1:]:
+            assert line.count("|") == header_cells

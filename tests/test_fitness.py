@@ -1,0 +1,190 @@
+"""Unit tests for the two-phase fitness evaluation (§3.2.1)."""
+
+import random
+
+import pytest
+
+from repro.core.config import RcgpConfig
+from repro.core.fitness import Evaluator, Fitness
+from repro.core.synthesis import initialize_netlist
+from repro.logic.truth_table import TruthTable, tabulate_word
+from repro.rqfp.gate import NORMAL_CONFIG
+from repro.rqfp.netlist import CONST_PORT, RqfpNetlist
+
+
+def _and_spec():
+    return [TruthTable.from_function(lambda a, b: a & b, 2)]
+
+
+def _and_netlist():
+    netlist = RqfpNetlist(2)
+    gate = netlist.add_gate(1, 2, CONST_PORT, NORMAL_CONFIG)
+    netlist.add_output(netlist.gate_output_port(gate, 2))
+    return netlist
+
+
+class TestFitnessOrdering:
+    def test_success_dominates(self):
+        good = Fitness(1.0, n_r=100, n_g=100, n_b=100)
+        almost = Fitness(0.999, n_r=1, n_g=0, n_b=0)
+        assert good > almost
+
+    def test_lexicographic_priorities(self):
+        """Gates first, then garbage, then buffers (paper's order)."""
+        base = Fitness(1.0, n_r=5, n_g=5, n_b=5)
+        assert Fitness(1.0, 4, 9, 9) > base
+        assert Fitness(1.0, 5, 4, 9) > base
+        assert Fitness(1.0, 5, 5, 4) > base
+        assert not (Fitness(1.0, 6, 0, 0) > base)
+
+    def test_equal_is_ge(self):
+        a = Fitness(1.0, 3, 2, 1)
+        b = Fitness(1.0, 3, 2, 1)
+        assert a >= b and b >= a and not a > b
+
+    def test_partial_success_compares_on_rate(self):
+        assert Fitness(0.75) > Fitness(0.5)
+        assert Fitness(0.5) >= Fitness(0.5)
+
+
+class TestEvaluator:
+    def test_correct_netlist_scores_functional(self):
+        evaluator = Evaluator(_and_spec(), RcgpConfig())
+        fitness = evaluator.evaluate(_and_netlist())
+        assert fitness.functional
+        assert fitness.n_r == 1
+        assert fitness.n_g == 2
+
+    def test_wrong_netlist_scores_below_one(self):
+        netlist = RqfpNetlist(2)
+        gate = netlist.add_gate(1, 2, CONST_PORT, NORMAL_CONFIG)
+        netlist.add_output(netlist.gate_output_port(gate, 0))  # wrong port
+        evaluator = Evaluator(_and_spec(), RcgpConfig())
+        fitness = evaluator.evaluate(netlist)
+        assert not fitness.functional
+        assert 0.0 < fitness.success < 1.0
+
+    def test_success_rate_counts_bits(self):
+        """One wrong pattern out of four -> 75 % bit success."""
+        netlist = RqfpNetlist(2)
+        netlist.add_output(1)  # y = a instead of a AND b
+        evaluator = Evaluator(_and_spec(), RcgpConfig())
+        assert evaluator.success_rate(netlist) == 0.75
+
+    def test_inactive_gates_not_counted(self):
+        netlist = _and_netlist()
+        netlist.add_gate(CONST_PORT, CONST_PORT, CONST_PORT, NORMAL_CONFIG)
+        evaluator = Evaluator(_and_spec(), RcgpConfig())
+        fitness = evaluator.evaluate(netlist)
+        assert fitness.n_r == 1  # dead gate ignored via shrink
+
+    def test_po_fanout_violation_costed_as_splitters(self):
+        """Two POs on one port must pay a splitter in n_r."""
+        netlist = RqfpNetlist(2)
+        gate = netlist.add_gate(1, 2, CONST_PORT, NORMAL_CONFIG)
+        port = netlist.gate_output_port(gate, 2)
+        netlist.add_output(port)
+        netlist.add_output(port)
+        spec = [_and_spec()[0], _and_spec()[0]]
+        evaluator = Evaluator(spec, RcgpConfig())
+        fitness = evaluator.evaluate(netlist)
+        assert fitness.functional
+        assert fitness.n_r == 2  # gate + legalization splitter
+
+    def test_garbage_counted_on_active_netlist(self):
+        evaluator = Evaluator(_and_spec(), RcgpConfig())
+        fitness = evaluator.evaluate(_and_netlist())
+        assert fitness.n_g == 2
+
+    def test_buffers_disabled(self):
+        config = RcgpConfig(count_buffers_in_fitness=False)
+        evaluator = Evaluator(_and_spec(), config)
+        assert evaluator.evaluate(_and_netlist()).n_b == 0
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            Evaluator([], RcgpConfig())
+
+    def test_mismatched_spec_rejected(self):
+        with pytest.raises(ValueError):
+            Evaluator([TruthTable.variable(0, 2),
+                       TruthTable.variable(0, 3)], RcgpConfig())
+
+    def test_finalize_produces_legal_equivalent(self):
+        netlist = _and_netlist()
+        netlist.add_gate(CONST_PORT, CONST_PORT, CONST_PORT, NORMAL_CONFIG)
+        evaluator = Evaluator(_and_spec(), RcgpConfig())
+        final = evaluator.finalize(netlist)
+        final.validate(require_single_fanout=True)
+        assert final.to_truth_tables() == _and_spec()
+
+
+class TestSampledSimulationPath:
+    """Force the non-exhaustive path with a tiny exhaustive limit."""
+
+    def _config(self, **kw):
+        return RcgpConfig(exhaustive_input_limit=1,
+                          simulation_patterns=32, seed=3, **kw)
+
+    def test_correct_netlist_verified_by_sat(self):
+        evaluator = Evaluator(_and_spec(), self._config())
+        assert not evaluator.exhaustive
+        fitness = evaluator.evaluate(_and_netlist())
+        assert fitness.functional
+        assert evaluator.sat_calls >= 1
+
+    def test_wrong_netlist_rejected(self):
+        netlist = RqfpNetlist(2)
+        netlist.add_output(1)
+        evaluator = Evaluator(_and_spec(), self._config())
+        fitness = evaluator.evaluate(netlist)
+        assert not fitness.functional
+
+    def test_counterexample_strengthens_patterns(self):
+        """A sim-clean but wrong candidate adds its counterexample."""
+        spec = tabulate_word(lambda x: int(x == 7), 3, 1)
+        config = RcgpConfig(exhaustive_input_limit=1,
+                            simulation_patterns=4, seed=5)
+        evaluator = Evaluator(spec, config)
+        # Candidate constant-0 differs only at pattern 7.
+        netlist = RqfpNetlist(3)
+        gate = netlist.add_gate(CONST_PORT, CONST_PORT, CONST_PORT,
+                                0b111_111_111)  # M(!1,!1,!1) = 0
+        netlist.add_output(netlist.gate_output_port(gate, 0))
+        before = len(evaluator._patterns)
+        fitness = evaluator.evaluate(netlist)
+        if not fitness.functional and evaluator.sat_calls:
+            assert len(evaluator._patterns) >= before
+
+    def test_sat_disabled_trusts_simulation(self):
+        evaluator = Evaluator(_and_spec(), self._config(verify_with_sat=False))
+        fitness = evaluator.evaluate(_and_netlist())
+        assert fitness.functional
+        assert evaluator.sat_calls == 0
+
+
+class TestBddVerificationPath:
+    def test_bdd_backend_verifies_correct_candidate(self):
+        config = RcgpConfig(exhaustive_input_limit=1, simulation_patterns=16,
+                            seed=3, verify_method="bdd")
+        evaluator = Evaluator(_and_spec(), config)
+        fitness = evaluator.evaluate(_and_netlist())
+        assert fitness.functional
+        assert evaluator.sat_calls >= 1
+
+    def test_bdd_backend_rejects_wrong_candidate(self):
+        spec = tabulate_word(lambda x: int(x == 7), 3, 1)
+        config = RcgpConfig(exhaustive_input_limit=1, simulation_patterns=3,
+                            seed=11, verify_method="bdd")
+        evaluator = Evaluator(spec, config)
+        netlist = RqfpNetlist(3)
+        gate = netlist.add_gate(CONST_PORT, CONST_PORT, CONST_PORT,
+                                0b111_111_111)  # constant 0
+        netlist.add_output(netlist.gate_output_port(gate, 0))
+        fitness = evaluator.evaluate(netlist)
+        # Either simulation caught it (some pattern = 7) or BDD did.
+        assert not fitness.functional or evaluator.sat_calls > 0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            RcgpConfig(verify_method="magic")

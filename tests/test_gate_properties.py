@@ -1,0 +1,87 @@
+"""Property tests over the full 512-configuration RQFP gate space."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rqfp.gate import (
+    NORMAL_CONFIG,
+    NUM_CONFIGS,
+    gate_output_tables,
+    gate_outputs,
+    is_reversible_config,
+)
+
+
+class TestSelfDuality:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, NUM_CONFIGS - 1), st.integers(0, 2))
+    def test_flipping_one_majoritys_inverters_complements_it(self, config,
+                                                             majority):
+        """M(!a,!b,!c) = !M(a,b,c): XORing a majority's three inverter
+        bits complements exactly that output."""
+        flipped = config ^ (0b111 << (6 - 3 * majority))
+        for t in range(8):
+            a, b, c = t & 1, (t >> 1) & 1, (t >> 2) & 1
+            base = gate_outputs(a, b, c, config)
+            dual = gate_outputs(a, b, c, flipped)
+            for m in range(3):
+                if m == majority:
+                    assert dual[m] == 1 - base[m]
+                else:
+                    assert dual[m] == base[m]
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, NUM_CONFIGS - 1))
+    def test_full_flip_complements_all_outputs(self, config):
+        flipped = config ^ 0b111_111_111
+        for t in range(8):
+            a, b, c = t & 1, (t >> 1) & 1, (t >> 2) & 1
+            base = gate_outputs(a, b, c, config)
+            dual = gate_outputs(a, b, c, flipped)
+            assert dual == tuple(1 - v for v in base)
+
+
+class TestInputComplementCovariance:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, NUM_CONFIGS - 1), st.integers(0, 2))
+    def test_complementing_an_input_equals_flipping_its_bits(self, config,
+                                                             port):
+        """Feeding !x into port p equals the config with port-p inverter
+        bits flipped in all three majorities — the identity the wire
+        bypass and PO-polarity machinery rely on."""
+        flip = sum(1 << (8 - (3 * m + port)) for m in range(3))
+        flipped = config ^ flip
+        for t in range(8):
+            bits = [t & 1, (t >> 1) & 1, (t >> 2) & 1]
+            complemented = list(bits)
+            complemented[port] ^= 1
+            assert gate_outputs(*complemented, config) == \
+                gate_outputs(*bits, flipped)
+
+
+class TestReversibleCensus:
+    def test_reversible_config_count_is_fixed(self):
+        """The number of logically reversible configurations is an
+        invariant of the gate definition; pin it so semantic changes
+        cannot slip through unnoticed."""
+        count = sum(1 for c in range(NUM_CONFIGS) if is_reversible_config(c))
+        assert count == 192  # 3/8 of the 512 configurations
+        assert is_reversible_config(NORMAL_CONFIG)
+
+    def test_reversible_closed_under_full_port_flips(self):
+        """Complementing an input wire preserves reversibility."""
+        for config in range(NUM_CONFIGS):
+            if not is_reversible_config(config):
+                continue
+            for port in range(3):
+                flip = sum(1 << (8 - (3 * m + port)) for m in range(3))
+                assert is_reversible_config(config ^ flip)
+
+    def test_output_table_multiset_partition(self):
+        """Every configuration's three output tables are 3-input
+        majorities of (possibly complemented) inputs — i.e. each has
+        exactly four minterms."""
+        for config in range(0, NUM_CONFIGS, 7):  # sampled stride
+            for table in gate_output_tables(config):
+                assert bin(table).count("1") == 4

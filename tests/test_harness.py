@@ -1,0 +1,161 @@
+"""Unit tests for the experiment harness (table runners + reporting)."""
+
+import pytest
+
+from repro.bench.registry import get_benchmark
+from repro.harness.report import (
+    aggregates,
+    compare_with_paper,
+    format_rows,
+    paper_aggregates,
+)
+from repro.harness.runner import ExperimentRow, HarnessConfig, run_benchmark
+from repro.rqfp.metrics import CircuitCost
+
+
+def _tiny_config(**kw):
+    defaults = dict(generations=150, mutation_rate=0.1, seed=1,
+                    exact_conflict_budget=3000, exact_time_budget=5.0,
+                    exact_max_gates=3, run_exact=False)
+    defaults.update(kw)
+    return HarnessConfig(**defaults)
+
+
+class TestRunBenchmark:
+    def test_decoder_row(self):
+        row = run_benchmark(get_benchmark("decoder_2_4"), _tiny_config())
+        assert row.name == "decoder_2_4"
+        assert row.n_pi == 2 and row.n_po == 4 and row.g_lb == 0
+        assert row.rcgp.n_r <= row.init.n_r
+        assert row.exact is None and not row.exact_timeout
+
+    def test_exact_timeout_recorded(self):
+        config = _tiny_config(run_exact=True, exact_conflict_budget=20,
+                              exact_max_gates=2)
+        row = run_benchmark(get_benchmark("decoder_2_4"), config)
+        assert row.exact is None
+        assert row.exact_timeout
+
+    def test_exact_success_recorded(self):
+        config = _tiny_config(run_exact=True, exact_conflict_budget=100_000,
+                              exact_max_gates=2, exact_time_budget=60.0)
+        row = run_benchmark(get_benchmark("full_adder"), config)
+        # Full adder may or may not complete in budget; both paths valid.
+        assert row.exact_timeout == (row.exact is None)
+
+    def test_as_dict(self):
+        row = run_benchmark(get_benchmark("graycode4"), _tiny_config())
+        data = row.as_dict()
+        assert data["name"] == "graycode4"
+        assert data["init"]["JJs"] == row.init.jjs
+
+
+def _fake_row(name, init, rcgp, paper=None):
+    return ExperimentRow(
+        name=name, n_pi=2, n_po=2, g_lb=0,
+        init=CircuitCost(*init),
+        rcgp=CircuitCost(*rcgp),
+        exact=None, exact_timeout=True,
+        paper=paper or {},
+    )
+
+
+class TestAggregates:
+    def test_reductions(self):
+        rows = [
+            _fake_row("a", (10, 4, 3, 8), (5, 2, 3, 2)),
+            _fake_row("b", (20, 10, 4, 10), (10, 4, 4, 5)),
+        ]
+        agg = aggregates(rows)
+        assert agg.gate_reduction == pytest.approx(0.5)
+        assert agg.garbage_reduction == pytest.approx((0.75 + 0.5) / 2)
+        assert agg.rows == 2
+
+    def test_zero_baseline_skipped(self):
+        rows = [_fake_row("a", (0, 0, 0, 0), (0, 0, 0, 0))]
+        agg = aggregates(rows)
+        assert agg.gate_reduction == 0.0
+
+    def test_paper_aggregates_table1_headline(self):
+        """Published Table 1 rows reduce gates ~50.8% / garbage ~71.6%."""
+        from repro.bench.registry import table_benchmarks
+        rows = []
+        for benchmark in table_benchmarks(1):
+            paper = benchmark.paper_row
+            rows.append(ExperimentRow(
+                name=benchmark.name, n_pi=0, n_po=0, g_lb=0,
+                init=CircuitCost(0, 0, 0, 0), rcgp=CircuitCost(0, 0, 0, 0),
+                exact=None, exact_timeout=False, paper=paper,
+            ))
+        # The paper states 50.80 % / 71.55 %; the scanned table rows give
+        # 45.8 % / 68.7 % as a per-row mean and 50.0 % / 72.4 % as a
+        # totals ratio, so the published aggregate sits between the two
+        # conventions (plus scan noise).  Assert the right neighbourhood.
+        agg = paper_aggregates(rows)
+        assert agg.gate_reduction == pytest.approx(0.508, abs=0.06)
+        assert agg.garbage_reduction == pytest.approx(0.7155, abs=0.06)
+
+    def test_paper_aggregates_table2_headline(self):
+        """Published Table 2 rows reduce gates ~32.4% / garbage ~59.1%."""
+        from repro.bench.registry import table_benchmarks
+        rows = []
+        for benchmark in table_benchmarks(2):
+            rows.append(ExperimentRow(
+                name=benchmark.name, n_pi=0, n_po=0, g_lb=0,
+                init=CircuitCost(0, 0, 0, 0), rcgp=CircuitCost(0, 0, 0, 0),
+                exact=None, exact_timeout=True, paper=benchmark.paper_row,
+            ))
+        # Mean-of-per-row-ratios reproduces the published aggregate to
+        # four digits — confirming both the aggregation convention and
+        # our transcription of Table 2.
+        agg = paper_aggregates(rows)
+        assert agg.gate_reduction == pytest.approx(0.3238, abs=0.0001)
+        assert agg.garbage_reduction == pytest.approx(0.5913, abs=0.0001)
+
+
+class TestFormatting:
+    def test_format_rows_renders_timeout_as_backslash(self):
+        rows = [_fake_row("t", (3, 1, 2, 2), (2, 1, 2, 1))]
+        text = format_rows(rows, title="demo")
+        assert "demo" in text
+        assert "\\" in text
+        assert text.splitlines()[3].startswith("t")
+
+    def test_compare_with_paper_contains_both(self):
+        rows = [_fake_row("x", (4, 0, 1, 2), (2, 0, 1, 1),
+                          paper={"init": {"n_r": 4, "n_g": 2, "JJs": 96},
+                                 "rcgp": {"n_r": 2, "n_g": 1, "JJs": 48}})]
+        text = compare_with_paper(rows)
+        assert "measured" in text and "paper" in text
+
+
+class TestHarnessConfig:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("RCGP_BENCH_GENERATIONS", "123")
+        monkeypatch.setenv("RCGP_BENCH_RUN_EXACT", "0")
+        config = HarnessConfig.from_env()
+        assert config.generations == 123
+        assert config.run_exact is False
+
+    def test_rcgp_config_scaling(self):
+        config = HarnessConfig(generations=1000)
+        assert config.rcgp_config(0.5).generations == 500
+        assert config.rcgp_config(0.0001).generations == 1
+
+
+class TestTableMains:
+    def test_table1_main_subset(self, capsys, monkeypatch):
+        monkeypatch.setenv("RCGP_BENCH_GENERATIONS", "60")
+        monkeypatch.setenv("RCGP_BENCH_RUN_EXACT", "0")
+        from repro.harness.table1 import main
+        assert main(["decoder_2_4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "decoder_2_4" in out
+
+    def test_table2_main_subset(self, capsys, monkeypatch):
+        monkeypatch.setenv("RCGP_BENCH_GENERATIONS", "60")
+        monkeypatch.setenv("RCGP_BENCH_RUN_EXACT", "0")
+        from repro.harness.table2 import main
+        assert main(["graycode6"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "graycode6" in out

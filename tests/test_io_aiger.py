@@ -1,0 +1,138 @@
+"""Unit tests for the ASCII AIGER reader / writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io.aiger import parse_aiger, write_aiger
+from repro.logic.truth_table import TruthTable
+from repro.networks.convert import tables_to_aig
+
+AND_AAG = """aag 3 2 0 1 1
+2
+4
+6
+6 2 4
+i0 a
+i1 b
+o0 y
+"""
+
+
+class TestParse:
+    def test_simple_and(self):
+        aig = parse_aiger(AND_AAG)
+        assert aig.num_inputs == 2
+        assert aig.input_names == ["a", "b"]
+        assert aig.output_names == ["y"]
+        assert aig.to_truth_tables()[0] == TruthTable.from_function(
+            lambda a, b: a & b, 2)
+
+    def test_complemented_edges(self):
+        text = "aag 3 2 0 1 1\n2\n4\n7\n6 3 5\n"  # y = !(!a & !b) = a|b
+        aig = parse_aiger(text)
+        assert aig.to_truth_tables()[0] == TruthTable.from_function(
+            lambda a, b: a | b, 2)
+
+    def test_constant_output(self):
+        text = "aag 1 1 0 1 0\n2\n1\n"
+        aig = parse_aiger(text)
+        assert aig.to_truth_tables()[0] == TruthTable.constant(True, 1)
+
+    def test_latches_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aiger("aag 2 1 1 0 0\n2\n4 2\n")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aiger("aig 1 1 0 0 0\n")
+        with pytest.raises(ParseError):
+            parse_aiger("")
+
+    def test_non_canonical_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aiger("aag 2 1 0 0 0\n4\n")
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ParseError):
+            parse_aiger("aag 3 1 0 1 1\n2\n6\n6 8 2\n")
+
+
+class TestWrite:
+    def test_round_trip_random(self, random_tables):
+        for _ in range(5):
+            tables = random_tables(4, 2)
+            aig = tables_to_aig(tables, name="rt")
+            again = parse_aiger(write_aiger(aig))
+            assert again.to_truth_tables() == tables
+
+    def test_round_trip_preserves_names(self):
+        tables = [TruthTable.variable(0, 2)]
+        aig = tables_to_aig(tables, input_names=["p", "q"],
+                            output_names=["r"])
+        again = parse_aiger(write_aiger(aig))
+        assert again.input_names == ["p", "q"]
+        assert again.output_names == ["r"]
+
+    def test_header_counts(self):
+        tables = [TruthTable.from_function(lambda a, b: a & b, 2)]
+        text = write_aiger(tables_to_aig(tables))
+        header = text.splitlines()[0].split()
+        assert header[0] == "aag"
+        m, i, l, o, a = map(int, header[1:])
+        assert (i, l, o, a) == (2, 0, 1, 1)
+        assert m == i + a
+
+
+class TestBinaryAiger:
+    def test_round_trip_random(self, random_tables):
+        from repro.io.aiger import parse_aiger_binary, write_aiger_binary
+        from repro.networks.convert import tables_to_aig
+        for _ in range(5):
+            tables = random_tables(4, 2)
+            aig = tables_to_aig(tables, name="bin")
+            again = parse_aiger_binary(write_aiger_binary(aig))
+            assert again.to_truth_tables() == tables
+
+    def test_ascii_binary_agree(self, random_tables):
+        from repro.io.aiger import (parse_aiger, parse_aiger_binary,
+                                    write_aiger, write_aiger_binary)
+        from repro.networks.convert import tables_to_aig
+        tables = random_tables(3, 3)
+        aig = tables_to_aig(tables)
+        a = parse_aiger(write_aiger(aig)).to_truth_tables()
+        b = parse_aiger_binary(write_aiger_binary(aig)).to_truth_tables()
+        assert a == b == tables
+
+    def test_read_aiger_dispatches_on_magic(self, tmp_path, random_tables):
+        from repro.io.aiger import read_aiger, write_aiger, write_aiger_binary
+        from repro.networks.convert import tables_to_aig
+        tables = random_tables(3, 1)
+        aig = tables_to_aig(tables)
+        ascii_path = tmp_path / "x.aag"
+        ascii_path.write_text(write_aiger(aig))
+        bin_path = tmp_path / "x.aig"
+        bin_path.write_bytes(write_aiger_binary(aig))
+        assert read_aiger(str(ascii_path)).to_truth_tables() == tables
+        assert read_aiger(str(bin_path)).to_truth_tables() == tables
+
+    def test_latches_rejected(self):
+        from repro.errors import ParseError
+        from repro.io.aiger import parse_aiger_binary
+        with pytest.raises(ParseError):
+            parse_aiger_binary(b"aig 2 1 1 0 0\n")
+
+    def test_truncated_rejected(self):
+        from repro.errors import ParseError
+        from repro.io.aiger import parse_aiger_binary
+        with pytest.raises(ParseError):
+            parse_aiger_binary(b"aig 3 1 0 1 1\n2\n\x80")
+
+    def test_names_preserved(self):
+        from repro.io.aiger import parse_aiger_binary, write_aiger_binary
+        from repro.logic.truth_table import TruthTable
+        from repro.networks.convert import tables_to_aig
+        aig = tables_to_aig([TruthTable.variable(0, 2)],
+                            input_names=["p", "q"], output_names=["r"])
+        again = parse_aiger_binary(write_aiger_binary(aig))
+        assert again.input_names == ["p", "q"]
+        assert again.output_names == ["r"]

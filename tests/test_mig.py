@@ -1,0 +1,120 @@
+"""Unit tests for the MIG network."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.logic.truth_table import TruthTable
+from repro.networks.aig import CONST0, CONST1, lit, lit_not
+from repro.networks.mig import Mig
+
+
+class TestMajAxioms:
+    def test_duplicate_children_collapse(self):
+        mig = Mig(2)
+        a, b = (lit(n) for n in mig.inputs)
+        assert mig.add_maj(a, a, b) == a
+        assert mig.add_maj(b, a, b) == b
+        assert mig.size() == 0
+
+    def test_complement_pair_collapses(self):
+        mig = Mig(2)
+        a, b = (lit(n) for n in mig.inputs)
+        assert mig.add_maj(a, lit_not(a), b) == b
+
+    def test_and_or_via_constants(self):
+        mig = Mig(2)
+        a, b = (lit(n) for n in mig.inputs)
+        mig.add_output(mig.add_and(a, b))
+        mig.add_output(mig.add_or(a, b))
+        tts = mig.to_truth_tables()
+        assert tts[0] == TruthTable.from_function(lambda x, y: x & y, 2)
+        assert tts[1] == TruthTable.from_function(lambda x, y: x | y, 2)
+
+    def test_self_duality_canonicalization(self):
+        """M(!a,!b,!c) must hash to the same node as !M(a,b,c)."""
+        mig = Mig(3)
+        a, b, c = (lit(n) for n in mig.inputs)
+        plain = mig.add_maj(a, b, c)
+        dual = mig.add_maj(lit_not(a), lit_not(b), lit_not(c))
+        assert dual == lit_not(plain)
+        assert mig.size() == 0  # no outputs yet -> reachable count is 0
+        assert mig.num_nodes == 5  # const + 3 PIs + 1 majority
+
+    def test_structural_hashing_commutative(self):
+        mig = Mig(3)
+        a, b, c = (lit(n) for n in mig.inputs)
+        assert mig.add_maj(a, b, c) == mig.add_maj(c, a, b)
+
+    def test_find_maj(self):
+        mig = Mig(3)
+        a, b, c = (lit(n) for n in mig.inputs)
+        assert mig.find_maj(a, b, c) is None
+        node = mig.add_maj(a, b, c)
+        assert mig.find_maj(b, c, a) == node
+        assert mig.find_maj(lit_not(a), lit_not(b), lit_not(c)) == lit_not(node)
+
+
+class TestStructure:
+    def _chain(self):
+        mig = Mig(3)
+        a, b, c = (lit(n) for n in mig.inputs)
+        m1 = mig.add_maj(a, b, c)
+        m2 = mig.add_maj(m1, a, CONST1)
+        mig.add_output(m2)
+        return mig
+
+    def test_levels_depth(self):
+        mig = self._chain()
+        assert mig.depth() == 2
+
+    def test_children_query(self):
+        mig = self._chain()
+        majs = mig.reachable_majs()
+        assert len(majs) == 2
+        kids = mig.children(majs[0])
+        assert len(kids) == 3
+
+    def test_children_of_input_rejected(self):
+        mig = Mig(1)
+        with pytest.raises(NetlistError):
+            mig.children(mig.inputs[0])
+
+    def test_cleanup_preserves_function(self, rng):
+        mig = Mig(3)
+        pool = [lit(n) for n in mig.inputs] + [CONST0, CONST1]
+        for _ in range(15):
+            kids = [rng.choice(pool) ^ (rng.random() < 0.5) for _ in range(3)]
+            pool.append(mig.add_maj(*kids))
+        mig.add_output(pool[-1])
+        clean = mig.cleanup()
+        assert clean.to_truth_tables() == mig.to_truth_tables()
+        assert clean.size() <= mig.size()
+
+    def test_fanout_counts(self):
+        mig = Mig(2)
+        a, b = (lit(n) for n in mig.inputs)
+        m = mig.add_and(a, b)
+        mig.add_output(m)
+        mig.add_output(m)
+        counts = mig.fanout_counts()
+        from repro.networks.aig import lit_node
+        assert counts[lit_node(m)] == 2
+
+
+class TestSemantics:
+    def test_simulation_matches_tables(self, rng):
+        from repro.bench.random_circuits import random_mig
+        for _ in range(10):
+            mig = random_mig(4, 12, 2, rng)
+            tts = mig.to_truth_tables()
+            for t in range(16):
+                words = [(t >> i) & 1 for i in range(4)]
+                got = mig.simulate(words, 1)
+                assert got == [tt.value(t) for tt in tts]
+
+    def test_to_cnf_equivalence(self, random_tables):
+        from repro.networks.convert import tables_to_mig
+        from repro.sat.equivalence import check_against_tables
+        tables = random_tables(4, 2)
+        mig = tables_to_mig(tables)
+        assert check_against_tables(mig.encoder(), tables).equivalent is True

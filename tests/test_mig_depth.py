@@ -1,0 +1,60 @@
+"""Unit tests for depth-oriented MIG rewriting."""
+
+import pytest
+
+from repro.logic.truth_table import TruthTable
+from repro.networks.aig import lit, lit_not
+from repro.networks.convert import tables_to_mig
+from repro.networks.mig import Mig
+from repro.opt.mig_depth import depth_rewrite_once, mig_depth_rewrite
+from repro.opt.mig_opt import aqfp_resynthesis
+
+
+def _deep_chain():
+    """M(x3, u, M(x2, u, M(x1, u, x0))): depth 3, reducible by swaps."""
+    mig = Mig(5)
+    x0, x1, x2, x3, u = (lit(n) for n in mig.inputs)
+    inner1 = mig.add_maj(x1, u, x0)
+    inner2 = mig.add_maj(x2, u, inner1)
+    root = mig.add_maj(x3, u, inner2)
+    mig.add_output(root)
+    return mig
+
+
+class TestDepthRewrite:
+    def test_chain_depth_reduced(self):
+        mig = _deep_chain()
+        assert mig.depth() == 3
+        out = mig_depth_rewrite(mig)
+        assert out.depth() < 3
+        assert out.to_truth_tables() == mig.to_truth_tables()
+
+    def test_function_preserved_random(self, random_tables):
+        for _ in range(15):
+            tables = random_tables(4, 2)
+            mig = tables_to_mig(tables)
+            out = mig_depth_rewrite(mig)
+            assert out.to_truth_tables() == tables
+            assert out.depth() <= mig.depth()
+
+    def test_single_sweep_preserves_function(self, random_tables):
+        tables = random_tables(5, 2)
+        mig = tables_to_mig(tables)
+        out = depth_rewrite_once(mig)
+        assert out.to_truth_tables() == tables
+
+    def test_depth_aware_resynthesis_flag(self, random_tables):
+        tables = random_tables(4, 2)
+        mig = tables_to_mig(tables)
+        plain = aqfp_resynthesis(mig)
+        aware = aqfp_resynthesis(mig, depth_aware=True)
+        assert aware.to_truth_tables() == tables
+        assert aware.depth() <= plain.depth()
+
+    def test_balanced_tree_untouched(self):
+        mig = Mig(3)
+        a, b, c = (lit(n) for n in mig.inputs)
+        mig.add_output(mig.add_maj(a, b, c))
+        out = mig_depth_rewrite(mig)
+        assert out.depth() == 1
+        assert out.size() == 1

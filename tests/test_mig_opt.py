@@ -1,0 +1,104 @@
+"""Unit tests for MIG algebraic rewriting (aqfp_resynthesis analogue)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.truth_table import TruthTable
+from repro.networks.aig import CONST1, lit, lit_not
+from repro.networks.convert import tables_to_mig
+from repro.networks.mig import Mig
+from repro.opt.mig_opt import (
+    aqfp_resynthesis,
+    mig_algebraic_rewrite,
+    relevance_rewrite,
+    rewrite_associativity,
+    rewrite_distributivity,
+)
+
+
+class TestDistributivity:
+    def test_merges_shared_pair(self):
+        """M(M(x,y,u), M(x,y,v), z) -> M(x,y,M(u,v,z)) saves one gate."""
+        mig = Mig(5)
+        x, y, u, v, z = (lit(n) for n in mig.inputs)
+        inner1 = mig.add_maj(x, y, u)
+        inner2 = mig.add_maj(x, y, v)
+        mig.add_output(mig.add_maj(inner1, inner2, z))
+        assert mig.size() == 3
+        out = rewrite_distributivity(mig)
+        assert out.size() == 2
+        assert out.to_truth_tables() == mig.to_truth_tables()
+
+    def test_no_false_positives(self, random_tables):
+        for _ in range(10):
+            tables = random_tables(4, 2)
+            mig = tables_to_mig(tables)
+            out = rewrite_distributivity(mig)
+            assert out.to_truth_tables() == tables
+            assert out.size() <= mig.size()
+
+
+class TestAssociativity:
+    def test_preserves_function(self, random_tables):
+        for _ in range(10):
+            tables = random_tables(4, 2)
+            mig = tables_to_mig(tables)
+            out = rewrite_associativity(mig)
+            assert out.to_truth_tables() == tables
+            assert out.size() <= mig.size()
+
+    def test_exposes_sharing(self):
+        """M(x,u,M(y,u,z)) with M(y,u,x) already present can reuse it."""
+        mig = Mig(4)
+        x, y, u, z = (lit(n) for n in mig.inputs)
+        existing = mig.add_maj(y, u, x)      # the shareable node
+        inner = mig.add_maj(y, u, z)
+        root = mig.add_maj(x, u, inner)
+        mig.add_output(existing)
+        mig.add_output(root)
+        out = rewrite_associativity(mig)
+        assert out.to_truth_tables() == mig.to_truth_tables()
+        assert out.size() <= mig.size()
+
+
+class TestRelevance:
+    def test_preserves_function(self, random_tables):
+        for _ in range(10):
+            tables = random_tables(4, 2)
+            mig = tables_to_mig(tables)
+            out = relevance_rewrite(mig)
+            assert out.to_truth_tables() == tables
+
+    def test_collapses_redundant_reuse(self):
+        """M(x, y, M(x, w, z)): substituting x -> !y inside is sound."""
+        mig = Mig(4)
+        x, y, w, z = (lit(n) for n in mig.inputs)
+        inner = mig.add_maj(x, w, z)
+        mig.add_output(mig.add_maj(x, y, inner))
+        out = relevance_rewrite(mig)
+        assert out.to_truth_tables() == mig.to_truth_tables()
+
+
+class TestFullRewrite:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 4), st.data())
+    def test_function_invariant(self, n, data):
+        bits = data.draw(st.integers(0, (1 << (1 << n)) - 1))
+        tables = [TruthTable(n, bits)]
+        mig = tables_to_mig(tables)
+        out = mig_algebraic_rewrite(mig)
+        assert out.to_truth_tables() == tables
+
+    def test_monotone_size(self, random_tables):
+        tables = random_tables(5, 3)
+        mig = tables_to_mig(tables)
+        out = aqfp_resynthesis(mig)
+        assert out.size() <= mig.size()
+        assert out.to_truth_tables() == tables
+
+    def test_idempotent_at_fixpoint(self, random_tables):
+        tables = random_tables(4, 1)
+        once = aqfp_resynthesis(tables_to_mig(tables))
+        twice = aqfp_resynthesis(once)
+        assert twice.size() == once.size()

@@ -1,0 +1,193 @@
+"""Unit + property tests for RCGP mutation (§3.2.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.random_circuits import random_rqfp
+from repro.core.config import RcgpConfig
+from repro.core.mutation import chromosome_length, mutate
+from repro.rqfp.gate import NORMAL_CONFIG
+from repro.rqfp.netlist import CONST_PORT, RqfpNetlist
+from repro.rqfp.splitters import insert_splitters
+
+
+def _legal_parent(rng, num_inputs=3, num_gates=6, num_outputs=2):
+    netlist = random_rqfp(num_inputs, num_gates, num_outputs, rng,
+                          legal_fanout=True)
+    return insert_splitters(netlist)
+
+
+class TestChromosomeLength:
+    def test_paper_formula(self):
+        """n_L = 4 n_C + n_po; Fig. 3(a): 4 gates + 4 POs -> 20."""
+        netlist = RqfpNetlist(2)
+        for g in range(4):
+            netlist.add_gate(CONST_PORT, CONST_PORT, CONST_PORT,
+                             NORMAL_CONFIG)
+        for _ in range(4):
+            netlist.add_output(CONST_PORT)
+        assert chromosome_length(netlist) == 20
+
+    def test_shrink_reduces_length(self):
+        """Fig. 3(c): removing a useless gate shrinks 20 -> 16."""
+        netlist = RqfpNetlist(2)
+        g0 = netlist.add_gate(1, 2, CONST_PORT, NORMAL_CONFIG)
+        netlist.add_gate(CONST_PORT, CONST_PORT, CONST_PORT, NORMAL_CONFIG)
+        netlist.add_output(netlist.gate_output_port(g0, 0))
+        assert chromosome_length(netlist) == 9
+        assert chromosome_length(netlist.shrink()) == 5
+
+
+class TestMutationInvariants:
+    def test_parent_untouched(self, rng):
+        parent = _legal_parent(rng)
+        snapshot = parent.describe()
+        config = RcgpConfig(mutation_rate=0.5, seed=1)
+        for _ in range(20):
+            mutate(parent, rng, config)
+        assert parent.describe() == snapshot
+
+    def test_single_fanout_preserved_without_po_mutation(self, rng):
+        """The swap rule keeps gate-input fan-out legal (paper case 1)."""
+        config = RcgpConfig(mutation_rate=0.3, enable_output_mutation=False)
+        for trial in range(40):
+            parent = _legal_parent(rng)
+            child = mutate(parent, rng, config)
+            assert child.fanout_violations() == [], f"trial {trial}"
+
+    def test_structure_stays_valid(self, rng):
+        config = RcgpConfig(mutation_rate=0.5)
+        for _ in range(40):
+            parent = _legal_parent(rng)
+            child = mutate(parent, rng, config)
+            child.validate(require_single_fanout=False)
+
+    def test_gate_and_output_counts_stable(self, rng):
+        """Point mutation never changes the chromosome shape."""
+        parent = _legal_parent(rng)
+        config = RcgpConfig(mutation_rate=1.0)
+        child = mutate(parent, rng, config)
+        assert child.num_gates == parent.num_gates
+        assert child.num_outputs == parent.num_outputs
+
+    def test_zero_rate_mutates_at_least_one_gene(self, rng):
+        """m is drawn from [1, max(1, round(mu * n_L))], so even mu=0
+        attempts one gene (it may be a no-op resample)."""
+        parent = _legal_parent(rng)
+        config = RcgpConfig(mutation_rate=0.0)
+        mutate(parent, rng, config)  # must not raise
+
+
+class TestMutationKinds:
+    def test_inverter_mutation_only_changes_configs(self, rng):
+        parent = _legal_parent(rng)
+        config = RcgpConfig(mutation_rate=0.4,
+                            enable_input_mutation=False,
+                            enable_output_mutation=False)
+        child = mutate(parent, rng, config)
+        for pg, cg in zip(parent.gates, child.gates):
+            assert pg.inputs == cg.inputs
+        assert child.outputs == parent.outputs
+
+    def test_output_mutation_only_changes_outputs(self, rng):
+        parent = _legal_parent(rng)
+        config = RcgpConfig(mutation_rate=0.6,
+                            enable_input_mutation=False,
+                            enable_inverter_mutation=False)
+        child = mutate(parent, rng, config)
+        for pg, cg in zip(parent.gates, child.gates):
+            assert pg.inputs == cg.inputs and pg.config == cg.config
+
+    def test_input_mutation_changes_some_connection(self, rng):
+        config = RcgpConfig(mutation_rate=1.0,
+                            enable_output_mutation=False,
+                            enable_inverter_mutation=False)
+        changed = 0
+        for _ in range(20):
+            parent = _legal_parent(rng)
+            child = mutate(parent, rng, config)
+            if any(pg.inputs != cg.inputs
+                   for pg, cg in zip(parent.gates, child.gates)):
+                changed += 1
+        assert changed > 10  # heavily mutated offspring must differ
+
+    def test_all_kinds_disabled_rejected(self):
+        with pytest.raises(ValueError):
+            RcgpConfig(enable_input_mutation=False,
+                       enable_output_mutation=False,
+                       enable_inverter_mutation=False)
+
+    def test_inverter_flip_is_single_bit(self, rng):
+        parent = _legal_parent(rng)
+        # Force exactly one mutation by using a tiny chromosome rate.
+        config = RcgpConfig(mutation_rate=1e-9,
+                            enable_input_mutation=False,
+                            enable_output_mutation=False)
+        for _ in range(30):
+            child = mutate(parent, rng, config)
+            diffs = [bin(pg.config ^ cg.config).count("1")
+                     for pg, cg in zip(parent.gates, child.gates)]
+            assert sum(diffs) in (0, 1)
+
+
+class TestSwapRule:
+    def test_swap_reuses_displaced_port(self):
+        """Paper Fig. 3 example: mutating a taken port swaps the genes."""
+        netlist = RqfpNetlist(2)
+        g0 = netlist.add_gate(1, 2, CONST_PORT, NORMAL_CONFIG)
+        g1 = netlist.add_gate(netlist.gate_output_port(g0, 0),
+                              netlist.gate_output_port(g0, 1),
+                              CONST_PORT, NORMAL_CONFIG)
+        netlist.add_output(netlist.gate_output_port(g1, 0))
+        # Mutate many times with inputs only; fan-out must stay legal and
+        # the multiset of used source ports can only shuffle.
+        rng = random.Random(7)
+        config = RcgpConfig(mutation_rate=0.9, enable_output_mutation=False,
+                            enable_inverter_mutation=False)
+        parent = netlist
+        for _ in range(100):
+            child = mutate(parent, rng, config)
+            assert child.fanout_violations() == []
+            child.validate(require_single_fanout=True)
+            parent = child
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2 ** 31), st.floats(0.01, 1.0))
+def test_mutation_fuzz(seed, rate):
+    rng = random.Random(seed)
+    parent = insert_splitters(
+        random_rqfp(3, 5, 2, rng, legal_fanout=True))
+    config = RcgpConfig(mutation_rate=rate)
+    child = mutate(parent, rng, config)
+    child.validate(require_single_fanout=False)
+    # Gate-input fan-out can only be violated through PO genes.
+    violations = child.fanout_violations()
+    consumers = child.consumers()
+    for port in violations:
+        kinds = [kind for kind, _, _ in consumers[port]]
+        assert "po" in kinds, "gate-only fan-out violation: swap rule broken"
+
+
+class TestMutationCap:
+    def test_cap_limits_gene_changes(self, rng):
+        """With max_mutated_genes=1 at mu=1, at most one gene differs."""
+        parent = _legal_parent(rng, num_gates=8)
+        config = RcgpConfig(mutation_rate=1.0, max_mutated_genes=1)
+        for _ in range(25):
+            child = mutate(parent, rng, config)
+            diffs = 0
+            for pg, cg in zip(parent.gates, child.gates):
+                diffs += sum(a != b for a, b in zip(pg.inputs, cg.inputs))
+                diffs += pg.config != cg.config
+            diffs += sum(a != b for a, b in zip(parent.outputs, child.outputs))
+            # A single input mutation may swap a second gene (paper rule 1).
+            assert diffs <= 2
+
+    def test_cap_never_below_one(self, rng):
+        parent = _legal_parent(rng)
+        config = RcgpConfig(mutation_rate=0.0, max_mutated_genes=0)
+        mutate(parent, rng, config)  # must not raise

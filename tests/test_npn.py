@@ -1,0 +1,102 @@
+"""Unit tests for NPN classification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.npn import (
+    apply_transform,
+    invert_transform,
+    npn_canonical,
+    npn_classes,
+    same_npn_class,
+)
+from repro.logic.truth_table import TruthTable
+
+
+class TestTransforms:
+    def test_identity_transform(self):
+        f = TruthTable(3, 0b10110100)
+        identity = ((0, 1, 2), 0, 0)
+        assert apply_transform(f, identity) == f
+
+    def test_output_negation(self):
+        f = TruthTable(2, 0b0110)
+        g = apply_transform(f, ((0, 1), 0, 1))
+        assert g == ~f
+
+    def test_input_negation(self):
+        f = TruthTable.variable(0, 2)
+        g = apply_transform(f, ((0, 1), 0b01, 0))
+        assert g == ~TruthTable.variable(0, 2)
+
+    def test_permutation(self):
+        f = TruthTable.variable(0, 2)
+        g = apply_transform(f, ((1, 0), 0, 0))
+        assert g == TruthTable.variable(1, 2)
+
+    def test_invert_transform_round_trip(self, rng):
+        for _ in range(40):
+            n = rng.randint(1, 4)
+            f = TruthTable(n, rng.getrandbits(1 << n))
+            perm = list(range(n))
+            rng.shuffle(perm)
+            transform = (tuple(perm), rng.randrange(1 << n),
+                         rng.randrange(2))
+            g = apply_transform(f, transform)
+            back = apply_transform(g, invert_transform(transform))
+            assert back == f
+
+
+class TestCanonical:
+    def test_canonical_is_reachable(self, rng):
+        for _ in range(30):
+            n = rng.randint(1, 4)
+            f = TruthTable(n, rng.getrandbits(1 << n))
+            canon, transform = npn_canonical(f)
+            assert apply_transform(f, transform) == canon
+
+    def test_class_members_share_canon(self, rng):
+        f = TruthTable(3, rng.getrandbits(8))
+        canon_f, _ = npn_canonical(f)
+        # Any transform of f must canonicalize identically.
+        perm = (2, 0, 1)
+        g = apply_transform(f, (perm, 0b101, 1))
+        canon_g, _ = npn_canonical(g)
+        assert canon_f == canon_g
+        assert same_npn_class(f, g)
+
+    def test_classic_class_counts(self):
+        assert len(npn_classes(1)) == 2
+        assert len(npn_classes(2)) == 4
+
+    @pytest.mark.slow
+    def test_three_variable_class_count(self):
+        assert len(npn_classes(3)) == 14
+
+    def test_and_or_same_class(self):
+        conj = TruthTable.from_function(lambda a, b: a & b, 2)
+        disj = TruthTable.from_function(lambda a, b: a | b, 2)
+        assert same_npn_class(conj, disj)  # De Morgan = N + N
+
+    def test_xor_not_in_and_class(self):
+        conj = TruthTable.from_function(lambda a, b: a & b, 2)
+        xor = TruthTable.from_function(lambda a, b: a ^ b, 2)
+        assert not same_npn_class(conj, xor)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            same_npn_class(TruthTable.variable(0, 2),
+                           TruthTable.variable(0, 3))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 3), st.data())
+def test_canonical_invariant_under_random_transforms(n, data):
+    bits = data.draw(st.integers(0, (1 << (1 << n)) - 1))
+    f = TruthTable(n, bits)
+    perm = tuple(data.draw(st.permutations(list(range(n)))))
+    transform = (perm, data.draw(st.integers(0, (1 << n) - 1)),
+                 data.draw(st.integers(0, 1)))
+    g = apply_transform(f, transform)
+    assert npn_canonical(f)[0] == npn_canonical(g)[0]

@@ -1,0 +1,58 @@
+"""Unit tests for the random circuit generators used across the suite."""
+
+import random
+
+import pytest
+
+from repro.bench.random_circuits import (
+    random_aig,
+    random_mig,
+    random_rqfp,
+    random_tables,
+)
+
+
+class TestRandomTables:
+    def test_shapes(self, rng):
+        tables = random_tables(4, 3, rng)
+        assert len(tables) == 3
+        assert all(t.num_vars == 4 for t in tables)
+
+    def test_deterministic_for_seed(self):
+        a = random_tables(3, 2, random.Random(5))
+        b = random_tables(3, 2, random.Random(5))
+        assert a == b
+
+
+class TestRandomNetworks:
+    def test_random_aig_simulates(self, rng):
+        aig = random_aig(3, 10, 2, rng)
+        assert aig.num_inputs == 3
+        assert aig.num_outputs == 2
+        aig.to_truth_tables()  # must not raise
+
+    def test_random_mig_simulates(self, rng):
+        mig = random_mig(3, 10, 2, rng)
+        assert mig.num_outputs == 2
+        mig.to_truth_tables()
+
+
+class TestRandomRqfp:
+    def test_shape(self, rng):
+        netlist = random_rqfp(3, 6, 2, rng)
+        assert netlist.num_inputs == 3
+        assert netlist.num_gates == 6
+        assert netlist.num_outputs == 2
+        netlist.validate(require_single_fanout=False)
+
+    def test_legal_fanout_mode_is_legal(self, rng):
+        for _ in range(25):
+            netlist = random_rqfp(3, 6, 2, rng, legal_fanout=True)
+            assert netlist.fanout_violations() == []
+            netlist.validate(require_single_fanout=True)
+
+    def test_gates_respect_topological_order(self, rng):
+        netlist = random_rqfp(2, 8, 1, rng)
+        for g, gate in enumerate(netlist.gates):
+            limit = netlist.first_gate_port(g)
+            assert all(p < limit for p in gate.inputs)

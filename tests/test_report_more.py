@@ -1,0 +1,59 @@
+"""Additional reporting coverage: sign formatting, exact-success cells."""
+
+import pytest
+
+from repro.harness.report import Aggregates, aggregates, format_rows
+from repro.harness.runner import ExperimentRow
+from repro.rqfp.metrics import CircuitCost
+
+
+def _row(init, rcgp, exact=None):
+    return ExperimentRow(
+        name="r", n_pi=2, n_po=2, g_lb=0,
+        init=CircuitCost(*init), rcgp=CircuitCost(*rcgp),
+        exact=CircuitCost(*exact) if exact else None,
+        exact_timeout=exact is None, paper={},
+    )
+
+
+class TestAggregateFormatting:
+    def test_reduction_renders_negative(self):
+        agg = Aggregates(0.25, 0.5, 0.1, 1)
+        text = str(agg)
+        assert "gates -25.00%" in text
+        assert "garbage -50.00%" in text
+
+    def test_increase_renders_positive(self):
+        """A JJ increase (negative reduction) must read as +, not --."""
+        agg = Aggregates(0.25, 0.5, -0.0935, 1)
+        text = str(agg)
+        assert "JJs +9.35%" in text
+        assert "--" not in text
+
+
+class TestFormatRowsExactSuccess:
+    def test_exact_columns_filled_when_present(self):
+        rows = [_row((5, 2, 3, 6, 0.1), (4, 2, 3, 2, 1.0),
+                     exact=(3, 3, 3, 1, 40.0))]
+        text = format_rows(rows)
+        assert "\\" not in text       # no timeout cells
+        line = [l for l in text.splitlines() if l.startswith("r")][0]
+        assert " 3 " in f" {line} "   # exact gate count appears
+
+    def test_mixed_rows_align(self):
+        rows = [
+            _row((5, 2, 3, 6), (4, 2, 3, 2), exact=(3, 3, 3, 1, 40.0)),
+            _row((9, 1, 4, 9), (7, 1, 4, 5)),
+        ]
+        text = format_rows(rows)
+        lines = [l for l in text.splitlines() if l and not l.startswith("-")]
+        widths = {len(l) for l in lines[:3]}
+        assert len(widths) == 1, "header and rows must align"
+
+
+class TestAggregatesJJ:
+    def test_jj_uses_cost_model(self):
+        rows = [_row((10, 10, 1, 1), (5, 5, 1, 1))]
+        agg = aggregates(rows)
+        # init JJs = 280, rcgp JJs = 140 -> 50 % reduction.
+        assert agg.jj_reduction == pytest.approx(0.5)

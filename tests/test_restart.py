@@ -1,0 +1,122 @@
+"""Unit tests for checkpointing and multi-start evolution."""
+
+import os
+
+import pytest
+
+from repro.core.config import RcgpConfig
+from repro.core.restart import (
+    evolve_with_checkpoints,
+    load_checkpoint,
+    multi_start,
+    save_checkpoint,
+)
+from repro.core.synthesis import initialize_netlist
+from repro.logic.truth_table import tabulate_word
+
+
+def _decoder():
+    return tabulate_word(lambda x: 1 << x, 2, 4)
+
+
+class TestCheckpointFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        spec = _decoder()
+        netlist = initialize_netlist(spec)
+        path = str(tmp_path / "ckpt.json")
+        save_checkpoint(path, netlist, 123, RcgpConfig(generations=500))
+        loaded, done = load_checkpoint(path)
+        assert done == 123
+        assert loaded.to_truth_tables() == netlist.to_truth_tables()
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ValueError):
+            load_checkpoint(str(path))
+
+
+class TestEvolveWithCheckpoints:
+    def test_fresh_run_creates_checkpoint(self, tmp_path):
+        spec = _decoder()
+        path = str(tmp_path / "run.json")
+        config = RcgpConfig(generations=300, mutation_rate=0.1, seed=4,
+                            shrink="always")
+        result = evolve_with_checkpoints(spec, config, path,
+                                         slice_generations=100)
+        assert os.path.exists(path)
+        assert result.generations == 300
+        assert result.netlist.to_truth_tables() == spec
+        _, done = load_checkpoint(path)
+        assert done == 300
+
+    def test_resume_continues_budget(self, tmp_path):
+        spec = _decoder()
+        path = str(tmp_path / "run.json")
+        config = RcgpConfig(generations=200, mutation_rate=0.1, seed=4,
+                            shrink="always")
+        evolve_with_checkpoints(spec, config, path, slice_generations=200)
+        # Second call with a larger budget resumes from 200.
+        bigger = RcgpConfig(generations=300, mutation_rate=0.1, seed=4,
+                            shrink="always")
+        result = evolve_with_checkpoints(spec, bigger, path,
+                                         slice_generations=100)
+        _, done = load_checkpoint(path)
+        assert done == 300
+        assert result.netlist.to_truth_tables() == spec
+
+    def test_exhausted_budget_returns_incumbent(self, tmp_path):
+        spec = _decoder()
+        path = str(tmp_path / "run.json")
+        config = RcgpConfig(generations=100, mutation_rate=0.1, seed=4,
+                            shrink="always")
+        evolve_with_checkpoints(spec, config, path, slice_generations=100)
+        again = evolve_with_checkpoints(spec, config, path,
+                                        slice_generations=100)
+        assert again.generations == 100
+        assert again.netlist.to_truth_tables() == spec
+
+    def test_kill_resume_equivalence(self, tmp_path):
+        """Killing between slices loses nothing: the checkpoint's
+        incumbent is a functional netlist at least as fit as the start."""
+        spec = _decoder()
+        path = str(tmp_path / "run.json")
+        config = RcgpConfig(generations=400, mutation_rate=0.1, seed=9,
+                            shrink="always")
+        evolve_with_checkpoints(spec, config, path, slice_generations=100)
+        incumbent, _ = load_checkpoint(path)
+        assert incumbent.to_truth_tables() == spec
+
+
+class TestMultiStart:
+    def test_serial_multi_start(self):
+        spec = _decoder()
+        config = RcgpConfig(generations=150, mutation_rate=0.1,
+                            shrink="always")
+        best, keys = multi_start(spec, seeds=[1, 2, 3], config=config)
+        assert best.to_truth_tables() == spec
+        assert len(keys) == 3
+        assert max(keys) == keys[keys.index(max(keys))]
+
+    def test_parallel_multi_start(self):
+        spec = _decoder()
+        config = RcgpConfig(generations=120, mutation_rate=0.1,
+                            shrink="always")
+        best, keys = multi_start(spec, seeds=[1, 2], config=config,
+                                 parallel=True)
+        assert best.to_truth_tables() == spec
+        assert len(keys) == 2
+
+    def test_best_of_starts_dominates_each(self):
+        spec = _decoder()
+        config = RcgpConfig(generations=150, mutation_rate=0.1,
+                            shrink="always")
+        best, keys = multi_start(spec, seeds=list(range(4)), config=config)
+        from repro.core.fitness import Evaluator
+        evaluator = Evaluator(spec, config)
+        best_fitness = evaluator.evaluate(best)
+        assert best_fitness.key() >= max(keys)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            multi_start(_decoder(), seeds=[])

@@ -1,0 +1,113 @@
+"""Unit + property tests for transformation-based reversible synthesis."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.revlib import graycode, ham3, hwb, revlib_4_49
+from repro.errors import SynthesisError
+from repro.io.real import parse_real, write_real
+from repro.reversible.synthesis import (
+    synthesize_tables,
+    transformation_synthesis,
+)
+
+
+class TestTransformationSynthesis:
+    def test_identity_needs_no_gates(self):
+        circuit = transformation_synthesis(list(range(8)), 3)
+        assert circuit.gate_count() == 0
+        assert circuit.permutation() == list(range(8))
+
+    def test_single_not(self):
+        perm = [1, 0]  # NOT on one wire
+        circuit = transformation_synthesis(perm, 1)
+        assert circuit.permutation() == perm
+        assert circuit.gate_count() == 1
+
+    def test_cnot_permutation(self):
+        # x1 ^= x0: 00->00, 01->11, 10->10, 11->01.
+        perm = [0, 3, 2, 1]
+        circuit = transformation_synthesis(perm, 2)
+        assert circuit.permutation() == perm
+
+    def test_toffoli_permutation(self):
+        perm = list(range(8))
+        perm[3], perm[7] = 7, 3
+        circuit = transformation_synthesis(perm, 3)
+        assert circuit.permutation() == perm
+
+    def test_random_permutations_3_wires(self, rng):
+        for _ in range(30):
+            perm = list(range(8))
+            rng.shuffle(perm)
+            circuit = transformation_synthesis(perm, 3)
+            assert circuit.permutation() == perm
+
+    def test_random_permutations_4_wires(self, rng):
+        for _ in range(10):
+            perm = list(range(16))
+            rng.shuffle(perm)
+            circuit = transformation_synthesis(perm, 4)
+            assert circuit.permutation() == perm
+
+    def test_unidirectional_also_correct(self, rng):
+        for _ in range(10):
+            perm = list(range(8))
+            rng.shuffle(perm)
+            circuit = transformation_synthesis(perm, 3, bidirectional=False)
+            assert circuit.permutation() == perm
+
+    def test_bidirectional_not_worse_on_average(self, rng):
+        uni_total = bi_total = 0
+        for _ in range(20):
+            perm = list(range(16))
+            rng.shuffle(perm)
+            uni = transformation_synthesis(perm, 4, bidirectional=False)
+            bi = transformation_synthesis(perm, 4, bidirectional=True)
+            assert bi.permutation() == uni.permutation() == perm
+            uni_total += uni.quantum_cost()
+            bi_total += bi.quantum_cost()
+        assert bi_total <= uni_total
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(SynthesisError):
+            transformation_synthesis([0, 0, 1, 1], 2)
+        with pytest.raises(SynthesisError):
+            transformation_synthesis([0, 1, 2], 2)
+
+
+class TestSynthesizeTables:
+    def test_benchmark_permutations(self):
+        for tables, wires in ((ham3(), 3), (revlib_4_49(), 4),
+                              (graycode(4), 4), (hwb(4), 4)):
+            circuit = synthesize_tables(tables)
+            assert circuit.num_wires == wires
+            assert circuit.embedded_tables() == tables
+
+    def test_real_round_trip(self):
+        """Synthesized circuits survive .real serialization."""
+        circuit = synthesize_tables(ham3(), name="ham3_mmd")
+        again = parse_real(write_real(circuit))
+        assert again.permutation() == circuit.permutation()
+
+    def test_non_square_rejected(self):
+        from repro.bench.revlib import full_adder
+        with pytest.raises(SynthesisError):
+            synthesize_tables(full_adder())
+
+    def test_irreversible_square_rejected(self):
+        from repro.logic.truth_table import TruthTable
+        tables = [TruthTable.constant(False, 2), TruthTable.variable(0, 2)]
+        with pytest.raises(SynthesisError):
+            synthesize_tables(tables)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.permutations(list(range(8))))
+def test_mmd_property(perm):
+    circuit = transformation_synthesis(list(perm), 3)
+    assert circuit.permutation() == list(perm)
+    assert circuit.is_reversible()

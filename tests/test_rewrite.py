@@ -1,0 +1,89 @@
+"""Unit tests for NPN cut rewriting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.truth_table import TruthTable
+from repro.networks.aig import Aig, lit, lit_not
+from repro.networks.convert import tables_to_aig
+from repro.opt.rewrite import clear_library, library_size, rewrite
+
+
+@pytest.fixture(autouse=True)
+def fresh_library():
+    clear_library()
+    yield
+    clear_library()
+
+
+class TestRewrite:
+    def test_preserves_function_random(self, random_tables):
+        for _ in range(15):
+            tables = random_tables(4, 2)
+            aig = tables_to_aig(tables)
+            out = rewrite(aig)
+            assert out.to_truth_tables() == tables
+            assert out.size() <= aig.size()
+
+    def test_mux_pattern_shrinks(self):
+        """A redundant mux built the long way: rewrite must match the
+        4-node recipe or better."""
+        aig = Aig(3)
+        s, a, b = (lit(n) for n in aig.inputs)
+        # (s & a) | (!s & b) built wastefully with double negations.
+        t0 = aig.add_and(s, a)
+        t1 = aig.add_and(lit_not(s), b)
+        redundant = aig.add_or(aig.add_and(t0, t0), aig.add_and(t1, t1))
+        aig.add_output(redundant)
+        out = rewrite(aig)
+        assert out.to_truth_tables() == aig.to_truth_tables()
+        assert out.size() <= 3
+
+    def test_constant_cut_collapses(self):
+        aig = Aig(2)
+        a, b = (lit(n) for n in aig.inputs)
+        contradiction = aig.add_and(aig.add_and(a, b),
+                                    aig.add_and(lit_not(a), b))
+        aig.add_output(contradiction)
+        out = rewrite(aig)
+        assert out.to_truth_tables()[0] == TruthTable.constant(False, 2)
+        assert out.size() == 0
+
+    def test_library_learns(self, random_tables):
+        assert library_size() == 0
+        aig = tables_to_aig(random_tables(4, 2))
+        rewrite(aig)
+        assert library_size() > 0
+
+    def test_library_reused_across_networks(self, random_tables):
+        rewrite(tables_to_aig(random_tables(4, 1)))
+        grown = library_size()
+        rewrite(tables_to_aig(random_tables(4, 1)))
+        assert library_size() >= grown
+
+    def test_idempotent_at_fixpoint(self, random_tables):
+        tables = random_tables(4, 1)
+        once = rewrite(tables_to_aig(tables))
+        twice = rewrite(once)
+        assert twice.size() <= once.size()
+        assert twice.to_truth_tables() == tables
+
+    def test_without_network_learning(self, random_tables):
+        tables = random_tables(3, 2)
+        aig = tables_to_aig(tables)
+        out = rewrite(aig, learn_from_network=False)
+        assert out.to_truth_tables() == tables
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 3), st.integers(0, 2 ** 62))
+def test_rewrite_function_invariant(num_inputs, num_outputs, seed):
+    import random
+    rng = random.Random(seed)
+    tables = [TruthTable(num_inputs, rng.getrandbits(1 << num_inputs))
+              for _ in range(num_outputs)]
+    aig = tables_to_aig(tables)
+    out = rewrite(aig)
+    assert out.to_truth_tables() == tables
+    assert out.size() <= aig.size()

@@ -1,0 +1,137 @@
+"""Fault-injection tests: malformed inputs must fail loudly and cleanly.
+
+Every failure here must raise a :class:`~repro.errors.ReproError`
+subclass (or ValueError for plain argument validation) — never a bare
+KeyError/IndexError escaping from internals.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import NetlistError, ParseError, ReproError
+from repro.io.aiger import parse_aiger, parse_aiger_binary
+from repro.io.blif import parse_blif
+from repro.io.real import parse_real
+from repro.io.rqfp_json import netlist_from_dict, read_rqfp_json
+from repro.io.verilog import parse_verilog
+from repro.rqfp.gate import NORMAL_CONFIG
+from repro.rqfp.netlist import CONST_PORT, RqfpNetlist
+
+
+class TestMalformedFiles:
+    @pytest.mark.parametrize("text", [
+        "",                                   # empty
+        ".model x\n.inputs a\n.outputs",      # dangling outputs... legal-ish
+        ".names a b\n11 1\n",                 # cover before model: rows ok?
+    ])
+    def test_blif_garbage_never_crashes_weirdly(self, text):
+        try:
+            parse_blif(text)
+        except ReproError:
+            pass  # expected failure mode
+
+    def test_blif_cover_without_names(self):
+        with pytest.raises(ParseError):
+            parse_blif(".model m\n.inputs a\n.outputs y\n11 1\n.end\n")
+
+    @pytest.mark.parametrize("text", [
+        "aag",                       # truncated header
+        "aag 1 1 0 0 0 extra\n2\n",  # too many fields
+        "aag x y z w v\n",           # non-numeric
+    ])
+    def test_aiger_bad_headers(self, text):
+        with pytest.raises(ParseError):
+            parse_aiger(text)
+
+    def test_binary_aiger_bad_delta(self):
+        # AND whose delta would make rhs negative.
+        with pytest.raises(ParseError):
+            parse_aiger_binary(b"aig 2 1 0 0 1\n\xff\xff\xff\xff\xff")
+
+    @pytest.mark.parametrize("text", [
+        "module m(a, y; input a; output y; endmodule",  # broken portlist
+        "module m(a, y); input a; output y; assign y = a +; endmodule",
+        "module m(a, y); input a; output y; assign y = (a; endmodule",
+    ])
+    def test_verilog_syntax_errors(self, text):
+        with pytest.raises(ParseError):
+            parse_verilog(text)
+
+    @pytest.mark.parametrize("text", [
+        ".numvars 2\n.variables a b\n.begin\nt5 a b\n.end\n",  # arity
+        ".numvars 2\n.variables a b\n.begin\nq2 a b\n.end\n",  # bad kind
+        ".numvars 2\n.variables a b\n.begin\nt2 -a -b\n.end\n",  # neg target
+    ])
+    def test_real_bad_gates(self, text):
+        with pytest.raises(ParseError):
+            parse_real(text)
+
+
+class TestMalformedJson:
+    def _valid(self):
+        return {
+            "format": "rqfp-netlist",
+            "version": 1,
+            "num_inputs": 1,
+            "gates": [{"inputs": [1, 0, 0], "config": "100-010-001"}],
+            "outputs": [{"port": 2}],
+        }
+
+    def test_valid_parses(self):
+        netlist = netlist_from_dict(self._valid())
+        assert netlist.num_gates == 1
+
+    def test_forward_reference_rejected(self):
+        data = self._valid()
+        data["gates"][0]["inputs"] = [9, 0, 0]
+        with pytest.raises(NetlistError):
+            netlist_from_dict(data)
+
+    def test_bad_config_string_rejected(self):
+        data = self._valid()
+        data["gates"][0]["config"] = "nonsense"
+        with pytest.raises(ValueError):
+            netlist_from_dict(data)
+
+    def test_config_out_of_range_rejected(self):
+        data = self._valid()
+        data["gates"][0]["config"] = 700
+        with pytest.raises(ValueError):
+            netlist_from_dict(data)
+
+    def test_output_port_out_of_range(self):
+        data = self._valid()
+        data["outputs"][0]["port"] = 99
+        with pytest.raises(NetlistError):
+            netlist_from_dict(data)
+
+    def test_read_rejects_non_json_payload(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            read_rqfp_json(str(path))
+
+
+class TestNetlistGuards:
+    def test_simulate_port_count_guard(self):
+        netlist = RqfpNetlist(2)
+        with pytest.raises(NetlistError):
+            netlist.simulate([1, 1, 1], 1)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(NetlistError):
+            RqfpNetlist(-1)
+
+    def test_gate_output_index_guard(self):
+        netlist = RqfpNetlist(1)
+        netlist.add_gate(1, CONST_PORT, CONST_PORT, NORMAL_CONFIG)
+        with pytest.raises(NetlistError):
+            netlist.gate_output_port(0, 3)
+
+    def test_windowing_guards(self):
+        from repro.core.windowing import analyze_window
+        netlist = RqfpNetlist(1)
+        netlist.add_gate(1, CONST_PORT, CONST_PORT, NORMAL_CONFIG)
+        with pytest.raises(NetlistError):
+            analyze_window(netlist, -1, 1)

@@ -1,0 +1,149 @@
+"""Unit tests for the wire-gate bypass simplification."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.random_circuits import random_rqfp
+from repro.rqfp.gate import (
+    INVERTER_CONFIG,
+    NORMAL_CONFIG,
+    SPLITTER_CONFIG,
+)
+from repro.rqfp.netlist import CONST_PORT, RqfpGate, RqfpNetlist
+from repro.rqfp.simplify import bypass_wire_gates, wire_targets
+from repro.rqfp.splitters import insert_splitters
+
+
+class TestWireTargets:
+    def test_splitter_outputs_are_wires(self):
+        gate = RqfpGate(CONST_PORT, 1, CONST_PORT, SPLITTER_CONFIG)
+        targets = wire_targets(gate)
+        assert targets == [(1, False)] * 3
+
+    def test_inverter_outputs_are_inverting_wires(self):
+        gate = RqfpGate(1, CONST_PORT, CONST_PORT, INVERTER_CONFIG)
+        targets = wire_targets(gate)
+        assert targets == [(0, True)] * 3
+
+    def test_and_gate_is_not_a_wire(self):
+        gate = RqfpGate(1, 2, CONST_PORT, NORMAL_CONFIG)
+        targets = wire_targets(gate)
+        # Outputs 0 and 1 are OR-ish functions, output 2 is AND:
+        # none is a plain projection of an input.
+        assert targets == [None, None, None]
+
+    def test_normal_gate_with_two_consts_wires_through(self):
+        """R(x, 1, 1) normal: M(!x,1,1)=1, M(x,!1,1)=x, M(x,1,!1)=x."""
+        gate = RqfpGate(1, CONST_PORT, CONST_PORT, NORMAL_CONFIG)
+        targets = wire_targets(gate)
+        assert targets[1] == (0, False)
+        assert targets[2] == (0, False)
+        assert targets[0] == (-1, False)  # constant 1: the const port
+
+
+class TestBypass:
+    def test_single_splitter_chain_collapses(self):
+        """a -> splitter -> splitter -> AND(a', b) collapses the chain."""
+        netlist = RqfpNetlist(2)
+        s1 = netlist.add_gate(CONST_PORT, 1, CONST_PORT, SPLITTER_CONFIG)
+        s2 = netlist.add_gate(CONST_PORT, netlist.gate_output_port(s1, 0),
+                              CONST_PORT, SPLITTER_CONFIG)
+        g = netlist.add_gate(netlist.gate_output_port(s2, 0), 2,
+                             CONST_PORT, NORMAL_CONFIG)
+        netlist.add_output(netlist.gate_output_port(g, 2))  # a AND b
+        before = netlist.to_truth_tables()
+        simplified = bypass_wire_gates(netlist)
+        assert simplified.num_gates == 1
+        assert simplified.to_truth_tables() == before
+
+    def test_inverter_folds_into_consumer_config(self):
+        """!a feeding AND(!a, b) becomes inverter bits on the AND gate."""
+        netlist = RqfpNetlist(2)
+        inv = netlist.add_gate(1, CONST_PORT, CONST_PORT, INVERTER_CONFIG)
+        g = netlist.add_gate(netlist.gate_output_port(inv, 0), 2,
+                             CONST_PORT, NORMAL_CONFIG)
+        netlist.add_output(netlist.gate_output_port(g, 2))  # !a AND b
+        before = netlist.to_truth_tables()
+        simplified = bypass_wire_gates(netlist)
+        assert simplified.num_gates == 1
+        assert simplified.to_truth_tables() == before
+
+    def test_inverting_wire_into_po_is_kept(self):
+        """POs cannot absorb a complement, so the inverter gate stays."""
+        netlist = RqfpNetlist(1)
+        inv = netlist.add_gate(1, CONST_PORT, CONST_PORT, INVERTER_CONFIG)
+        netlist.add_output(netlist.gate_output_port(inv, 0))
+        simplified = bypass_wire_gates(netlist)
+        assert simplified.num_gates == 1
+        assert simplified.to_truth_tables() == netlist.to_truth_tables()
+
+    def test_plain_wire_into_po_is_bypassed(self):
+        netlist = RqfpNetlist(1)
+        s = netlist.add_gate(CONST_PORT, 1, CONST_PORT, SPLITTER_CONFIG)
+        netlist.add_output(netlist.gate_output_port(s, 0))
+        simplified = bypass_wire_gates(netlist)
+        assert simplified.num_gates == 0
+        assert simplified.outputs == [1]
+
+    def test_splitter_with_two_consumers_kept(self):
+        """A splitter doing real fan-out work must not be bypassed."""
+        netlist = RqfpNetlist(3)
+        s = netlist.add_gate(CONST_PORT, 1, CONST_PORT, SPLITTER_CONFIG)
+        g1 = netlist.add_gate(netlist.gate_output_port(s, 0), 2,
+                              CONST_PORT, NORMAL_CONFIG)
+        g2 = netlist.add_gate(netlist.gate_output_port(s, 1), 3,
+                              CONST_PORT, NORMAL_CONFIG)
+        netlist.add_output(netlist.gate_output_port(g1, 2))
+        netlist.add_output(netlist.gate_output_port(g2, 2))
+        simplified = bypass_wire_gates(netlist)
+        assert simplified.num_gates == 3
+        assert simplified.to_truth_tables() == netlist.to_truth_tables()
+
+    def test_preserves_single_fanout(self, rng):
+        for _ in range(20):
+            netlist = insert_splitters(
+                random_rqfp(3, 6, 2, rng, legal_fanout=True))
+            simplified = bypass_wire_gates(netlist)
+            simplified.validate(require_single_fanout=True)
+            assert simplified.to_truth_tables() == netlist.to_truth_tables()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 10), st.integers(1, 3),
+       st.integers(0, 2 ** 31))
+def test_bypass_function_invariant(num_inputs, num_gates, num_outputs, seed):
+    rng = random.Random(seed)
+    netlist = insert_splitters(
+        random_rqfp(num_inputs, num_gates, num_outputs, rng,
+                    legal_fanout=True))
+    simplified = bypass_wire_gates(netlist)
+    assert simplified.to_truth_tables() == netlist.to_truth_tables()
+    assert simplified.num_gates <= netlist.num_gates
+    simplified.validate(require_single_fanout=True)
+
+
+class TestConstantBypass:
+    def test_constant_one_output_to_po(self):
+        netlist = RqfpNetlist(1)
+        g = netlist.add_gate(CONST_PORT, CONST_PORT, CONST_PORT,
+                             0)  # M(1,1,1) = 1 on all outputs
+        netlist.add_output(netlist.gate_output_port(g, 0))
+        simplified = bypass_wire_gates(netlist)
+        assert simplified.num_gates == 0
+        assert simplified.outputs == [CONST_PORT]
+
+    def test_constant_zero_output_to_gate(self):
+        from repro.logic.truth_table import TruthTable
+        netlist = RqfpNetlist(1)
+        z = netlist.add_gate(CONST_PORT, CONST_PORT, CONST_PORT,
+                             0b111_111_111)  # M(!1,!1,!1) = 0
+        g = netlist.add_gate(1, netlist.gate_output_port(z, 0), CONST_PORT,
+                             NORMAL_CONFIG)
+        netlist.add_output(netlist.gate_output_port(g, 2))  # M(x,0,!1)=0... pick 1
+        before = netlist.to_truth_tables()
+        simplified = bypass_wire_gates(netlist)
+        assert simplified.to_truth_tables() == before
+        assert simplified.num_gates <= 1

@@ -1,0 +1,182 @@
+"""Unit + randomized tests for the CDCL SAT solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import SAT, UNKNOWN, UNSAT, Solver, luby, solve_cnf
+
+
+class TestLuby:
+    def test_prefix(self):
+        want = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [luby(i) for i in range(1, 16)] == want
+
+    def test_one_based(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+    def test_powers(self):
+        assert luby((1 << 10) - 1) == 1 << 9
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert Solver(CNF()).solve() == SAT
+
+    def test_single_unit(self):
+        cnf = CNF(1)
+        cnf.add_clause([1])
+        solver = Solver(cnf)
+        assert solver.solve() == SAT
+        assert solver.model()[1] is True
+
+    def test_contradictory_units(self):
+        cnf = CNF(1)
+        cnf.add_clauses([[1], [-1]])
+        assert Solver(cnf).solve() == UNSAT
+
+    def test_simple_implication_chain(self):
+        cnf = CNF(4)
+        cnf.add_clauses([[1], [-1, 2], [-2, 3], [-3, 4]])
+        solver = Solver(cnf)
+        assert solver.solve() == SAT
+        model = solver.model()
+        assert all(model[v] for v in (1, 2, 3, 4))
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # p[i][j]: pigeon i in hole j; vars 1..6.
+        def var(i, j):
+            return 1 + i * 2 + j
+        cnf = CNF(6)
+        for i in range(3):
+            cnf.add_clause([var(i, 0), var(i, 1)])
+        for j in range(2):
+            for i in range(3):
+                for k in range(i + 1, 3):
+                    cnf.add_clause([-var(i, j), -var(k, j)])
+        assert Solver(cnf).solve() == UNSAT
+
+    def test_php_5_4_unsat(self):
+        """A harder pigeonhole instance exercising restarts/learning."""
+        holes, pigeons = 4, 5
+
+        def var(i, j):
+            return 1 + i * holes + j
+        cnf = CNF(pigeons * holes)
+        for i in range(pigeons):
+            cnf.add_clause([var(i, j) for j in range(holes)])
+        for j in range(holes):
+            for i in range(pigeons):
+                for k in range(i + 1, pigeons):
+                    cnf.add_clause([-var(i, j), -var(k, j)])
+        assert Solver(cnf).solve() == UNSAT
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        cnf = CNF(2)
+        cnf.add_clause([1, 2])
+        solver = Solver(cnf)
+        assert solver.solve(assumptions=[-1]) == SAT
+        assert solver.model()[2] is True
+
+    def test_conflicting_assumptions(self):
+        cnf = CNF(2)
+        cnf.add_clause([-1, 2])
+        solver = Solver(cnf)
+        assert solver.solve(assumptions=[1, -2]) == UNSAT
+
+    def test_solver_reusable_after_assumption_unsat(self):
+        cnf = CNF(2)
+        cnf.add_clause([-1, 2])
+        solver = Solver(cnf)
+        assert solver.solve(assumptions=[1, -2]) == UNSAT
+        assert solver.solve() == SAT
+        assert solver.solve(assumptions=[1]) == SAT
+        assert solver.model()[2] is True
+
+
+class TestBudgets:
+    def test_conflict_budget_unknown(self):
+        """A hard PHP instance must hit a tiny conflict budget."""
+        holes, pigeons = 5, 6
+
+        def var(i, j):
+            return 1 + i * holes + j
+        cnf = CNF(pigeons * holes)
+        for i in range(pigeons):
+            cnf.add_clause([var(i, j) for j in range(holes)])
+        for j in range(holes):
+            for i in range(pigeons):
+                for k in range(i + 1, pigeons):
+                    cnf.add_clause([-var(i, j), -var(k, j)])
+        solver = Solver(cnf)
+        assert solver.solve(conflict_budget=5) == UNKNOWN
+
+    def test_budget_then_full_solve(self):
+        cnf = CNF(3)
+        cnf.add_clauses([[1, 2], [-1, 3], [-2, -3], [1, -3]])
+        solver = Solver(cnf)
+        first = solver.solve(conflict_budget=0)
+        assert first in (SAT, UNKNOWN)
+        assert solver.solve() == SAT
+
+
+class TestRandomized:
+    def test_agrees_with_brute_force(self, rng):
+        for trial in range(250):
+            nv = rng.randint(1, 8)
+            nc = rng.randint(1, 36)
+            cnf = CNF(nv)
+            for _ in range(nc):
+                width = rng.randint(1, 3)
+                cnf.add_clause([rng.choice([1, -1]) * rng.randint(1, nv)
+                                for _ in range(width)])
+            status, model = solve_cnf(cnf)
+            brute = any(
+                cnf.evaluate({v: bool((m >> (v - 1)) & 1)
+                              for v in range(1, nv + 1)})
+                for m in range(1 << nv)
+            )
+            assert (status == SAT) == brute, f"trial {trial}"
+            if status == SAT:
+                assert cnf.evaluate(model), f"trial {trial} model invalid"
+
+    def test_learned_db_reduction_path(self, rng):
+        """A larger random instance drives DB reduction and restarts."""
+        nv, nc = 60, 250
+        cnf = CNF(nv)
+        for _ in range(nc):
+            cnf.add_clause([rng.choice([1, -1]) * rng.randint(1, nv)
+                            for _ in range(3)])
+        solver = Solver(cnf)
+        status = solver.solve()
+        assert status in (SAT, UNSAT)
+        if status == SAT:
+            assert cnf.evaluate(solver.model())
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.data())
+def test_solver_model_satisfies_formula(data):
+    nv = data.draw(st.integers(1, 7))
+    clauses = data.draw(st.lists(
+        st.lists(st.integers(1, nv).flatmap(
+            lambda v: st.sampled_from([v, -v])), min_size=1, max_size=4),
+        max_size=25))
+    cnf = CNF(nv)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    status, model = solve_cnf(cnf)
+    if status == SAT:
+        assert cnf.evaluate(model)
+    else:
+        assert not any(
+            cnf.evaluate({v: bool((m >> (v - 1)) & 1)
+                          for v in range(1, nv + 1)})
+            for m in range(1 << nv)
+        )

@@ -1,0 +1,97 @@
+"""Structured SAT instances: graph coloring, parity chains, and the
+miter of two differently-optimized networks (solver integration depth)."""
+
+import random
+
+import pytest
+
+from repro.logic.truth_table import TruthTable
+from repro.networks.convert import tables_to_aig, tables_to_mig
+from repro.opt.aig_opt import resyn2
+from repro.opt.mig_opt import aqfp_resynthesis
+from repro.sat.cardinality import exactly_one
+from repro.sat.cnf import CNF
+from repro.sat.equivalence import check_equivalence
+from repro.sat.solver import SAT, UNSAT, Solver
+
+
+def _coloring_cnf(edges, vertices, colors):
+    """var(v, c) one-hot per vertex; adjacent vertices differ."""
+    cnf = CNF()
+    var = {}
+    for v in range(vertices):
+        var.update({(v, c): cnf.new_var() for c in range(colors)})
+        exactly_one(cnf, [var[(v, c)] for c in range(colors)])
+    for u, w in edges:
+        for c in range(colors):
+            cnf.add_clause([-var[(u, c)], -var[(w, c)]])
+    return cnf, var
+
+
+class TestGraphColoring:
+    def test_triangle_needs_three_colors(self):
+        triangle = [(0, 1), (1, 2), (0, 2)]
+        cnf2, _ = _coloring_cnf(triangle, 3, 2)
+        assert Solver(cnf2).solve() == UNSAT
+        cnf3, var = _coloring_cnf(triangle, 3, 3)
+        solver = Solver(cnf3)
+        assert solver.solve() == SAT
+        model = solver.model()
+        chosen = {v: next(c for c in range(3) if model[var[(v, c)]])
+                  for v in range(3)}
+        assert len(set(chosen.values())) == 3
+
+    def test_odd_cycle_not_two_colorable(self):
+        cycle = [(i, (i + 1) % 5) for i in range(5)]
+        cnf, _ = _coloring_cnf(cycle, 5, 2)
+        assert Solver(cnf).solve() == UNSAT
+
+    def test_even_cycle_two_colorable(self):
+        cycle = [(i, (i + 1) % 6) for i in range(6)]
+        cnf, _ = _coloring_cnf(cycle, 6, 2)
+        assert Solver(cnf).solve() == SAT
+
+    def test_petersen_graph_three_colorable(self):
+        outer = [(i, (i + 1) % 5) for i in range(5)]
+        spokes = [(i, i + 5) for i in range(5)]
+        inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+        edges = outer + spokes + inner
+        cnf, _ = _coloring_cnf(edges, 10, 3)
+        assert Solver(cnf).solve() == SAT
+        cnf2, _ = _coloring_cnf(edges, 10, 2)
+        assert Solver(cnf2).solve() == UNSAT
+
+
+class TestParityChains:
+    def test_xor_chain_constraint_propagation(self):
+        """x1 ^ x2 ^ ... ^ xn = 1 with all-but-one fixed forces the last."""
+        from repro.sat.tseitin import encode_xor_many
+        cnf = CNF()
+        xs = cnf.new_vars(8)
+        out = encode_xor_many(cnf, xs)
+        cnf.add_clause([out])            # parity must be odd
+        for x in xs[:-1]:
+            cnf.add_clause([-x])         # seven zeros
+        solver = Solver(cnf)
+        assert solver.solve() == SAT
+        assert solver.model()[xs[-1]] is True
+
+
+class TestCrossOptimizedMiters:
+    def test_resyn2_vs_aqfp_networks_equivalent(self, rng):
+        """Two independently optimized implementations must stay
+        SAT-provably equivalent — the CEC use-case inside RCGP."""
+        for _ in range(5):
+            tables = [TruthTable(4, rng.getrandbits(16)) for _ in range(2)]
+            aig = resyn2(tables_to_aig(tables))
+            mig = aqfp_resynthesis(tables_to_mig(tables))
+            result = check_equivalence(aig.encoder(), mig.encoder(), 4)
+            assert result.equivalent is True
+
+    def test_deliberate_bug_caught(self, rng):
+        tables = [TruthTable(4, rng.getrandbits(16))]
+        aig = resyn2(tables_to_aig(tables))
+        broken = [TruthTable(4, tables[0].bits ^ (1 << rng.randrange(16)))]
+        mig = tables_to_mig(broken)
+        result = check_equivalence(aig.encoder(), mig.encoder(), 4)
+        assert result.equivalent is False

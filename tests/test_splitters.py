@@ -1,0 +1,97 @@
+"""Unit + property tests for splitter insertion (fan-out legalization)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.random_circuits import random_rqfp
+from repro.rqfp.gate import NORMAL_CONFIG, SPLITTER_CONFIG
+from repro.rqfp.netlist import CONST_PORT, RqfpNetlist
+from repro.rqfp.splitters import count_required_splitters, insert_splitters
+
+
+def _shared_pi_netlist(consumers: int):
+    """One PI feeding `consumers` single-gate consumers."""
+    netlist = RqfpNetlist(1)
+    for g in range(consumers):
+        gate = netlist.add_gate(1, CONST_PORT, CONST_PORT, NORMAL_CONFIG)
+        netlist.add_output(netlist.gate_output_port(gate, 0))
+    return netlist
+
+
+class TestInsertSplitters:
+    def test_legal_netlist_unchanged_in_size(self):
+        netlist = RqfpNetlist(2)
+        gate = netlist.add_gate(1, 2, CONST_PORT, NORMAL_CONFIG)
+        netlist.add_output(netlist.gate_output_port(gate, 2))
+        legal = insert_splitters(netlist)
+        assert legal.num_gates == netlist.num_gates
+        assert legal.to_truth_tables() == netlist.to_truth_tables()
+
+    @pytest.mark.parametrize("k,expected_splitters", [
+        (2, 1), (3, 1), (4, 2), (5, 2), (6, 3), (7, 3),
+    ])
+    def test_splitter_counts(self, k, expected_splitters):
+        """k consumers need ceil((k-1)/2) splitters."""
+        netlist = _shared_pi_netlist(k)
+        legal = insert_splitters(netlist)
+        assert legal.num_gates == k + expected_splitters
+        assert count_required_splitters(netlist) == expected_splitters
+
+    def test_function_preserved(self):
+        netlist = _shared_pi_netlist(5)
+        legal = insert_splitters(netlist)
+        assert legal.to_truth_tables() == netlist.to_truth_tables()
+
+    def test_single_fanout_after_insertion(self):
+        netlist = _shared_pi_netlist(7)
+        legal = insert_splitters(netlist)
+        legal.validate(require_single_fanout=True)
+        assert legal.fanout_violations() == []
+
+    def test_splitter_gates_use_splitter_config(self):
+        netlist = _shared_pi_netlist(3)
+        legal = insert_splitters(netlist)
+        configs = [g.config for g in legal.gates]
+        assert configs.count(SPLITTER_CONFIG) == 1
+
+    def test_po_sharing_legalized(self):
+        """Two POs reading the same port also get a splitter."""
+        netlist = RqfpNetlist(1)
+        gate = netlist.add_gate(1, CONST_PORT, CONST_PORT, NORMAL_CONFIG)
+        port = netlist.gate_output_port(gate, 0)
+        netlist.add_output(port, "y0")
+        netlist.add_output(port, "y1")
+        legal = insert_splitters(netlist)
+        legal.validate()
+        assert legal.num_gates == 2
+        tts = legal.to_truth_tables()
+        assert tts[0] == tts[1]
+
+    def test_idempotent(self, rng):
+        for _ in range(10):
+            netlist = random_rqfp(3, 6, 2, rng)
+            once = insert_splitters(netlist)
+            twice = insert_splitters(once)
+            assert twice.num_gates == once.num_gates
+
+    def test_balanced_tree_depth(self):
+        """Queue-based splitting yields logarithmic splitter depth."""
+        netlist = _shared_pi_netlist(9)
+        legal = insert_splitters(netlist)
+        # 9 consumers need 4 splitters; a balanced tree adds depth
+        # ceil(log3-ish) = 2, not 4.
+        assert legal.depth() <= 1 + 3
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 8), st.integers(1, 3),
+       st.integers(0, 2 ** 31))
+def test_insertion_invariants(num_inputs, num_gates, num_outputs, seed):
+    import random
+    netlist = random_rqfp(num_inputs, num_gates, num_outputs,
+                          random.Random(seed))
+    legal = insert_splitters(netlist)
+    legal.validate(require_single_fanout=True)
+    assert legal.to_truth_tables() == netlist.to_truth_tables()
+    assert legal.num_gates >= netlist.num_gates

@@ -1,0 +1,53 @@
+"""Unit tests for the multi-seed statistics harness."""
+
+import pytest
+
+from repro.core.config import RcgpConfig
+from repro.harness.stats import MetricSummary, seed_sweep
+from repro.logic.truth_table import tabulate_word
+
+
+class TestMetricSummary:
+    def test_basic_statistics(self):
+        summary = MetricSummary.of([1, 2, 3, 4])
+        assert summary.minimum == 1 and summary.maximum == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.stddev == pytest.approx(1.1180, abs=1e-3)
+
+    def test_odd_median(self):
+        assert MetricSummary.of([5, 1, 3]).median == 3
+
+    def test_single_value(self):
+        summary = MetricSummary.of([7])
+        assert summary.mean == 7 and summary.stddev == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSummary.of([])
+
+    def test_str_contains_fields(self):
+        text = str(MetricSummary.of([1, 2]))
+        assert "mean" in text and "median" in text
+
+
+class TestSeedSweep:
+    def test_sweep_on_decoder(self):
+        spec = tabulate_word(lambda x: 1 << x, 2, 4)
+
+        def factory(seed):
+            return RcgpConfig(generations=120, mutation_rate=0.1,
+                              seed=seed, shrink="always")
+
+        sweep = seed_sweep(spec, seeds=[1, 2, 3], config_factory=factory,
+                           name="decoder_2_4")
+        assert sweep.gates.minimum >= 1
+        assert len(sweep.per_seed) == 3
+        assert sweep.jjs.minimum >= 24 * sweep.gates.minimum
+        report = sweep.report()
+        assert "decoder_2_4" in report and "n_r" in report
+
+    def test_empty_seed_list_rejected(self):
+        spec = tabulate_word(lambda x: x, 1, 1)
+        with pytest.raises(ValueError):
+            seed_sweep(spec, seeds=[])

@@ -1,0 +1,145 @@
+"""Unit tests for repro.logic.truth_table."""
+
+import pytest
+
+from repro.logic.truth_table import TruthTable, tables_equal, tabulate_word
+
+
+class TestConstruction:
+    def test_constant(self):
+        assert TruthTable.constant(False, 3).bits == 0
+        assert TruthTable.constant(True, 3).bits == 0xFF
+
+    def test_variable(self):
+        x0 = TruthTable.variable(0, 2)
+        assert [x0.value(t) for t in range(4)] == [0, 1, 0, 1]
+
+    def test_from_values(self):
+        tt = TruthTable.from_values([0, 1, 1, 0])
+        assert tt.num_vars == 2
+        assert tt.bits == 0b0110
+
+    def test_from_values_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            TruthTable.from_values([0, 1, 1])
+
+    def test_from_function(self):
+        xor = TruthTable.from_function(lambda a, b: a ^ b, 2)
+        assert xor == TruthTable.from_values([0, 1, 1, 0])
+
+    def test_binary_string_round_trip(self):
+        tt = TruthTable(3, 0b10110010)
+        assert TruthTable.from_binary_string(tt.to_binary_string()) == tt
+
+    def test_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 0b100)
+
+    def test_immutable(self):
+        tt = TruthTable(1, 0b01)
+        with pytest.raises(AttributeError):
+            tt.bits = 3
+
+
+class TestQueries:
+    def test_evaluate(self):
+        maj = TruthTable.from_function(lambda a, b, c: (a & b) | (a & c) | (b & c), 3)
+        assert maj.evaluate([1, 1, 0]) == 1
+        assert maj.evaluate([1, 0, 0]) == 0
+
+    def test_count_ones(self):
+        assert TruthTable.variable(0, 4).count_ones() == 8
+
+    def test_is_constant(self):
+        assert TruthTable.constant(True, 2).is_constant()
+        assert not TruthTable.variable(0, 2).is_constant()
+
+    def test_support(self):
+        f = TruthTable.from_function(lambda a, b, c: a ^ c, 3)
+        assert f.support() == [0, 2]
+        assert f.depends_on(0) and not f.depends_on(1)
+
+    def test_cofactors(self):
+        f = TruthTable.from_function(lambda a, b: a & b, 2)
+        neg, pos = f.cofactors(0)
+        assert neg == TruthTable.constant(False, 2)
+        assert pos == TruthTable.variable(1, 2)
+
+    def test_minterms(self):
+        f = TruthTable.from_values([0, 1, 0, 1])
+        assert f.minterms() == [1, 3]
+
+
+class TestOperators:
+    def test_boolean_ops_pointwise(self, rng):
+        for _ in range(50):
+            n = rng.randint(1, 5)
+            a = TruthTable(n, rng.getrandbits(1 << n))
+            b = TruthTable(n, rng.getrandbits(1 << n))
+            for t in range(1 << n):
+                assert (a & b).value(t) == (a.value(t) & b.value(t))
+                assert (a | b).value(t) == (a.value(t) | b.value(t))
+                assert (a ^ b).value(t) == (a.value(t) ^ b.value(t))
+                assert (~a).value(t) == 1 - a.value(t)
+
+    def test_majority_mux(self, rng):
+        n = 4
+        a = TruthTable(n, rng.getrandbits(16))
+        b = TruthTable(n, rng.getrandbits(16))
+        c = TruthTable(n, rng.getrandbits(16))
+        maj = TruthTable.majority(a, b, c)
+        mux = TruthTable.mux(a, b, c)
+        for t in range(16):
+            av, bv, cv = a.value(t), b.value(t), c.value(t)
+            assert maj.value(t) == (av & bv) | (av & cv) | (bv & cv)
+            assert mux.value(t) == (cv if av else bv)
+
+    def test_implies(self):
+        a = TruthTable.from_function(lambda x, y: x & y, 2)
+        b = TruthTable.from_function(lambda x, y: x | y, 2)
+        assert a.implies(b)
+        assert not b.implies(a)
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(0, 2) & TruthTable.variable(0, 3)
+
+
+class TestTransforms:
+    def test_extend_keeps_function(self):
+        f = TruthTable.from_function(lambda a, b: a ^ b, 2)
+        g = f.extend(4)
+        for t in range(16):
+            assert g.value(t) == f.value(t & 3)
+
+    def test_shrink_to_support(self):
+        f = TruthTable.from_function(lambda a, b, c: a ^ c, 3)
+        small, support = f.shrink_to_support()
+        assert support == [0, 2]
+        assert small == TruthTable.from_function(lambda a, c: a ^ c, 2)
+
+    def test_permute(self):
+        f = TruthTable.from_function(lambda a, b: a & ~b & 1, 2)
+        g = f.permute([1, 0])
+        assert g == TruthTable.from_function(lambda a, b: b & ~a & 1, 2)
+
+    def test_permute_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            TruthTable.variable(0, 2).permute([0, 0])
+
+
+class TestTabulateWord:
+    def test_adder(self):
+        tables = tabulate_word(lambda x: (x & 1) + ((x >> 1) & 1), 2, 2)
+        assert tables[0] == TruthTable.from_function(lambda a, b: a ^ b, 2)
+        assert tables[1] == TruthTable.from_function(lambda a, b: a & b, 2)
+
+    def test_out_of_range_output_rejected(self):
+        with pytest.raises(ValueError):
+            tabulate_word(lambda x: 4, 2, 2)
+
+    def test_tables_equal(self):
+        a = tabulate_word(lambda x: x, 2, 2)
+        b = tabulate_word(lambda x: x, 2, 2)
+        assert tables_equal(a, b)
+        assert not tables_equal(a, b[:1])

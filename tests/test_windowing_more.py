@@ -1,0 +1,86 @@
+"""Additional windowing coverage: growth splices, whole-netlist windows,
+interaction with the evaluator's invariants."""
+
+import random
+
+import pytest
+
+from repro.core.config import RcgpConfig
+from repro.core.synthesis import initialize_netlist
+from repro.core.windowing import (
+    Window,
+    analyze_window,
+    extract_window,
+    splice_window,
+    windowed_optimize,
+)
+from repro.rqfp.gate import NORMAL_CONFIG, SPLITTER_CONFIG
+from repro.rqfp.netlist import CONST_PORT, RqfpNetlist
+
+
+def _three_chain():
+    netlist = RqfpNetlist(2)
+    g0 = netlist.add_gate(1, 2, CONST_PORT, NORMAL_CONFIG)
+    g1 = netlist.add_gate(netlist.gate_output_port(g0, 2), CONST_PORT,
+                          CONST_PORT, NORMAL_CONFIG)
+    g2 = netlist.add_gate(netlist.gate_output_port(g1, 1), CONST_PORT,
+                          CONST_PORT, NORMAL_CONFIG)
+    netlist.add_output(netlist.gate_output_port(g2, 2))
+    return netlist
+
+
+class TestGrowthSplice:
+    def test_replacement_larger_than_window(self):
+        """Splicing a *bigger* sub-netlist must re-index the suffix up."""
+        netlist = _three_chain()
+        window = analyze_window(netlist, 1, 2)  # just g1
+        sub = extract_window(netlist, window)
+        # Pad the replacement with a pass-through splitter stage.
+        grown = RqfpNetlist(sub.num_inputs)
+        s = grown.add_gate(CONST_PORT, 1, CONST_PORT, SPLITTER_CONFIG)
+        gate = sub.gates[0]
+
+        def remap(port):
+            if port == 1:
+                return grown.gate_output_port(s, 0)
+            return port
+        g = grown.add_gate(remap(gate.in0), remap(gate.in1),
+                           remap(gate.in2), gate.config)
+        for port in sub.outputs:
+            index = sub.port_output_index(port)
+            grown.add_output(grown.gate_output_port(g, index))
+        assert grown.to_truth_tables() == sub.to_truth_tables()
+
+        spliced = splice_window(netlist, window, grown)
+        assert spliced.num_gates == netlist.num_gates + 1
+        assert spliced.to_truth_tables() == netlist.to_truth_tables()
+
+    def test_whole_netlist_window(self):
+        netlist = _three_chain()
+        window = analyze_window(netlist, 0, netlist.num_gates)
+        assert window.input_ports == [1, 2]
+        sub = extract_window(netlist, window)
+        assert sub.to_truth_tables() == netlist.to_truth_tables()
+        spliced = splice_window(netlist, window, sub)
+        assert spliced.to_truth_tables() == netlist.to_truth_tables()
+
+
+class TestWindowedOptimizeMore:
+    def test_multiple_rounds_monotone(self):
+        netlist = initialize_netlist(
+            __import__("repro.bench.reciprocal",
+                       fromlist=["intdiv"]).intdiv(4), "intdiv4")
+        config = RcgpConfig(generations=100, mutation_rate=1.0,
+                            max_mutated_genes=4, seed=2, shrink="always")
+        one = windowed_optimize(netlist, window_gates=6, rounds=1,
+                                config=config, seed=3)
+        two = windowed_optimize(netlist, window_gates=6, rounds=2,
+                                config=config, seed=3)
+        assert two.gates_after <= one.gates_before
+        assert two.netlist.to_truth_tables() == netlist.to_truth_tables()
+
+    def test_window_struct_fields(self):
+        netlist = _three_chain()
+        window = analyze_window(netlist, 0, 2)
+        assert isinstance(window, Window)
+        assert window.num_gates == 2
