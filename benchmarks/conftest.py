@@ -5,6 +5,8 @@ runs 5·10⁷ CGP generations on a Xeon server; see EXPERIMENTS.md).  Knobs:
 
 * ``RCGP_BENCH_GENERATIONS`` — CGP generations per testcase (default 4000)
 * ``RCGP_BENCH_EXACT_CONFLICTS`` / ``RCGP_BENCH_EXACT_TIME`` — exact budget
+* ``RCGP_BENCH_WORKERS`` — offspring-evaluation processes (0 = inline)
+* ``RCGP_BENCH_TELEMETRY_DIR`` — per-benchmark JSONL telemetry events
 * ``RCGP_BENCH_FULL=1`` — run every Table-2 row including hwb8/intdiv10
   (hours); by default the heaviest rows run with tiny CGP budgets.
 """

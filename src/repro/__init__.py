@@ -27,6 +27,7 @@ Subpackages
 """
 
 from .core.config import RcgpConfig
+from .core.engine import EvolutionRun, TelemetryWriter, read_telemetry
 from .core.evolution import EvolutionResult, evolve
 from .core.fitness import Evaluator, Fitness
 from .core.synthesis import (
@@ -64,7 +65,10 @@ __all__ = [
     "SynthesisResult",
     "BaselineResult",
     "evolve",
+    "EvolutionRun",
     "EvolutionResult",
+    "TelemetryWriter",
+    "read_telemetry",
     "Evaluator",
     "Fitness",
     "exact_synthesize",

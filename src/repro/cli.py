@@ -44,6 +44,12 @@ def _add_rcgp_options(parser: argparse.ArgumentParser) -> None:
                                              "never"), default="always")
     parser.add_argument("--time-budget", type=float, default=None,
                         help="wall-clock cap in seconds")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="offspring-evaluation processes (0/1 inline; "
+                             "N>1 uses a persistent pool, bit-identical "
+                             "results for a fixed seed)")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="write per-generation JSONL telemetry events")
 
 
 def _config_from(args: argparse.Namespace) -> RcgpConfig:
@@ -56,6 +62,8 @@ def _config_from(args: argparse.Namespace) -> RcgpConfig:
         shrink=args.shrink,
         time_budget=args.time_budget,
         verify_method=args.verify_method,
+        workers=args.workers,
+        telemetry_path=args.telemetry,
     )
 
 
@@ -197,7 +205,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return RcgpConfig(generations=args.generations,
                           mutation_rate=args.mutation_rate,
                           max_mutated_genes=args.max_genes,
-                          seed=seed, shrink=args.shrink)
+                          seed=seed, shrink=args.shrink,
+                          workers=args.workers)
 
     sweep = seed_sweep(spec, seeds, factory, name=name)
     print(sweep.report())

@@ -1,6 +1,17 @@
 """RCGP core: CGP encoding, mutation, fitness, evolution, full flow."""
 
 from .config import RcgpConfig
+from .engine import (
+    EvaluationBackend,
+    EvolutionRun,
+    FitnessCache,
+    InlineBackend,
+    ProcessPoolBackend,
+    TelemetryWriter,
+    decode_genome,
+    encode_genome,
+    read_telemetry,
+)
 from .evolution import EvolutionResult, evolve
 from .fitness import Evaluator, Fitness
 from .mutation import chromosome_length, mutate
@@ -32,6 +43,15 @@ __all__ = [
     "RcgpConfig",
     "Fitness",
     "Evaluator",
+    "EvolutionRun",
+    "EvaluationBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "FitnessCache",
+    "TelemetryWriter",
+    "encode_genome",
+    "decode_genome",
+    "read_telemetry",
     "mutate",
     "chromosome_length",
     "evolve",

@@ -11,8 +11,9 @@ every reported number.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Dict, Optional
 
 
 @dataclass
@@ -83,10 +84,48 @@ class RcgpConfig:
     track_history: bool = False
     """Record (generation, fitness) improvement events."""
 
+    workers: int = 0
+    """Offspring-evaluation parallelism: ``0`` or ``1`` evaluates inline;
+    ``N > 1`` fans each generation's λ offspring out across a persistent
+    ``N``-process pool (see :mod:`repro.core.engine`).  Results are
+    bit-identical to inline mode for a fixed seed."""
+
+    eval_cache_size: int = 100_000
+    """Capacity of the genome-hash → fitness memo cache (``0``
+    disables).  Duplicate mutants — common at low mutation rates and on
+    plateaus — are never re-simulated."""
+
+    telemetry_path: Optional[str] = None
+    """Write per-generation JSONL telemetry events to this file
+    (None: no telemetry)."""
+
     # Mutation-kind toggles, used by the ablation benchmarks (A1).
     enable_input_mutation: bool = True
     enable_output_mutation: bool = True
     enable_inverter_mutation: bool = True
+
+    # ------------------------------------------------------------------
+    # Serialization: the single canonical way a config crosses a
+    # process/file boundary (checkpoints, multi-start workers, pool
+    # initializers).  Every field round-trips — nothing is dropped.
+
+    def to_dict(self) -> Dict[str, Any]:
+        """All fields as a plain JSON-serializable dictionary."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RcgpConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are ignored so configs written by newer versions
+        still load (forward compatibility for checkpoints).
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def replace(self, **changes: Any) -> "RcgpConfig":
+        """A copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
 
     def __post_init__(self):
         if self.generations < 0:
@@ -99,6 +138,10 @@ class RcgpConfig:
             raise ValueError(f"unknown shrink mode {self.shrink!r}")
         if self.verify_method not in ("sat", "bdd"):
             raise ValueError(f"unknown verify_method {self.verify_method!r}")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.eval_cache_size < 0:
+            raise ValueError("eval_cache_size must be >= 0")
         if not (self.enable_input_mutation or self.enable_output_mutation
                 or self.enable_inverter_mutation):
             raise ValueError("at least one mutation kind must stay enabled")

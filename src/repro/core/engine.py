@@ -1,0 +1,599 @@
+"""The RCGP evolution engine: one run API, pluggable offspring evaluation.
+
+The paper's headline cost is the ``(1 + λ)`` inner loop — up to 5·10⁷
+generations per circuit.  This module is the architectural seam that
+makes that loop scale without changing its semantics:
+
+* :class:`EvolutionRun` — the single entry point.  ``evolve``,
+  ``evolve_with_checkpoints``, ``multi_start`` and ``windowed_optimize``
+  are thin shims over it.
+* :class:`EvaluationBackend` — protocol for evaluating a batch of
+  offspring genomes.  :class:`InlineBackend` evaluates in-process;
+  :class:`ProcessPoolBackend` fans the batch out across a *persistent*
+  worker pool (spawned once per run, not per generation).
+* **Compact genomes** — candidates cross the process boundary as flat
+  tuples of port indices (:func:`encode_genome`), not pickled netlist
+  objects; the same tuple doubles as the memo-cache key.
+* **Fitness memo cache** — duplicate mutants (common at low mutation
+  rates and on plateaus) are never re-simulated.
+* **Deterministic parallelism** — every offspring gets its own RNG
+  stream derived from ``(seed, generation, offspring index)``, so a run
+  is bit-identical for a fixed seed regardless of worker count.
+
+Parallel evaluation requires the fitness function to be *pure*: it is
+used when simulation is exhaustive, or when SAT verification is off and
+the random pattern set is seeded.  Otherwise (the SAT counterexample
+feedback loop mutates the evaluator) the engine silently falls back to
+inline evaluation; the chosen backend is reported in the telemetry
+``run_start`` event.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, IO, List, Optional, Protocol, Sequence,
+                    Tuple)
+
+from ..errors import SynthesisError
+from ..logic.truth_table import TruthTable
+from ..rqfp.netlist import RqfpNetlist
+from ..rqfp.simplify import bypass_wire_gates
+from .config import RcgpConfig
+from .fitness import Evaluator, Fitness
+from .mutation import mutate
+
+ProgressCallback = Callable[[int, Fitness], None]
+
+Genome = Tuple[int, ...]
+"""Flat port-index encoding: ``(n_pi, n_gates, in0, in1, in2, config,
+..., po0, po1, ...)``.  Hashable (memo-cache key) and cheap to pickle
+(pool transport); names are dropped — genomes exist to be evaluated."""
+
+
+# ----------------------------------------------------------------------
+# Genome codec
+
+
+def encode_genome(netlist: RqfpNetlist) -> Genome:
+    """Netlist -> compact port-index tuple (loses only the names)."""
+    flat: List[int] = [netlist.num_inputs, netlist.num_gates]
+    for gate in netlist.gates:
+        flat.extend((gate.in0, gate.in1, gate.in2, gate.config))
+    flat.extend(netlist.outputs)
+    return tuple(flat)
+
+
+def decode_genome(genome: Genome, name: str = "") -> RqfpNetlist:
+    """Inverse of :func:`encode_genome` (fresh default port names)."""
+    num_inputs, num_gates = genome[0], genome[1]
+    netlist = RqfpNetlist(num_inputs, name)
+    base = 2
+    for g in range(num_gates):
+        i = base + 4 * g
+        netlist.add_gate(genome[i], genome[i + 1], genome[i + 2],
+                         genome[i + 3])
+    for port in genome[base + 4 * num_gates:]:
+        netlist.add_output(port)
+    return netlist
+
+
+def child_seed(base_seed: int, generation: int, index: int) -> int:
+    """Deterministic, well-mixed RNG seed for one offspring.
+
+    Derived by hashing rather than arithmetic so neighbouring
+    ``(generation, index)`` pairs give unrelated streams, and fixed
+    independently of evaluation order or worker count.
+    """
+    data = f"{base_seed}:{generation}:{index}".encode()
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(),
+                          "big")
+
+
+# ----------------------------------------------------------------------
+# Fitness memo cache
+
+
+class FitnessCache:
+    """Bounded LRU map from genome tuples to :class:`Fitness`.
+
+    Evaluation is pure in the modes where the cache is trusted, so a hit
+    is always exact.  The engine clears the cache whenever the
+    evaluator's pattern set changes (SAT counterexample feedback), which
+    is the one mode where results could go stale.
+    """
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Genome, Fitness]" = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def get(self, genome: Genome) -> Optional[Fitness]:
+        found = self._data.get(genome)
+        if found is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(genome)
+        self.hits += 1
+        return found
+
+    def put(self, genome: Genome, fitness: Fitness) -> None:
+        if not self.enabled:
+            return
+        self._data[genome] = fitness
+        self._data.move_to_end(genome)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+# ----------------------------------------------------------------------
+# Evaluation backends
+
+
+class EvaluationBackend(Protocol):
+    """Evaluates a batch of genomes; results keep the batch order."""
+
+    name: str
+
+    def evaluate(self, genomes: Sequence[Genome]) -> List[Fitness]:
+        """Fitness of every genome, in order."""
+        ...  # pragma: no cover
+
+    def close(self) -> None:
+        """Release any resources (worker processes)."""
+        ...  # pragma: no cover
+
+
+class InlineBackend:
+    """Evaluate in the calling process, through a shared evaluator."""
+
+    name = "inline"
+
+    def __init__(self, evaluator: Evaluator):
+        self._evaluator = evaluator
+
+    def evaluate(self, genomes: Sequence[Genome]) -> List[Fitness]:
+        return [self._evaluator.evaluate(decode_genome(g)) for g in genomes]
+
+    def close(self) -> None:
+        pass
+
+
+# Worker-side state for ProcessPoolBackend.  One evaluator per worker
+# process, built once by the pool initializer; jobs then ship only
+# genome tuples and get back plain fitness tuples.
+_WORKER_EVALUATOR: Optional[Evaluator] = None
+
+
+def _pool_initializer(spec_bits: List[int], num_vars: int,
+                      config_dict: Dict[str, object]) -> None:
+    global _WORKER_EVALUATOR
+    spec = [TruthTable(num_vars, bits) for bits in spec_bits]
+    _WORKER_EVALUATOR = Evaluator(spec, RcgpConfig.from_dict(config_dict))
+
+
+def _pool_evaluate(genomes: Sequence[Genome]) \
+        -> List[Tuple[float, int, int, int]]:
+    evaluator = _WORKER_EVALUATOR
+    assert evaluator is not None, "pool worker used before initialization"
+    out = []
+    for genome in genomes:
+        fit = evaluator.evaluate(decode_genome(genome))
+        out.append((fit.success, fit.n_r, fit.n_g, fit.n_b))
+    return out
+
+
+class ProcessPoolBackend:
+    """Persistent process pool; workers hold a pre-built evaluator.
+
+    The pool is spawned once per run.  Each batch is split into at most
+    ``workers`` contiguous chunks so per-task IPC overhead is amortized
+    over several offspring, and chunk results are concatenated in
+    submission order (determinism does not depend on completion order).
+
+    Only valid when evaluation is pure (exhaustive simulation, or
+    seeded random patterns without SAT feedback) — the engine enforces
+    this via :func:`parallel_safe`.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, spec: Sequence[TruthTable], config: RcgpConfig,
+                 workers: int):
+        from concurrent.futures import ProcessPoolExecutor
+        if workers < 2:
+            raise ValueError("ProcessPoolBackend needs workers >= 2")
+        spec = list(spec)
+        self.workers = workers
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_initializer,
+            initargs=([t.bits for t in spec], spec[0].num_vars,
+                      config.to_dict()),
+        )
+
+    def evaluate(self, genomes: Sequence[Genome]) -> List[Fitness]:
+        genomes = list(genomes)
+        if not genomes:
+            return []
+        chunks = self._chunk(genomes)
+        futures = [self._pool.submit(_pool_evaluate, chunk)
+                   for chunk in chunks]
+        results: List[Fitness] = []
+        for future in futures:
+            results.extend(Fitness(*values) for values in future.result())
+        return results
+
+    def _chunk(self, genomes: List[Genome]) -> List[List[Genome]]:
+        n = min(self.workers, len(genomes))
+        size, extra = divmod(len(genomes), n)
+        chunks, at = [], 0
+        for i in range(n):
+            width = size + (1 if i < extra else 0)
+            chunks.append(genomes[at:at + width])
+            at += width
+        return chunks
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def parallel_safe(evaluator: Evaluator, config: RcgpConfig) -> bool:
+    """Whether fitness evaluation is pure enough to run in a pool.
+
+    Exhaustive simulation is pure.  Sampled simulation without SAT is
+    pure iff the pattern set is reproducible (seeded).  Sampled
+    simulation *with* SAT feeds counterexamples back into the pattern
+    set, so workers would drift from the parent process — not safe.
+    """
+    if evaluator.exhaustive:
+        return True
+    return not config.verify_with_sat and config.seed is not None
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+
+
+class TelemetryWriter:
+    """Structured JSONL event sink for evolution runs.
+
+    One JSON object per line; every event carries an ``"event"`` tag
+    (``run_start`` / ``generation`` / ``run_end``).  Consumed by the CLI
+    (``--telemetry``), the harness (``RCGP_BENCH_TELEMETRY_DIR``) and
+    any external dashboard that can tail a file.
+    """
+
+    def __init__(self, path_or_file):
+        if hasattr(path_or_file, "write"):
+            self._handle: IO[str] = path_or_file
+            self._owns = False
+        else:
+            self._handle = open(path_or_file, "w")
+            self._owns = True
+
+    def emit(self, event: str, **fields: object) -> None:
+        record = {"event": event}
+        record.update(fields)
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns:
+            self._handle.close()
+
+
+def read_telemetry(path: str) -> List[dict]:
+    """Parse a telemetry JSONL file back into event dictionaries."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Results
+
+
+@dataclass
+class EvolutionResult:
+    """Outcome of a CGP optimization run."""
+
+    netlist: RqfpNetlist
+    fitness: Fitness
+    initial_fitness: Fitness
+    generations: int
+    evaluations: int
+    runtime: float
+    history: List[Tuple[int, Fitness]] = field(default_factory=list)
+    sat_calls: int = 0
+    cache_hits: int = 0
+    backend: str = "inline"
+
+    @property
+    def gate_reduction(self) -> float:
+        """Fractional reduction in n_r relative to the initial netlist."""
+        if self.initial_fitness.n_r == 0:
+            return 0.0
+        return 1.0 - self.fitness.n_r / self.initial_fitness.n_r
+
+
+# ----------------------------------------------------------------------
+# The run API
+
+
+class EvolutionRun:
+    """One configured ``(1 + λ)`` optimization run (§3.2.4, Algorithm 1).
+
+    >>> run = EvolutionRun(spec, RcgpConfig(generations=2000, seed=7))
+    >>> result = run.run()
+
+    Each generation mutates the single best parent into λ offspring
+    (each from its own deterministic RNG stream), evaluates them through
+    the configured backend behind the memo cache, and accepts an
+    offspring whose fitness is better *or equal* (neutral drift, §3.2.4)
+    as the next parent.  Useless gates are shrunk from accepted parents
+    per the configured policy (§3.2.3).
+
+    Parameters
+    ----------
+    spec:
+        Target truth tables, one per primary output.
+    config:
+        All knobs, including ``workers`` (0/1 = inline, N>1 = process
+        pool), ``eval_cache_size`` and ``telemetry_path``.
+    initial:
+        Starting netlist; defaults to the §3.1 initialization flow.
+    progress:
+        Callback ``(generation, fitness)`` fired on improvements.
+    telemetry:
+        Pre-built :class:`TelemetryWriter`; overrides
+        ``config.telemetry_path``.
+    backend:
+        Pre-built :class:`EvaluationBackend`; overrides
+        ``config.workers``.  The caller keeps ownership (it is not
+        closed by :meth:`run`).
+    """
+
+    def __init__(self, spec: Sequence[TruthTable],
+                 config: Optional[RcgpConfig] = None, *,
+                 initial: Optional[RqfpNetlist] = None,
+                 name: str = "",
+                 progress: Optional[ProgressCallback] = None,
+                 telemetry: Optional[TelemetryWriter] = None,
+                 backend: Optional[EvaluationBackend] = None):
+        self.spec = list(spec)
+        self.config = config or RcgpConfig()
+        self.initial = initial
+        self.name = name
+        self.progress = progress
+        self._telemetry = telemetry
+        self._backend = backend
+
+    # -- internals -----------------------------------------------------
+
+    def _make_backend(self, evaluator: Evaluator) -> \
+            Tuple[EvaluationBackend, bool]:
+        """Backend per config; returns ``(backend, engine_owns_it)``."""
+        if self._backend is not None:
+            return self._backend, False
+        config = self.config
+        if config.workers > 1 and config.generations > 0 \
+                and parallel_safe(evaluator, config):
+            return ProcessPoolBackend(self.spec, config,
+                                      config.workers), True
+        return InlineBackend(evaluator), True
+
+    def _fitness_of(self, genome: Genome, netlist: RqfpNetlist,
+                    evaluator: Evaluator, cache: FitnessCache) -> Fitness:
+        """Cache-aware single evaluation through the master evaluator."""
+        if cache.enabled:
+            found = cache.get(genome)
+            if found is not None:
+                return found
+        epoch = evaluator.pattern_epoch
+        fitness = evaluator.evaluate(netlist)
+        if evaluator.pattern_epoch != epoch:
+            cache.clear()
+        else:
+            cache.put(genome, fitness)
+        return fitness
+
+    # -- the run -------------------------------------------------------
+
+    def run(self) -> EvolutionResult:
+        config = self.config
+        spec = self.spec
+        evaluator = Evaluator(spec, config, random.Random(config.seed))
+        cache = FitnessCache(config.eval_cache_size)
+        if config.seed is not None:
+            base_seed = config.seed
+        else:
+            base_seed = random.SystemRandom().getrandbits(48)
+
+        if self.initial is not None:
+            parent = self.initial.copy()
+        else:
+            from .synthesis import initialize_netlist
+            parent = initialize_netlist(spec, self.name)
+
+        parent_genome = encode_genome(parent)
+        parent_fitness = self._fitness_of(parent_genome, parent,
+                                          evaluator, cache)
+        if not parent_fitness.functional:
+            raise SynthesisError(
+                "initial netlist does not realize the specification: "
+                f"{parent_fitness}"
+            )
+        initial_fitness = parent_fitness
+        history: List[Tuple[int, Fitness]] = [(0, parent_fitness)]
+
+        backend, owns_backend = self._make_backend(evaluator)
+        telemetry = self._telemetry
+        owns_telemetry = False
+        if telemetry is None and config.telemetry_path is not None:
+            telemetry = TelemetryWriter(config.telemetry_path)
+            owns_telemetry = True
+
+        pool_evaluations = 0
+        start = time.monotonic()
+        stagnation = 0
+        generation = 0
+        if telemetry is not None:
+            telemetry.emit(
+                "run_start", name=self.name,
+                num_inputs=spec[0].num_vars, num_outputs=len(spec),
+                generations=config.generations, offspring=config.offspring,
+                workers=config.workers, backend=backend.name,
+                seed=config.seed, initial_key=list(parent_fitness.key()),
+            )
+        try:
+            for generation in range(1, config.generations + 1):
+                if config.time_budget is not None and \
+                        time.monotonic() - start >= config.time_budget:
+                    generation -= 1
+                    break
+
+                # Mutation: one private RNG stream per offspring, so the
+                # mutant set is a function of (seed, generation) alone.
+                children = []
+                for i in range(config.offspring):
+                    rng = random.Random(
+                        child_seed(base_seed, generation, i))
+                    child = mutate(parent, rng, config)
+                    children.append((encode_genome(child), child))
+
+                # Evaluation: memo-cache lookup first, then one batched
+                # backend call over the distinct misses.
+                fitnesses: List[Optional[Fitness]] = \
+                    [None] * len(children)
+                miss_order: List[Genome] = []
+                miss_slots: Dict[Genome, List[int]] = {}
+                for slot, (genome, _child) in enumerate(children):
+                    if not cache.enabled:
+                        miss_order.append(genome)
+                        miss_slots.setdefault(genome, []).append(slot)
+                        continue
+                    found = cache.get(genome)
+                    if found is not None:
+                        fitnesses[slot] = found
+                    elif genome in miss_slots:
+                        # Duplicate within the batch: evaluate once.
+                        cache.hits += 1
+                        cache.misses -= 1
+                        miss_slots[genome].append(slot)
+                    else:
+                        miss_order.append(genome)
+                        miss_slots[genome] = [slot]
+                if miss_order:
+                    epoch = evaluator.pattern_epoch
+                    evaluated = backend.evaluate(miss_order)
+                    if isinstance(backend, ProcessPoolBackend):
+                        pool_evaluations += len(miss_order)
+                    for genome, fitness in zip(miss_order, evaluated):
+                        for slot in miss_slots[genome]:
+                            fitnesses[slot] = fitness
+                    if evaluator.pattern_epoch != epoch:
+                        cache.clear()
+                    else:
+                        for genome, fitness in zip(miss_order, evaluated):
+                            cache.put(genome, fitness)
+
+                # Selection: later offspring win ties, matching the
+                # historical serial loop (>= replacement).
+                best_slot = 0
+                for slot in range(1, len(children)):
+                    if fitnesses[slot].key() >= fitnesses[best_slot].key():
+                        best_slot = slot
+                best_fitness = fitnesses[best_slot]
+                best_child = children[best_slot][1]
+                assert best_fitness is not None
+
+                accepted = best_fitness.key() >= parent_fitness.key()
+                improved = False
+                if accepted:
+                    improved = best_fitness.key() > parent_fitness.key()
+                    parent, parent_fitness = best_child, best_fitness
+                    if config.shrink == "always" or (
+                            config.shrink == "on_improvement" and improved):
+                        parent = parent.shrink()
+                    if improved and config.simplify_wires:
+                        simplified = bypass_wire_gates(parent)
+                        if simplified.num_gates < parent.num_gates:
+                            parent = simplified
+                            parent_fitness = self._fitness_of(
+                                encode_genome(parent), parent,
+                                evaluator, cache)
+                    if improved:
+                        stagnation = 0
+                        if config.track_history:
+                            history.append((generation, parent_fitness))
+                        if self.progress is not None:
+                            self.progress(generation, parent_fitness)
+                if telemetry is not None:
+                    telemetry.emit(
+                        "generation", generation=generation,
+                        best_key=list(parent_fitness.key()),
+                        improved=improved, accepted=accepted,
+                        evaluations=evaluator.evaluations + pool_evaluations,
+                        cache_hits=cache.hits,
+                        sat_calls=evaluator.sat_calls,
+                        wall_time=round(time.monotonic() - start, 6),
+                    )
+                if improved:
+                    continue
+                stagnation += 1
+                if config.stagnation_limit is not None and \
+                        stagnation >= config.stagnation_limit:
+                    break
+
+            final = evaluator.finalize(parent)
+            final_fitness = evaluator.evaluate(final)
+            if not final_fitness.functional:
+                raise SynthesisError("finalized netlist lost functionality")
+            runtime = time.monotonic() - start
+            result = EvolutionResult(
+                netlist=final,
+                fitness=final_fitness,
+                initial_fitness=initial_fitness,
+                generations=generation,
+                evaluations=evaluator.evaluations + pool_evaluations,
+                runtime=runtime,
+                history=history if config.track_history else [],
+                sat_calls=evaluator.sat_calls,
+                cache_hits=cache.hits,
+                backend=backend.name,
+            )
+            if telemetry is not None:
+                telemetry.emit(
+                    "run_end", generations=result.generations,
+                    evaluations=result.evaluations,
+                    cache_hits=result.cache_hits,
+                    sat_calls=result.sat_calls,
+                    runtime=round(runtime, 6),
+                    final_key=list(final_fitness.key()),
+                )
+            return result
+        finally:
+            if owns_backend:
+                backend.close()
+            if owns_telemetry and telemetry is not None:
+                telemetry.close()

@@ -6,116 +6,33 @@ offspring whose fitness is **better or equal** becomes the next parent
 shrunk from the accepted parent according to the configured policy,
 reducing the chromosome length — and with it the search space — exactly
 as §3.2.3 argues.
+
+The loop itself lives in :mod:`repro.core.engine` behind the
+:class:`~repro.core.engine.EvolutionRun` API, which adds offspring
+parallelism, fitness memoization and telemetry without changing the
+algorithm; :func:`evolve` is the stable functional entry point over it.
 """
 
 from __future__ import annotations
 
-import random
-import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-from ..errors import SynthesisError
 from ..logic.truth_table import TruthTable
 from ..rqfp.netlist import RqfpNetlist
 from .config import RcgpConfig
-from .fitness import Evaluator, Fitness
-from .mutation import mutate
-from ..rqfp.simplify import bypass_wire_gates
+from .engine import EvolutionResult, EvolutionRun, ProgressCallback
 
-ProgressCallback = Callable[[int, Fitness], None]
-
-
-@dataclass
-class EvolutionResult:
-    """Outcome of a CGP optimization run."""
-
-    netlist: RqfpNetlist
-    fitness: Fitness
-    initial_fitness: Fitness
-    generations: int
-    evaluations: int
-    runtime: float
-    history: List[Tuple[int, Fitness]] = field(default_factory=list)
-    sat_calls: int = 0
-
-    @property
-    def gate_reduction(self) -> float:
-        """Fractional reduction in n_r relative to the initial netlist."""
-        if self.initial_fitness.n_r == 0:
-            return 0.0
-        return 1.0 - self.fitness.n_r / self.initial_fitness.n_r
+__all__ = ["EvolutionResult", "ProgressCallback", "evolve"]
 
 
 def evolve(initial: RqfpNetlist, spec: Sequence[TruthTable],
            config: Optional[RcgpConfig] = None,
            progress: Optional[ProgressCallback] = None) -> EvolutionResult:
-    """Optimize ``initial`` (a functional RQFP netlist) against ``spec``."""
-    config = config or RcgpConfig()
-    rng = random.Random(config.seed)
-    evaluator = Evaluator(spec, config, rng)
+    """Optimize ``initial`` (a functional RQFP netlist) against ``spec``.
 
-    parent = initial.copy()
-    parent_fitness = evaluator.evaluate(parent)
-    if not parent_fitness.functional:
-        raise SynthesisError(
-            "initial netlist does not realize the specification: "
-            f"{parent_fitness}"
-        )
-    initial_fitness = parent_fitness
-    history: List[Tuple[int, Fitness]] = [(0, parent_fitness)]
-
-    start = time.monotonic()
-    stagnation = 0
-    generation = 0
-    for generation in range(1, config.generations + 1):
-        if config.time_budget is not None and \
-                time.monotonic() - start >= config.time_budget:
-            generation -= 1
-            break
-        best_child: Optional[RqfpNetlist] = None
-        best_fitness: Optional[Fitness] = None
-        for _ in range(config.offspring):
-            child = mutate(parent, rng, config)
-            fitness = evaluator.evaluate(child)
-            if best_fitness is None or fitness.key() >= best_fitness.key():
-                best_child, best_fitness = child, fitness
-        assert best_child is not None and best_fitness is not None
-        if best_fitness.key() >= parent_fitness.key():
-            improved = best_fitness.key() > parent_fitness.key()
-            parent, parent_fitness = best_child, best_fitness
-            if config.shrink == "always" or (
-                    config.shrink == "on_improvement" and improved):
-                parent = parent.shrink()
-            if improved and config.simplify_wires:
-                simplified = bypass_wire_gates(parent)
-                if simplified.num_gates < parent.num_gates:
-                    parent = simplified
-                    parent_fitness = evaluator.evaluate(parent)
-            if improved:
-                stagnation = 0
-                if config.track_history:
-                    history.append((generation, parent_fitness))
-                if progress is not None:
-                    progress(generation, parent_fitness)
-                continue
-        stagnation += 1
-        if config.stagnation_limit is not None and \
-                stagnation >= config.stagnation_limit:
-            break
-
-    final = evaluator.finalize(parent)
-    final_fitness = evaluator.evaluate(final)
-    if not final_fitness.functional:
-        raise SynthesisError("finalized netlist lost functionality")
-    runtime = time.monotonic() - start
-    return EvolutionResult(
-        netlist=final,
-        fitness=final_fitness,
-        initial_fitness=initial_fitness,
-        generations=generation,
-        evaluations=evaluator.evaluations,
-        runtime=runtime,
-        history=history if config.track_history else [],
-        sat_calls=evaluator.sat_calls,
-    )
+    Thin shim over :class:`repro.core.engine.EvolutionRun`; set
+    ``config.workers`` to evaluate offspring across a process pool and
+    ``config.telemetry_path`` for per-generation JSONL events.
+    """
+    return EvolutionRun(spec, config, initial=initial,
+                        progress=progress).run()

@@ -36,9 +36,16 @@ from ..sat.equivalence import check_against_tables
 from .config import RcgpConfig
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Fitness:
-    """Lexicographic fitness; bigger key is better."""
+    """Lexicographic fitness; bigger key is better.
+
+    All comparisons — including equality and hashing — are defined over
+    :meth:`key`, giving a consistent total order: two fitnesses with
+    equal keys are equal even when their raw fields differ (e.g. two
+    non-functional candidates with different gate counts).  Compare
+    raw fields explicitly when object identity matters.
+    """
 
     success: float
     n_r: int = 0
@@ -54,10 +61,32 @@ class Fitness:
             return (self.success, 0, 0, 0)
         return (1.0, -self.n_r, -self.n_g, -self.n_b)
 
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fitness):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __lt__(self, other: "Fitness") -> bool:
+        if not isinstance(other, Fitness):
+            return NotImplemented
+        return self.key() < other.key()
+
+    def __le__(self, other: "Fitness") -> bool:
+        if not isinstance(other, Fitness):
+            return NotImplemented
+        return self.key() <= other.key()
+
     def __ge__(self, other: "Fitness") -> bool:
+        if not isinstance(other, Fitness):
+            return NotImplemented
         return self.key() >= other.key()
 
     def __gt__(self, other: "Fitness") -> bool:
+        if not isinstance(other, Fitness):
+            return NotImplemented
         return self.key() > other.key()
 
     def __str__(self) -> str:
@@ -94,6 +123,17 @@ class Evaluator:
             self._rebuild_words()
         self.sat_calls = 0
         self.evaluations = 0
+
+    @property
+    def pattern_epoch(self) -> int:
+        """Version of the simulation pattern set.
+
+        Exhaustive evaluators never change (epoch 0); sampled evaluators
+        grow their pattern set on SAT counterexamples, which advances
+        the epoch and invalidates any fitness memoized against the old
+        patterns (see :class:`repro.core.engine.FitnessCache`).
+        """
+        return 0 if self.exhaustive else len(self._patterns)
 
     def _rebuild_words(self) -> None:
         count = len(self._patterns)

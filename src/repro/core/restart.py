@@ -3,46 +3,52 @@
 The paper's 5·10⁷-generation runs take up to 43 hours per circuit;
 infrastructure like this is what makes such runs operable:
 
-* :func:`evolve_with_checkpoints` — wraps :func:`repro.core.evolution.
-  evolve` in budget slices, persisting the incumbent netlist (JSON) and
-  progress after every slice so a killed run resumes where it stopped;
+* :func:`evolve_with_checkpoints` — wraps the evolution engine in
+  budget slices, persisting the incumbent netlist (JSON), progress and
+  the **full** run configuration after every slice so a killed run
+  resumes where it stopped (and warns when resumed under a different
+  configuration);
 * :func:`multi_start` — independent restarts with different seeds
   (optionally across processes), keeping the best result; the cheap,
   embarrassingly parallel way to spend extra cores on a stochastic
-  optimizer.
+  optimizer.  The configuration fans out to workers via
+  :meth:`RcgpConfig.to_dict`, so every field survives the trip.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..io.rqfp_json import netlist_from_dict, netlist_to_dict
 from ..logic.truth_table import TruthTable
 from ..rqfp.netlist import RqfpNetlist
 from .config import RcgpConfig
-from .evolution import EvolutionResult, evolve
-from .synthesis import initialize_netlist
+from .engine import EvolutionResult, EvolutionRun
 
 CHECKPOINT_FORMAT = "rcgp-checkpoint"
+CHECKPOINT_VERSION = 2
+
+#: Config fields that describe the *budget or plumbing* of a run rather
+#: than the search itself; differing values are expected on resume
+#: (bigger budget, more workers) and do not trigger a mismatch warning.
+_OPERATIONAL_FIELDS = frozenset({
+    "generations", "seed", "time_budget", "stagnation_limit",
+    "track_history", "workers", "eval_cache_size", "telemetry_path",
+})
 
 
 def save_checkpoint(path: str, netlist: RqfpNetlist,
                     generations_done: int, config: RcgpConfig) -> None:
-    """Persist the incumbent parent and progress."""
+    """Persist the incumbent parent, progress and the full config."""
     payload = {
         "format": CHECKPOINT_FORMAT,
-        "version": 1,
+        "version": CHECKPOINT_VERSION,
         "generations_done": generations_done,
-        "config": {
-            "mutation_rate": config.mutation_rate,
-            "max_mutated_genes": config.max_mutated_genes,
-            "offspring": config.offspring,
-            "shrink": config.shrink,
-        },
+        "config": config.to_dict(),
         "netlist": netlist_to_dict(netlist),
     }
     tmp = f"{path}.tmp"
@@ -51,14 +57,53 @@ def save_checkpoint(path: str, netlist: RqfpNetlist,
     os.replace(tmp, path)
 
 
-def load_checkpoint(path: str) -> Tuple[RqfpNetlist, int]:
-    """Returns ``(incumbent netlist, generations already done)``."""
+def load_checkpoint(path: str, with_config: bool = False) -> Union[
+        Tuple[RqfpNetlist, int],
+        Tuple[RqfpNetlist, int, Optional[Dict[str, Any]]]]:
+    """Read a checkpoint back.
+
+    Returns ``(incumbent netlist, generations already done)``; with
+    ``with_config`` a third element carries the stored config
+    dictionary (None for version-1 checkpoints, which recorded only a
+    partial config).
+    """
     with open(path) as handle:
         payload = json.load(handle)
     if payload.get("format") != CHECKPOINT_FORMAT:
         raise ValueError(f"{path} is not an RCGP checkpoint")
-    return netlist_from_dict(payload["netlist"]), \
-        int(payload["generations_done"])
+    version = payload.get("version")
+    if version not in (1, CHECKPOINT_VERSION):
+        raise ValueError(f"unsupported checkpoint version {version!r}")
+    netlist = netlist_from_dict(payload["netlist"])
+    done = int(payload["generations_done"])
+    if not with_config:
+        return netlist, done
+    config = payload.get("config") if version >= 2 else None
+    return netlist, done, config
+
+
+def _warn_on_config_mismatch(path: str, stored: Optional[Dict[str, Any]],
+                             config: RcgpConfig) -> None:
+    """Warn when a resume changes search-relevant configuration."""
+    if stored is None:
+        warnings.warn(
+            f"checkpoint {path} predates full-config checkpoints; cannot "
+            "verify the resumed run matches the original configuration",
+            RuntimeWarning, stacklevel=3)
+        return
+    current = config.to_dict()
+    differing = sorted(
+        name for name, value in current.items()
+        if name not in _OPERATIONAL_FIELDS and stored.get(name, value) != value
+    )
+    if differing:
+        details = ", ".join(
+            f"{name}: {stored.get(name)!r} -> {current[name]!r}"
+            for name in differing)
+        warnings.warn(
+            f"resuming {path} with a different configuration ({details}); "
+            "the continued search will not match the original run",
+            RuntimeWarning, stacklevel=3)
 
 
 def evolve_with_checkpoints(spec: Sequence[TruthTable],
@@ -70,25 +115,30 @@ def evolve_with_checkpoints(spec: Sequence[TruthTable],
     """Run evolution in slices, checkpointing after each.
 
     If ``checkpoint_path`` exists, the run resumes from its incumbent
-    and remaining budget; otherwise it starts from ``initial`` (or the
-    standard initialization).  The checkpoint is updated atomically
+    and remaining budget (warning when the stored configuration differs
+    in search-relevant fields); otherwise it starts from ``initial`` (or
+    the standard initialization).  The checkpoint is updated atomically
     after every slice, so a kill loses at most one slice of work.
     """
     spec = list(spec)
     done = 0
     if os.path.exists(checkpoint_path):
-        incumbent, done = load_checkpoint(checkpoint_path)
+        incumbent, done, stored = load_checkpoint(checkpoint_path,
+                                                  with_config=True)
+        _warn_on_config_mismatch(checkpoint_path, stored, config)
     else:
+        from .synthesis import initialize_netlist
         incumbent = initial if initial is not None \
             else initialize_netlist(spec, name)
 
     total_result: Optional[EvolutionResult] = None
     while done < config.generations:
         budget = min(slice_generations, config.generations - done)
-        slice_config = dataclasses.replace(
-            config, generations=budget,
+        slice_config = config.replace(
+            generations=budget,
             seed=None if config.seed is None else config.seed + done)
-        result = evolve(incumbent, spec, slice_config)
+        result = EvolutionRun(spec, slice_config, initial=incumbent,
+                              name=name).run()
         incumbent = result.netlist
         done += result.generations
         save_checkpoint(checkpoint_path, incumbent, done, config)
@@ -106,24 +156,30 @@ def evolve_with_checkpoints(spec: Sequence[TruthTable],
                     (g + done - result.generations, f)
                     for g, f in result.history],
                 sat_calls=total_result.sat_calls + result.sat_calls,
+                cache_hits=total_result.cache_hits + result.cache_hits,
+                backend=result.backend,
             )
         if result.generations < budget:
             break  # stagnation/time cut the slice short; stop cleanly
     if total_result is None:
         # Budget already exhausted by the checkpoint: evaluate incumbent.
-        result = evolve(incumbent, spec,
-                        dataclasses.replace(config, generations=0))
-        total_result = dataclasses.replace(result, generations=done)
+        result = EvolutionRun(spec, config.replace(generations=0),
+                              initial=incumbent, name=name).run()
+        result.generations = done
+        total_result = result
     return total_result
 
 
 def _one_start(args) -> Tuple[dict, tuple, int]:
     """Process-pool worker: run one seed, return a portable result."""
-    spec_bits, num_vars, config_kwargs, seed, name = args
+    spec_bits, num_vars, config_dict, seed, name = args
     spec = [TruthTable(num_vars, bits) for bits in spec_bits]
-    config = RcgpConfig(seed=seed, **config_kwargs)
-    initial = initialize_netlist(spec, name)
-    result = evolve(initial, spec, config)
+    # Per-start overrides: each start gets its own seed, evaluates its
+    # own offspring inline (no nested pools) and keeps telemetry off —
+    # one sink cannot serve concurrent writers.
+    config = RcgpConfig.from_dict({**config_dict, "seed": seed,
+                                   "workers": 0, "telemetry_path": None})
+    result = EvolutionRun(spec, config, name=name).run()
     return (netlist_to_dict(result.netlist), result.fitness.key(),
             result.evaluations)
 
@@ -134,23 +190,17 @@ def multi_start(spec: Sequence[TruthTable], seeds: Sequence[int],
                 name: str = "") -> Tuple[RqfpNetlist, List[tuple]]:
     """Independent evolution restarts; returns (best netlist, all keys).
 
-    With ``parallel`` the starts run in a process pool (the netlists and
-    specs serialize through JSON/ints, so no pickling surprises).
+    With ``parallel`` the starts run in a process pool (the netlists,
+    specs and the *complete* configuration serialize through JSON/ints,
+    so no pickling surprises and no silently dropped fields).
     """
     spec = list(spec)
     if not seeds:
         raise ValueError("need at least one seed")
     config = config or RcgpConfig(generations=2000, mutation_rate=0.08,
                                   max_mutated_genes=8, shrink="always")
-    config_kwargs = dict(
-        generations=config.generations,
-        offspring=config.offspring,
-        mutation_rate=config.mutation_rate,
-        max_mutated_genes=config.max_mutated_genes,
-        shrink=config.shrink,
-        simplify_wires=config.simplify_wires,
-    )
-    jobs = [([t.bits for t in spec], spec[0].num_vars, config_kwargs,
+    config_dict = config.to_dict()
+    jobs = [([t.bits for t in spec], spec[0].num_vars, config_dict,
              seed, name) for seed in seeds]
     if parallel and len(seeds) > 1:
         with ProcessPoolExecutor(max_workers=min(len(seeds),

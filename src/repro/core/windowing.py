@@ -34,7 +34,7 @@ from ..errors import NetlistError
 from ..logic.bitops import full_mask, variable_pattern
 from ..rqfp.netlist import CONST_PORT, RqfpNetlist
 from .config import RcgpConfig
-from .evolution import evolve
+from .engine import EvolutionRun
 
 
 @dataclass
@@ -195,7 +195,12 @@ def optimize_window(netlist: RqfpNetlist, start: int, stop: int,
     spec = sub.to_truth_tables()
     config = config or RcgpConfig(generations=400, mutation_rate=1.0,
                                   max_mutated_genes=4, shrink="always")
-    result = evolve(sub, spec, config)
+    # Window runs are many, small and short-lived: always evaluate
+    # inline (a process pool per window would cost more than it saves)
+    # and keep any run-level telemetry sink single-writer.
+    config = config.replace(workers=0, telemetry_path=None)
+    result = EvolutionRun(spec, config, initial=sub,
+                          name=sub.name).run()
     improved = result.netlist
     if (improved.num_gates, improved.num_garbage) >= \
             (sub.shrink().num_gates, sub.shrink().num_garbage):

@@ -54,6 +54,8 @@ class HarnessConfig:
     exact_max_gates: int = 6
     run_exact: bool = True
     stagnation_limit: Optional[int] = None
+    workers: int = 0
+    telemetry_dir: Optional[str] = None
 
     @classmethod
     def from_env(cls) -> "HarnessConfig":
@@ -72,9 +74,17 @@ class HarnessConfig:
             exact_max_gates=_env_int("RCGP_BENCH_EXACT_MAX_GATES",
                                      base.exact_max_gates),
             run_exact=_env_int("RCGP_BENCH_RUN_EXACT", 1) != 0,
+            workers=_env_int("RCGP_BENCH_WORKERS", base.workers),
+            telemetry_dir=os.environ.get("RCGP_BENCH_TELEMETRY_DIR") or None,
         )
 
-    def rcgp_config(self, scale: float = 1.0) -> RcgpConfig:
+    def rcgp_config(self, scale: float = 1.0,
+                    benchmark_name: str = "") -> RcgpConfig:
+        telemetry_path = None
+        if self.telemetry_dir and benchmark_name:
+            os.makedirs(self.telemetry_dir, exist_ok=True)
+            telemetry_path = os.path.join(self.telemetry_dir,
+                                          f"{benchmark_name}.jsonl")
         return RcgpConfig(
             generations=max(1, int(self.generations * scale)),
             offspring=self.offspring,
@@ -83,6 +93,8 @@ class HarnessConfig:
             seed=self.seed,
             shrink=self.shrink,
             stagnation_limit=self.stagnation_limit,
+            workers=self.workers,
+            telemetry_path=telemetry_path,
         )
 
 
@@ -119,8 +131,9 @@ def run_benchmark(benchmark: Benchmark, config: Optional[HarnessConfig] = None,
     config = config or HarnessConfig.from_env()
     spec = benchmark.spec()
 
-    result = rcgp_synthesize(spec, config.rcgp_config(gen_scale),
-                             name=benchmark.name)
+    result = rcgp_synthesize(
+        spec, config.rcgp_config(gen_scale, benchmark_name=benchmark.name),
+        name=benchmark.name)
     if not result.verify():
         raise AssertionError(f"{benchmark.name}: RCGP result failed verification")
 

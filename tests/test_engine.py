@@ -1,0 +1,380 @@
+"""Unit tests for the evolution engine (run API, backends, cache).
+
+The engine's headline guarantee is **determinism across worker
+counts**: for a fixed seed, ``workers=0``, ``workers=1`` and
+``workers=4`` must produce bit-identical results — same fitness key,
+same chromosome, same evaluation count.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import RcgpConfig
+from repro.core.engine import (
+    EvolutionRun,
+    FitnessCache,
+    InlineBackend,
+    ProcessPoolBackend,
+    TelemetryWriter,
+    child_seed,
+    decode_genome,
+    encode_genome,
+    parallel_safe,
+    read_telemetry,
+)
+from repro.core.evolution import evolve
+from repro.core.fitness import Evaluator, Fitness
+from repro.core.restart import (
+    evolve_with_checkpoints,
+    load_checkpoint,
+    multi_start,
+    save_checkpoint,
+)
+from repro.core.synthesis import initialize_netlist
+from repro.logic.truth_table import TruthTable, tabulate_word
+
+
+def _decoder_spec():
+    return tabulate_word(lambda x: 1 << x, 2, 4)
+
+
+def _xor_spec():
+    return [TruthTable.from_function(lambda a, b: a ^ b, 2)]
+
+
+class TestGenomeCodec:
+    def test_round_trip_preserves_structure_and_function(self):
+        spec = _decoder_spec()
+        netlist = initialize_netlist(spec, "decoder")
+        genome = encode_genome(netlist)
+        assert isinstance(genome, tuple)
+        assert all(isinstance(v, int) for v in genome)
+        back = decode_genome(genome)
+        assert back.describe() == netlist.describe()
+        assert back.to_truth_tables() == netlist.to_truth_tables()
+
+    def test_genome_is_hashable_cache_key(self):
+        netlist = initialize_netlist(_xor_spec())
+        assert hash(encode_genome(netlist)) == hash(encode_genome(netlist))
+
+    def test_child_seed_deterministic_and_spread(self):
+        a = child_seed(7, 3, 0)
+        assert a == child_seed(7, 3, 0)
+        neighbours = {child_seed(7, 3, 1), child_seed(7, 4, 0),
+                      child_seed(8, 3, 0)}
+        assert a not in neighbours and len(neighbours) == 3
+
+
+class TestConfigSerialization:
+    def test_to_dict_covers_every_field(self):
+        import dataclasses
+        config = RcgpConfig()
+        data = config.to_dict()
+        assert set(data) == {f.name for f in dataclasses.fields(RcgpConfig)}
+
+    def test_round_trip_preserves_every_field(self):
+        config = RcgpConfig(
+            generations=123, offspring=7, mutation_rate=0.25,
+            max_mutated_genes=3, seed=42, shrink="never",
+            exhaustive_input_limit=9, simulation_patterns=64,
+            verify_with_sat=False, verify_method="bdd",
+            sat_conflict_budget=777, stagnation_limit=55,
+            time_budget=1.5, count_buffers_in_fitness=False,
+            simplify_wires=False, track_history=True, workers=2,
+            eval_cache_size=10, telemetry_path="/tmp/t.jsonl",
+            enable_output_mutation=False)
+        assert RcgpConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_ignores_unknown_keys(self):
+        config = RcgpConfig.from_dict({"generations": 5,
+                                       "future_knob": "ignored"})
+        assert config.generations == 5
+
+    def test_invalid_new_fields_rejected(self):
+        with pytest.raises(ValueError):
+            RcgpConfig(workers=-1)
+        with pytest.raises(ValueError):
+            RcgpConfig(eval_cache_size=-1)
+
+
+class TestFitnessTotalOrder:
+    def test_equality_follows_key(self):
+        # Distinct non-functional fitnesses with equal keys are equal.
+        assert Fitness(0.5, 3, 0, 0) == Fitness(0.5, 7, 1, 2)
+        assert Fitness(1.0, 3, 2, 1) == Fitness(1.0, 3, 2, 1)
+        assert Fitness(1.0, 3, 2, 1) != Fitness(1.0, 4, 2, 1)
+
+    def test_order_is_total_and_consistent(self):
+        a, b = Fitness(1.0, 3, 2, 1), Fitness(1.0, 3, 2, 1)
+        assert a >= b and a <= b and a == b
+        assert not a > b and not a < b
+        worse = Fitness(1.0, 4, 0, 0)
+        assert worse < a and worse <= a and a > worse and a >= worse
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Fitness(0.5, 3, 0, 0)) == hash(Fitness(0.5, 9, 9, 9))
+        assert len({Fitness(1.0, 2, 1, 0), Fitness(1.0, 2, 1, 0)}) == 1
+
+    def test_sorting_matches_key_order(self):
+        items = [Fitness(1.0, 5, 0, 0), Fitness(0.5), Fitness(1.0, 2, 0, 0)]
+        assert sorted(items) == sorted(items, key=lambda f: f.key())
+
+    def test_non_fitness_comparison(self):
+        assert Fitness(1.0) != object()
+        with pytest.raises(TypeError):
+            Fitness(1.0) < 3
+
+
+class TestFitnessCache:
+    def test_hit_miss_accounting_and_lru_bound(self):
+        cache = FitnessCache(maxsize=2)
+        f = Fitness(1.0, 1, 1, 1)
+        assert cache.get((1,)) is None
+        cache.put((1,), f)
+        assert cache.get((1,)) == f
+        assert cache.hits == 1 and cache.misses == 1
+        cache.put((2,), f)
+        cache.put((3,), f)          # evicts (1,), the least recent
+        assert len(cache) == 2
+        assert cache.get((1,)) is None
+
+    def test_disabled_cache_stores_nothing(self):
+        cache = FitnessCache(maxsize=0)
+        cache.put((1,), Fitness(1.0))
+        assert len(cache) == 0 and not cache.enabled
+
+
+class TestDeterminismAcrossWorkers:
+    """Same seed + spec must be bit-identical for workers in {0, 1, 4}."""
+
+    def _run(self, workers, **overrides):
+        spec = _decoder_spec()
+        initial = initialize_netlist(spec, "decoder")
+        kwargs = dict(generations=50, mutation_rate=0.1, seed=11,
+                      offspring=4, shrink="always", workers=workers)
+        kwargs.update(overrides)
+        return EvolutionRun(spec, RcgpConfig(**kwargs),
+                            initial=initial).run()
+
+    def test_serial_and_parallel_bit_identical(self):
+        serial = self._run(workers=0)
+        one = self._run(workers=1)
+        pooled = self._run(workers=4)
+        assert serial.backend == "inline"
+        assert one.backend == "inline"
+        assert pooled.backend == "process-pool"
+        assert serial.fitness.key() == one.fitness.key() == \
+            pooled.fitness.key()
+        assert serial.netlist.describe() == one.netlist.describe() == \
+            pooled.netlist.describe()
+        assert serial.evaluations == one.evaluations == pooled.evaluations
+        assert serial.cache_hits == one.cache_hits == pooled.cache_hits
+
+    def test_unsafe_parallel_falls_back_to_inline(self):
+        # Sampled simulation with SAT feedback mutates the evaluator, so
+        # the engine must refuse the pool and evaluate inline.
+        result = self._run(workers=4, exhaustive_input_limit=1,
+                           simulation_patterns=16, generations=5)
+        assert result.backend == "inline"
+
+    def test_parallel_safe_predicate(self):
+        spec = _decoder_spec()
+        exhaustive = RcgpConfig(seed=1)
+        assert parallel_safe(Evaluator(spec, exhaustive), exhaustive)
+        sampled_sat = RcgpConfig(seed=1, exhaustive_input_limit=1,
+                                 simulation_patterns=8)
+        assert not parallel_safe(Evaluator(spec, sampled_sat), sampled_sat)
+        sampled_pure = RcgpConfig(seed=1, exhaustive_input_limit=1,
+                                  simulation_patterns=8,
+                                  verify_with_sat=False)
+        assert parallel_safe(Evaluator(spec, sampled_pure), sampled_pure)
+        unseeded = RcgpConfig(exhaustive_input_limit=1,
+                              simulation_patterns=8, verify_with_sat=False)
+        assert not parallel_safe(Evaluator(spec, unseeded), unseeded)
+
+
+class TestCacheAccounting:
+    def test_duplicate_mutants_hit_the_cache(self):
+        spec = _xor_spec()
+        initial = initialize_netlist(spec)
+        config = RcgpConfig(generations=200, offspring=8, seed=3,
+                            max_mutated_genes=1, mutation_rate=1.0)
+        result = EvolutionRun(spec, config, initial=initial).run()
+        assert result.cache_hits > 0
+        # Every offspring is either a cache hit or an evaluation; the
+        # few extra evaluations are the parent/finalize checks.
+        offspring_total = result.generations * config.offspring
+        assert result.evaluations + result.cache_hits >= offspring_total
+
+    def test_cache_disabled_reports_zero_hits(self):
+        spec = _xor_spec()
+        initial = initialize_netlist(spec)
+        config = RcgpConfig(generations=100, offspring=8, seed=3,
+                            max_mutated_genes=1, mutation_rate=1.0,
+                            eval_cache_size=0)
+        result = EvolutionRun(spec, config, initial=initial).run()
+        assert result.cache_hits == 0
+
+    def test_cache_does_not_change_results(self):
+        spec = _decoder_spec()
+        initial = initialize_netlist(spec)
+        base = dict(generations=80, offspring=6, seed=13,
+                    mutation_rate=0.1, shrink="always")
+        cached = EvolutionRun(spec, RcgpConfig(**base),
+                              initial=initial).run()
+        uncached = EvolutionRun(spec, RcgpConfig(eval_cache_size=0, **base),
+                                initial=initial).run()
+        assert cached.fitness.key() == uncached.fitness.key()
+        assert cached.netlist.describe() == uncached.netlist.describe()
+
+
+class TestTelemetry:
+    def test_jsonl_events_emitted(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        spec = _xor_spec()
+        initial = initialize_netlist(spec)
+        config = RcgpConfig(generations=20, seed=5, telemetry_path=path)
+        result = EvolutionRun(spec, config, initial=initial).run()
+        events = read_telemetry(path)
+        assert events[0]["event"] == "run_start"
+        assert events[0]["workers"] == 0
+        assert events[-1]["event"] == "run_end"
+        assert events[-1]["evaluations"] == result.evaluations
+        generations = [e for e in events if e["event"] == "generation"]
+        assert len(generations) == result.generations
+        sample = generations[0]
+        for field in ("generation", "best_key", "evaluations",
+                      "cache_hits", "sat_calls", "wall_time"):
+            assert field in sample
+
+    def test_writer_accepts_open_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with open(path, "w") as handle:
+            writer = TelemetryWriter(handle)
+            writer.emit("ping", value=1)
+            writer.close()          # must not close a borrowed handle
+            assert not handle.closed
+        assert json.loads(path.read_text())["value"] == 1
+
+    def test_evolve_shim_accepts_telemetry_config(self, tmp_path):
+        path = str(tmp_path / "shim.jsonl")
+        spec = _xor_spec()
+        initial = initialize_netlist(spec)
+        evolve(initial, spec, RcgpConfig(generations=5, seed=1,
+                                         telemetry_path=path))
+        assert os.path.exists(path)
+
+
+class TestCheckpointConfigRoundTrip:
+    def test_v2_checkpoint_stores_full_config(self, tmp_path):
+        spec = _decoder_spec()
+        netlist = initialize_netlist(spec)
+        config = RcgpConfig(generations=500, time_budget=9.0,
+                            stagnation_limit=77, verify_with_sat=False,
+                            sat_conflict_budget=123)
+        path = str(tmp_path / "ckpt.json")
+        save_checkpoint(path, netlist, 42, config)
+        loaded, done, stored = load_checkpoint(path, with_config=True)
+        assert done == 42
+        assert RcgpConfig.from_dict(stored) == config
+        with open(path) as handle:
+            assert json.load(handle)["version"] == 2
+
+    def test_resume_with_matching_config_is_silent(self, tmp_path):
+        import warnings
+        spec = _decoder_spec()
+        path = str(tmp_path / "run.json")
+        config = RcgpConfig(generations=100, mutation_rate=0.1, seed=4,
+                            shrink="always")
+        evolve_with_checkpoints(spec, config, path, slice_generations=100)
+        bigger = config.replace(generations=150)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            evolve_with_checkpoints(spec, bigger, path,
+                                    slice_generations=100)
+
+    def test_resume_with_mismatched_config_warns(self, tmp_path):
+        spec = _decoder_spec()
+        path = str(tmp_path / "run.json")
+        config = RcgpConfig(generations=100, mutation_rate=0.1, seed=4,
+                            shrink="always")
+        evolve_with_checkpoints(spec, config, path, slice_generations=100)
+        changed = config.replace(generations=150, mutation_rate=0.5,
+                                 shrink="never")
+        with pytest.warns(RuntimeWarning, match="mutation_rate"):
+            evolve_with_checkpoints(spec, changed, path,
+                                    slice_generations=100)
+
+    def test_v1_checkpoint_still_loads_and_warns(self, tmp_path):
+        from repro.io.rqfp_json import netlist_to_dict
+        spec = _decoder_spec()
+        netlist = initialize_netlist(spec)
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({
+            "format": "rcgp-checkpoint", "version": 1,
+            "generations_done": 10,
+            "config": {"mutation_rate": 0.1, "offspring": 4},
+            "netlist": netlist_to_dict(netlist),
+        }))
+        loaded, done, stored = load_checkpoint(str(path), with_config=True)
+        assert done == 10 and stored is None
+        config = RcgpConfig(generations=10, mutation_rate=0.1, seed=4)
+        with pytest.warns(RuntimeWarning, match="predates"):
+            evolve_with_checkpoints(spec, config, str(path),
+                                    slice_generations=10)
+
+
+class TestMultiStartFullConfig:
+    def test_stagnation_limit_survives_fan_out(self):
+        # Before the redesign multi_start silently dropped
+        # stagnation_limit (among others): workers ran the full budget.
+        spec = _xor_spec()
+        config = RcgpConfig(generations=500_000, mutation_rate=0.1,
+                            stagnation_limit=10, shrink="always")
+        import time
+        start = time.monotonic()
+        best, keys = multi_start(spec, seeds=[1, 2], config=config)
+        assert time.monotonic() - start < 60.0
+        assert best.to_truth_tables() == spec
+        assert len(keys) == 2
+
+    def test_nested_parallelism_is_disabled_per_start(self):
+        # workers in the fanned-out config must not spawn pools inside
+        # pool workers; the run still completes correctly.
+        spec = _xor_spec()
+        config = RcgpConfig(generations=60, mutation_rate=0.1, workers=4,
+                            shrink="always")
+        best, keys = multi_start(spec, seeds=[1, 2], config=config,
+                                 parallel=True)
+        assert best.to_truth_tables() == spec
+
+
+class TestEngineBackends:
+    def test_inline_backend_matches_evaluator(self):
+        spec = _decoder_spec()
+        evaluator = Evaluator(spec, RcgpConfig())
+        netlist = initialize_netlist(spec)
+        backend = InlineBackend(evaluator)
+        [fitness] = backend.evaluate([encode_genome(netlist)])
+        assert fitness == Evaluator(spec, RcgpConfig()).evaluate(netlist)
+
+    def test_pool_backend_rejects_single_worker(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(_decoder_spec(), RcgpConfig(), workers=1)
+
+    def test_pool_backend_preserves_batch_order(self):
+        spec = _decoder_spec()
+        good = initialize_netlist(spec)
+        bad = good.copy()
+        bad.outputs = list(reversed(bad.outputs))
+        backend = ProcessPoolBackend(spec, RcgpConfig(), workers=2)
+        try:
+            genomes = [encode_genome(good), encode_genome(bad),
+                       encode_genome(good)]
+            results = backend.evaluate(genomes)
+            assert results[0].functional and results[2].functional
+            assert not results[1].functional
+        finally:
+            backend.close()

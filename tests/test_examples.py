@@ -56,6 +56,15 @@ class TestExampleScripts:
         out = _run("build_revlib_suite.py", timeout=420)
         assert "ham3" in out and "verified      : True" in out
 
+    def test_parallel_speedup(self):
+        out = _run("parallel_speedup.py",
+                   env_extra={"RCGP_SPEEDUP_CIRCUIT": "decoder_2_4",
+                              "RCGP_SPEEDUP_GENERATIONS": "40",
+                              "RCGP_SPEEDUP_OFFSPRING": "8",
+                              "RCGP_SPEEDUP_WORKERS": "2"})
+        assert "identical result" in out
+        assert "pooled (workers=2)" in out
+
     @pytest.mark.slow
     def test_pareto_front(self):
         out = _run("pareto_front.py", timeout=420)
