@@ -30,6 +30,8 @@ from .core.config import RcgpConfig
 from .core.engine import EvolutionRun, TelemetryWriter, read_telemetry
 from .core.evolution import EvolutionResult, evolve
 from .core.fitness import Evaluator, Fitness
+from .core.mutation import MutationDelta, mutate_with_delta
+from .core.simstate import SimulationState
 from .core.synthesis import (
     BaselineResult,
     SynthesisResult,
@@ -71,6 +73,9 @@ __all__ = [
     "read_telemetry",
     "Evaluator",
     "Fitness",
+    "MutationDelta",
+    "mutate_with_delta",
+    "SimulationState",
     "exact_synthesize",
     "ExactResult",
     "synthesize_file",

@@ -74,6 +74,12 @@ def _print_result(result, verbose: bool) -> None:
     if verbose:
         print(f"generations   : {result.evolution.generations}")
         print(f"evaluations   : {result.evolution.evaluations}")
+        incremental = result.evolution.eval_incremental
+        if incremental:
+            cone = result.evolution.ports_resimulated / incremental
+            print(f"incremental   : {incremental} of "
+                  f"{incremental + result.evolution.eval_full} simulated "
+                  f"(avg cone {cone:.1f} ports)")
         print(f"netlist       : {result.netlist.describe()}")
 
 

@@ -14,7 +14,9 @@ from .engine import (
 )
 from .evolution import EvolutionResult, evolve
 from .fitness import Evaluator, Fitness
-from .mutation import chromosome_length, mutate
+from .mutation import MutationDelta, chromosome_length, mutate, \
+    mutate_with_delta
+from .simstate import SimulationState
 from .pareto import ParetoArchive, dominates, evolve_pareto
 from .restart import (
     evolve_with_checkpoints,
@@ -53,6 +55,9 @@ __all__ = [
     "decode_genome",
     "read_telemetry",
     "mutate",
+    "mutate_with_delta",
+    "MutationDelta",
+    "SimulationState",
     "chromosome_length",
     "evolve",
     "EvolutionResult",

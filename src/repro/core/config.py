@@ -95,6 +95,13 @@ class RcgpConfig:
     disables).  Duplicate mutants — common at low mutation rates and on
     plateaus — are never re-simulated."""
 
+    incremental_eval: bool = True
+    """Cone-aware incremental fitness: memoize the parent's per-port
+    simulation words and re-simulate only the transitive fan-out cone of
+    each offspring's :class:`~repro.core.mutation.MutationDelta`.
+    Bit-identical to full simulation (set ``RCGP_CHECK_INCREMENTAL=1``
+    to verify every sweep); ``False`` forces the full path."""
+
     telemetry_path: Optional[str] = None
     """Write per-generation JSONL telemetry events to this file
     (None: no telemetry)."""

@@ -16,6 +16,16 @@ makes that loop scale without changing its semantics:
   objects; the same tuple doubles as the memo-cache key.
 * **Fitness memo cache** — duplicate mutants (common at low mutation
   rates and on plateaus) are never re-simulated.
+* **Incremental cone-aware evaluation** — each offspring is a
+  :class:`~repro.core.mutation.MutationDelta` away from the shared
+  parent, whose per-port simulation words are memoized in a
+  :class:`~repro.core.simstate.SimulationState`; only the delta's
+  fan-out cone is re-simulated (``config.incremental_eval``).  The
+  inline backend shares one state per generation; the pool backend
+  ships deltas instead of whole genomes and keeps the parent resident
+  in each worker.  Telemetry counts ``eval_full`` /
+  ``eval_incremental`` / ``ports_resimulated`` so the win is
+  observable per generation.
 * **Deterministic parallelism** — every offspring gets its own RNG
   stream derived from ``(seed, generation, offspring index)``, so a run
   is bit-identical for a fixed seed regardless of worker count.
@@ -45,7 +55,8 @@ from ..rqfp.netlist import RqfpNetlist
 from ..rqfp.simplify import bypass_wire_gates
 from .config import RcgpConfig
 from .fitness import Evaluator, Fitness
-from .mutation import mutate
+from .mutation import MutationDelta, copy_consumer_map, mutate_with_delta
+from .simstate import SimulationState
 
 ProgressCallback = Callable[[int, Fitness], None]
 
@@ -146,7 +157,15 @@ class FitnessCache:
 
 
 class EvaluationBackend(Protocol):
-    """Evaluates a batch of genomes; results keep the batch order."""
+    """Evaluates a batch of genomes; results keep the batch order.
+
+    Backends may additionally implement the optional incremental entry
+    point ``evaluate_deltas(parent_genome, deltas, children=None)``
+    (see :class:`InlineBackend`): the engine probes for it with
+    ``getattr`` and falls back to :meth:`evaluate` when it is absent or
+    ``config.incremental_eval`` is off, so plain batch backends remain
+    valid.
+    """
 
     name: str
 
@@ -160,15 +179,49 @@ class EvaluationBackend(Protocol):
 
 
 class InlineBackend:
-    """Evaluate in the calling process, through a shared evaluator."""
+    """Evaluate in the calling process, through a shared evaluator.
+
+    Incremental mode shares one :class:`SimulationState` per parent (so
+    per *generation* in the ``(1+λ)`` loop): the state is rebuilt only
+    when the parent genome or the evaluator's pattern epoch changes, and
+    every offspring in the batch resimulates just its delta's cone
+    against the memoized parent words.
+    """
 
     name = "inline"
 
     def __init__(self, evaluator: Evaluator):
         self._evaluator = evaluator
+        self._parent_genome: Optional[Genome] = None
+        self._parent: Optional[RqfpNetlist] = None
+        self._state: Optional[SimulationState] = None
 
     def evaluate(self, genomes: Sequence[Genome]) -> List[Fitness]:
         return [self._evaluator.evaluate(decode_genome(g)) for g in genomes]
+
+    def evaluate_deltas(self, parent_genome: Genome,
+                        deltas: Sequence[MutationDelta],
+                        children: Optional[Sequence[RqfpNetlist]] = None) \
+            -> List[Fitness]:
+        """Fitness of ``[delta.apply_to(parent) for delta in deltas]``.
+
+        ``children`` optionally supplies the already-built offspring
+        netlists (the engine has them anyway), skipping the
+        reconstruction copy.
+        """
+        evaluator = self._evaluator
+        if self._parent_genome != parent_genome or self._state is None \
+                or self._state.epoch != evaluator.pattern_epoch:
+            self._parent = decode_genome(parent_genome)
+            self._state = evaluator.prepare_parent(self._parent)
+            self._parent_genome = parent_genome
+        out = []
+        for i, delta in enumerate(deltas):
+            child = children[i] if children is not None \
+                else delta.apply_to(self._parent)
+            out.append(evaluator.evaluate_incremental(child, delta,
+                                                      self._state))
+        return out
 
     def close(self) -> None:
         pass
@@ -176,26 +229,70 @@ class InlineBackend:
 
 # Worker-side state for ProcessPoolBackend.  One evaluator per worker
 # process, built once by the pool initializer; jobs then ship only
-# genome tuples and get back plain fitness tuples.
+# genome tuples (or, incrementally, one parent genome plus per-offspring
+# deltas) and get back plain fitness tuples with counter deltas.
 _WORKER_EVALUATOR: Optional[Evaluator] = None
+_WORKER_PARENT: Optional[Tuple[Genome, RqfpNetlist, SimulationState]] = None
+
+_Counters = Tuple[int, int, int]  # (eval_full, eval_incremental, ports)
 
 
 def _pool_initializer(spec_bits: List[int], num_vars: int,
                       config_dict: Dict[str, object]) -> None:
-    global _WORKER_EVALUATOR
+    global _WORKER_EVALUATOR, _WORKER_PARENT
     spec = [TruthTable(num_vars, bits) for bits in spec_bits]
     _WORKER_EVALUATOR = Evaluator(spec, RcgpConfig.from_dict(config_dict))
+    _WORKER_PARENT = None
+
+
+def _counters(evaluator: Evaluator) -> _Counters:
+    return (evaluator.eval_full, evaluator.eval_incremental,
+            evaluator.ports_resimulated)
 
 
 def _pool_evaluate(genomes: Sequence[Genome]) \
-        -> List[Tuple[float, int, int, int]]:
+        -> Tuple[List[Tuple[float, int, int, int]], _Counters]:
     evaluator = _WORKER_EVALUATOR
     assert evaluator is not None, "pool worker used before initialization"
+    before = _counters(evaluator)
     out = []
     for genome in genomes:
         fit = evaluator.evaluate(decode_genome(genome))
         out.append((fit.success, fit.n_r, fit.n_g, fit.n_b))
-    return out
+    after = _counters(evaluator)
+    return out, (after[0] - before[0], after[1] - before[1],
+                 after[2] - before[2])
+
+
+def _pool_evaluate_deltas(parent_genome: Genome,
+                          deltas: Sequence[MutationDelta]) \
+        -> Tuple[List[Tuple[float, int, int, int]], _Counters]:
+    """Incremental chunk evaluation against a worker-resident parent.
+
+    The parent netlist and its :class:`SimulationState` are cached in
+    the worker keyed by the parent genome, so across the generations of
+    a plateau only the deltas cross the process boundary in spirit — the
+    parent genome rides along per chunk but decodes/simulates at most
+    once per parent change.
+    """
+    global _WORKER_PARENT
+    evaluator = _WORKER_EVALUATOR
+    assert evaluator is not None, "pool worker used before initialization"
+    if _WORKER_PARENT is None or _WORKER_PARENT[0] != parent_genome \
+            or _WORKER_PARENT[2].epoch != evaluator.pattern_epoch:
+        parent = decode_genome(parent_genome)
+        _WORKER_PARENT = (parent_genome, parent,
+                          evaluator.prepare_parent(parent))
+    _, parent, state = _WORKER_PARENT
+    before = _counters(evaluator)
+    out = []
+    for delta in deltas:
+        fit = evaluator.evaluate_incremental(delta.apply_to(parent),
+                                             delta, state)
+        out.append((fit.success, fit.n_r, fit.n_g, fit.n_b))
+    after = _counters(evaluator)
+    return out, (after[0] - before[0], after[1] - before[1],
+                 after[2] - before[2])
 
 
 class ProcessPoolBackend:
@@ -220,6 +317,11 @@ class ProcessPoolBackend:
             raise ValueError("ProcessPoolBackend needs workers >= 2")
         spec = list(spec)
         self.workers = workers
+        # Worker-side evaluation counters, accumulated per chunk result
+        # (the master evaluator never sees pool evaluations).
+        self.eval_full = 0
+        self.eval_incremental = 0
+        self.ports_resimulated = 0
         self._pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_pool_initializer,
@@ -227,25 +329,49 @@ class ProcessPoolBackend:
                       config.to_dict()),
         )
 
+    def _collect(self, futures) -> List[Fitness]:
+        results: List[Fitness] = []
+        for future in futures:
+            values, counters = future.result()
+            results.extend(Fitness(*v) for v in values)
+            self.eval_full += counters[0]
+            self.eval_incremental += counters[1]
+            self.ports_resimulated += counters[2]
+        return results
+
     def evaluate(self, genomes: Sequence[Genome]) -> List[Fitness]:
         genomes = list(genomes)
         if not genomes:
             return []
-        chunks = self._chunk(genomes)
-        futures = [self._pool.submit(_pool_evaluate, chunk)
-                   for chunk in chunks]
-        results: List[Fitness] = []
-        for future in futures:
-            results.extend(Fitness(*values) for values in future.result())
-        return results
+        return self._collect(
+            self._pool.submit(_pool_evaluate, chunk)
+            for chunk in self._chunk(genomes))
 
-    def _chunk(self, genomes: List[Genome]) -> List[List[Genome]]:
-        n = min(self.workers, len(genomes))
-        size, extra = divmod(len(genomes), n)
+    def evaluate_deltas(self, parent_genome: Genome,
+                        deltas: Sequence[MutationDelta],
+                        children: Optional[Sequence[RqfpNetlist]] = None) \
+            -> List[Fitness]:
+        """Incremental batch: ship deltas, not whole offspring genomes.
+
+        ``children`` is accepted for interface symmetry with
+        :meth:`InlineBackend.evaluate_deltas` but never crosses the
+        process boundary — workers rebuild each offspring from their
+        resident parent.
+        """
+        deltas = list(deltas)
+        if not deltas:
+            return []
+        return self._collect(
+            self._pool.submit(_pool_evaluate_deltas, parent_genome, chunk)
+            for chunk in self._chunk(deltas))
+
+    def _chunk(self, items: List) -> List[List]:
+        n = min(self.workers, len(items))
+        size, extra = divmod(len(items), n)
         chunks, at = [], 0
         for i in range(n):
             width = size + (1 if i < extra else 0)
-            chunks.append(genomes[at:at + width])
+            chunks.append(items[at:at + width])
             at += width
         return chunks
 
@@ -327,6 +453,9 @@ class EvolutionResult:
     sat_calls: int = 0
     cache_hits: int = 0
     backend: str = "inline"
+    eval_full: int = 0
+    eval_incremental: int = 0
+    ports_resimulated: int = 0
 
     @property
     def gate_reduction(self) -> float:
@@ -453,7 +582,13 @@ class EvolutionRun:
             telemetry = TelemetryWriter(config.telemetry_path)
             owns_telemetry = True
 
+        delta_eval = getattr(backend, "evaluate_deltas", None)
+        incremental = config.incremental_eval and delta_eval is not None
         pool_evaluations = 0
+        # Connectivity view of the current parent, built lazily and
+        # copied per offspring (copying beats rebuilding; see
+        # copy_consumer_map).  Invalidated whenever the parent changes.
+        parent_consumers = None
         start = time.monotonic()
         stagnation = 0
         generation = 0
@@ -463,8 +598,16 @@ class EvolutionRun:
                 num_inputs=spec[0].num_vars, num_outputs=len(spec),
                 generations=config.generations, offspring=config.offspring,
                 workers=config.workers, backend=backend.name,
+                incremental=incremental,
                 seed=config.seed, initial_key=list(parent_fitness.key()),
             )
+
+        def counter(name: str) -> int:
+            # Master-evaluator counters plus whatever the backend ran
+            # remotely (InlineBackend shares the master evaluator and
+            # defines no counters of its own, so nothing double-counts).
+            return getattr(evaluator, name) + getattr(backend, name, 0)
+
         try:
             for generation in range(1, config.generations + 1):
                 if config.time_budget is not None and \
@@ -475,22 +618,31 @@ class EvolutionRun:
                 # Mutation: one private RNG stream per offspring, so the
                 # mutant set is a function of (seed, generation) alone.
                 children = []
+                if parent_consumers is None:
+                    parent_consumers = parent.consumers()
                 for i in range(config.offspring):
                     rng = random.Random(
                         child_seed(base_seed, generation, i))
-                    child = mutate(parent, rng, config)
-                    children.append((encode_genome(child), child))
+                    child, delta = mutate_with_delta(
+                        parent, rng, config,
+                        consumers=copy_consumer_map(parent_consumers))
+                    children.append((encode_genome(child), child, delta))
 
                 # Evaluation: memo-cache lookup first, then one batched
-                # backend call over the distinct misses.
+                # backend call over the distinct misses — incremental
+                # (parent genome + deltas) when the backend supports it.
                 fitnesses: List[Optional[Fitness]] = \
                     [None] * len(children)
                 miss_order: List[Genome] = []
                 miss_slots: Dict[Genome, List[int]] = {}
-                for slot, (genome, _child) in enumerate(children):
+                miss_children: Dict[Genome, RqfpNetlist] = {}
+                miss_deltas: Dict[Genome, MutationDelta] = {}
+                for slot, (genome, child, delta) in enumerate(children):
                     if not cache.enabled:
                         miss_order.append(genome)
                         miss_slots.setdefault(genome, []).append(slot)
+                        miss_children[genome] = child
+                        miss_deltas[genome] = delta
                         continue
                     found = cache.get(genome)
                     if found is not None:
@@ -503,9 +655,17 @@ class EvolutionRun:
                     else:
                         miss_order.append(genome)
                         miss_slots[genome] = [slot]
+                        miss_children[genome] = child
+                        miss_deltas[genome] = delta
                 if miss_order:
                     epoch = evaluator.pattern_epoch
-                    evaluated = backend.evaluate(miss_order)
+                    if incremental:
+                        evaluated = delta_eval(
+                            parent_genome,
+                            [miss_deltas[g] for g in miss_order],
+                            [miss_children[g] for g in miss_order])
+                    else:
+                        evaluated = backend.evaluate(miss_order)
                     if isinstance(backend, ProcessPoolBackend):
                         pool_evaluations += len(miss_order)
                     for genome, fitness in zip(miss_order, evaluated):
@@ -542,6 +702,8 @@ class EvolutionRun:
                             parent_fitness = self._fitness_of(
                                 encode_genome(parent), parent,
                                 evaluator, cache)
+                    parent_genome = encode_genome(parent)
+                    parent_consumers = None
                     if improved:
                         stagnation = 0
                         if config.track_history:
@@ -556,6 +718,9 @@ class EvolutionRun:
                         evaluations=evaluator.evaluations + pool_evaluations,
                         cache_hits=cache.hits,
                         sat_calls=evaluator.sat_calls,
+                        eval_full=counter("eval_full"),
+                        eval_incremental=counter("eval_incremental"),
+                        ports_resimulated=counter("ports_resimulated"),
                         wall_time=round(time.monotonic() - start, 6),
                     )
                 if improved:
@@ -581,6 +746,9 @@ class EvolutionRun:
                 sat_calls=evaluator.sat_calls,
                 cache_hits=cache.hits,
                 backend=backend.name,
+                eval_full=counter("eval_full"),
+                eval_incremental=counter("eval_incremental"),
+                ports_resimulated=counter("ports_resimulated"),
             )
             if telemetry is not None:
                 telemetry.emit(
@@ -588,6 +756,9 @@ class EvolutionRun:
                     evaluations=result.evaluations,
                     cache_hits=result.cache_hits,
                     sat_calls=result.sat_calls,
+                    eval_full=result.eval_full,
+                    eval_incremental=result.eval_incremental,
+                    ports_resimulated=result.ports_resimulated,
                     runtime=round(runtime, 6),
                     final_key=list(final_fitness.key()),
                 )

@@ -22,6 +22,7 @@ smuggled in.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
@@ -34,6 +35,8 @@ from ..rqfp.simplify import bypass_wire_gates
 from ..rqfp.splitters import insert_splitters
 from ..sat.equivalence import check_against_tables
 from .config import RcgpConfig
+from .mutation import MutationDelta
+from .simstate import SimulationState
 
 
 @dataclass(frozen=True, eq=False)
@@ -96,6 +99,22 @@ class Fitness:
                 f"n_b={self.n_b})")
 
 
+def _fanout_counts(netlist: RqfpNetlist) -> list:
+    """Consumer count per port, as a flat list (index = port).
+
+    Index 0 is the constant port (exempt from the fan-out limit); a
+    count of 0 on a gate output port means garbage.
+    """
+    counts = [0] * netlist.num_ports()
+    for gate in netlist.gates:
+        counts[gate.in0] += 1
+        counts[gate.in1] += 1
+        counts[gate.in2] += 1
+    for port in netlist.outputs:
+        counts[port] += 1
+    return counts
+
+
 class Evaluator:
     """Evaluates RQFP netlists against a truth-table specification."""
 
@@ -123,6 +142,11 @@ class Evaluator:
             self._rebuild_words()
         self.sat_calls = 0
         self.evaluations = 0
+        self.eval_full = 0
+        self.eval_incremental = 0
+        self.ports_resimulated = 0
+        self._check_incremental = \
+            os.environ.get("RCGP_CHECK_INCREMENTAL", "") not in ("", "0")
 
     @property
     def pattern_epoch(self) -> int:
@@ -153,12 +177,29 @@ class Evaluator:
         self._total_bits = len(self.spec) * count
 
     def add_counterexample(self, pattern: int) -> None:
-        """Fold a SAT counterexample into the simulation pattern set."""
+        """Fold a SAT counterexample into the simulation pattern set.
+
+        The spec tabulation for the existing slots is already encoded in
+        ``_words``/``_expected`` and the pattern epoch only ever grows,
+        so only the *new* pattern's rows are tabulated here — appending
+        is O(inputs + outputs) instead of the full ``_rebuild_words``
+        sweep over every pattern.
+        """
         if self.exhaustive:
             return
-        self._patterns.append(pattern & full_mask(self.num_inputs) if
-                              self.num_inputs < 31 else pattern)
-        self._rebuild_words()
+        if self.num_inputs < 31:
+            pattern &= full_mask(self.num_inputs)
+        slot = len(self._patterns)
+        self._patterns.append(pattern)
+        bit = 1 << slot
+        self._mask |= bit
+        for i in range(self.num_inputs):
+            if (pattern >> i) & 1:
+                self._words[i] |= bit
+        for o, table in enumerate(self.spec):
+            if table.value(pattern):
+                self._expected[o] |= bit
+        self._total_bits = len(self.spec) * len(self._patterns)
 
     # ------------------------------------------------------------------
 
@@ -216,7 +257,56 @@ class Evaluator:
         bit-parallel sweep.
         """
         self.evaluations += 1
-        rate = self.success_rate(netlist)
+        self.eval_full += 1
+        return self._finish(netlist, self.success_rate(netlist))
+
+    def prepare_parent(self, parent: RqfpNetlist) -> SimulationState:
+        """Memoize the parent's port values for incremental evaluation.
+
+        The returned state is bound to the current pattern epoch;
+        :meth:`evaluate_incremental` falls back to full simulation once
+        the epoch moves on (new SAT counterexamples).
+        """
+        return SimulationState(parent, self._words, self._mask,
+                               self.pattern_epoch)
+
+    def evaluate_incremental(self, child: RqfpNetlist,
+                             delta: MutationDelta,
+                             state: Optional[SimulationState]) -> Fitness:
+        """Fitness of ``child = delta.apply_to(parent)``, cone-aware.
+
+        Bit-identical to :meth:`evaluate` by construction: the success
+        rate is computed from exactly recomputed port words, and the
+        performance phase (shrink, SAT, splitter legalization) runs on
+        the same netlist either way.  Falls back to the full path when
+        the state is stale (pattern epoch advanced) or shape-incompatible.
+        Set ``RCGP_CHECK_INCREMENTAL=1`` to verify every incremental
+        sweep against a full simulation.
+        """
+        if state is None or state.epoch != self.pattern_epoch \
+                or not state.compatible(child):
+            return self.evaluate(child)
+        self.evaluations += 1
+        self.eval_incremental += 1
+        values, resimulated = state.child_values(child,
+                                                 delta.touched_gates)
+        self.ports_resimulated += resimulated
+        mask = self._mask
+        wrong = 0
+        for port, expected in zip(child.outputs, self._expected):
+            wrong += bin((values[port] ^ expected) & mask).count("1")
+        rate = 1.0 - wrong / self._total_bits
+        if self._check_incremental:
+            full = child.simulate(self._words, mask)
+            if [values[p] for p in child.outputs] != full:
+                raise AssertionError(
+                    "incremental simulation diverged from full simulation "
+                    f"(touched gates {delta.touched_gates})"
+                )
+        return self._finish(child, rate)
+
+    def _finish(self, netlist: RqfpNetlist, rate: float) -> Fitness:
+        """Performance phase shared by the full and incremental paths."""
         if rate < 1.0:
             return Fitness(rate)
         active = netlist.shrink()
@@ -225,10 +315,18 @@ class Evaluator:
                 # Simulation-clean but not formally proven: keep it just
                 # below functional so it never displaces a verified parent.
                 return Fitness(1.0 - 1.0 / (2 * self._total_bits))
-        if active.fanout_violations():
+        # Flat per-port fan-out counts serve both the fan-out check and
+        # the garbage count (3 ports per gate minus the gate ports with
+        # a consumer) — this block runs per simulation-clean candidate,
+        # which is every candidate on a plateau, so no consumer dict.
+        counts = _fanout_counts(active)
+        if len(counts) > 1 and max(counts[1:]) > 1:
             active = insert_splitters(active)
+            counts = _fanout_counts(active)
         n_b = estimate_buffers(active) if self.config.count_buffers_in_fitness else 0
-        return Fitness(1.0, active.num_gates, active.num_garbage, n_b)
+        base = active.num_inputs + 1
+        n_g = 3 * active.num_gates - sum(1 for c in counts[base:] if c)
+        return Fitness(1.0, active.num_gates, n_g, n_b)
 
     def finalize(self, netlist: RqfpNetlist) -> RqfpNetlist:
         """Shrunk, simplified, fan-out-legal version of a candidate."""

@@ -23,12 +23,62 @@ Point mutation modifies up to ``m`` genes, ``m`` drawn uniformly from
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..rqfp.netlist import CONST_PORT, RqfpNetlist
 from .config import RcgpConfig
 
 Consumer = Tuple[str, int, int]  # ("gate", gate_index, position) | ("po", index, 0)
+
+
+@dataclass(frozen=True)
+class MutationDelta:
+    """The structured footprint of one point mutation.
+
+    Records the *final* gene values of every touched gate and primary
+    output, so a delta is self-sufficient: ``delta.apply_to(parent)``
+    reconstructs the offspring exactly, without the offspring's full
+    genome.  That makes deltas the unit of transport for incremental
+    evaluation — both for the in-process :class:`~repro.core.simstate.
+    SimulationState` cone resimulation (``touched_gates`` seeds the
+    dirty set) and for the process-pool backend, which ships deltas
+    instead of whole genomes when the parent is already resident in the
+    worker.
+
+    A gate is *touched* when any of its input connections or its
+    inverter configuration changed, including gates edited indirectly by
+    the paper's swap rule.  Note the recorded values may coincidentally
+    equal the parent's (e.g. the same inverter bit flipped twice);
+    touched gates are still resimulated, and value-identity pruning
+    stops the propagation.
+    """
+
+    gates: Tuple[Tuple[int, Tuple[int, int, int, int]], ...] = ()
+    """``(gate_index, (in0, in1, in2, config))`` pairs, ascending index."""
+
+    outputs: Tuple[Tuple[int, int], ...] = ()
+    """``(output_index, port)`` pairs for rewired POs, ascending index."""
+
+    @property
+    def touched_gates(self) -> Tuple[int, ...]:
+        """Gate indices whose outputs may differ from the parent's."""
+        return tuple(g for g, _ in self.gates)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.gates and not self.outputs
+
+    def apply_to(self, parent: RqfpNetlist) -> RqfpNetlist:
+        """Reconstruct the offspring this delta was recorded against."""
+        child = parent.copy()
+        for g, (in0, in1, in2, config) in self.gates:
+            gate = child.gates[g]
+            gate.in0, gate.in1, gate.in2 = in0, in1, in2
+            gate.config = config
+        for index, port in self.outputs:
+            child.outputs[index] = port
+        return child
 
 
 def chromosome_length(netlist: RqfpNetlist) -> int:
@@ -40,12 +90,33 @@ def _consumer_map(netlist: RqfpNetlist) -> Dict[int, List[Consumer]]:
     return netlist.consumers()
 
 
-class _MutationState:
-    """Incrementally maintained connectivity view during one mutation."""
+def copy_consumer_map(consumers: Dict[int, List[Consumer]]) \
+        -> Dict[int, List[Consumer]]:
+    """A mutation-safe copy of a consumer map.
 
-    def __init__(self, netlist: RqfpNetlist):
+    Building the map walks every gate; copying it is markedly cheaper.
+    Callers that mutate many offspring of one parent (the engine's
+    (1+λ) loop) build the parent's map once and hand each
+    :func:`mutate_with_delta` call a copy.
+    """
+    return {port: users.copy() for port, users in consumers.items()}
+
+
+class _MutationState:
+    """Incrementally maintained connectivity view during one mutation.
+
+    Also records which gates and primary outputs were touched, so the
+    caller can build the :class:`MutationDelta` without diffing the
+    whole chromosome afterwards.
+    """
+
+    def __init__(self, netlist: RqfpNetlist,
+                 consumers: Optional[Dict[int, List[Consumer]]] = None):
         self.netlist = netlist
-        self.consumers = _consumer_map(netlist)
+        self.consumers = consumers if consumers is not None \
+            else _consumer_map(netlist)
+        self.touched_gates: Set[int] = set()
+        self.touched_outputs: Set[int] = set()
 
     def _detach(self, port: int, consumer: Consumer) -> None:
         users = self.consumers.get(port)
@@ -65,12 +136,18 @@ class _MutationState:
         self._detach(old, ("gate", gate, position))
         self.netlist.gates[gate].replace_input(position, port)
         self._attach(port, ("gate", gate, position))
+        self.touched_gates.add(gate)
+
+    def set_config(self, gate: int, config: int) -> None:
+        self.netlist.gates[gate].config = config
+        self.touched_gates.add(gate)
 
     def set_output(self, index: int, port: int) -> None:
         old = self.netlist.outputs[index]
         self._detach(old, ("po", index, 0))
         self.netlist.outputs[index] = port
         self._attach(port, ("po", index, 0))
+        self.touched_outputs.add(index)
 
     def gene_consumer_of(self, port: int,
                          exclude: Consumer) -> Optional[Consumer]:
@@ -140,25 +217,40 @@ def _mutate_output(state: _MutationState, index: int,
     return True
 
 
-def _mutate_config(netlist: RqfpNetlist, gate: int,
+def _mutate_config(state: _MutationState, gate: int,
                    rng: random.Random) -> bool:
     beta = rng.randrange(9)
-    netlist.gates[gate].config ^= 1 << beta
+    state.set_config(gate, state.netlist.gates[gate].config ^ (1 << beta))
     return True
 
 
-def mutate(parent: RqfpNetlist, rng: random.Random,
-           config: RcgpConfig) -> RqfpNetlist:
-    """Create one offspring of ``parent`` (the parent is not modified)."""
+def mutate_with_delta(parent: RqfpNetlist, rng: random.Random,
+                      config: RcgpConfig,
+                      consumers: Optional[Dict[int, List[Consumer]]] = None) \
+        -> Tuple[RqfpNetlist, MutationDelta]:
+    """One offspring of ``parent`` plus its structured footprint.
+
+    The delta records every gate and primary output the mutation wrote
+    to (including swap-rule side effects), with their final gene
+    values — enough for :meth:`MutationDelta.apply_to` to rebuild the
+    child from the parent, and for the evaluator to resimulate only the
+    delta's fan-out cone.  The parent is not modified, and the RNG
+    stream is drawn exactly as :func:`mutate` draws it.
+
+    ``consumers``, when given, must be a fresh consumer map of
+    ``parent`` (see :func:`copy_consumer_map`); the call takes ownership
+    and mutates it.  This lets a (1+λ) loop amortize the per-offspring
+    connectivity scan across the brood.
+    """
     child = parent.copy()
     n_l = chromosome_length(child)
     if n_l == 0:
-        return child
+        return child, MutationDelta()
     max_m = max(1, round(config.mutation_rate * n_l))
     if config.max_mutated_genes is not None:
         max_m = max(1, min(max_m, config.max_mutated_genes))
     m = rng.randint(1, max_m)
-    state = _MutationState(child)
+    state = _MutationState(child, consumers)
     node_genes = 4 * child.num_gates
 
     for _ in range(m):
@@ -173,11 +265,25 @@ def mutate(parent: RqfpNetlist, rng: random.Random,
                     break
                 if not config.enable_inverter_mutation:
                     continue
-                _mutate_config(child, gate, rng)
+                _mutate_config(state, gate, rng)
                 break
             else:
                 if not config.enable_output_mutation:
                     continue
                 _mutate_output(state, gene - node_genes, rng)
                 break
-    return child
+    gates = child.gates
+    delta = MutationDelta(
+        gates=tuple((g, (gates[g].in0, gates[g].in1, gates[g].in2,
+                         gates[g].config))
+                    for g in sorted(state.touched_gates)),
+        outputs=tuple((i, child.outputs[i])
+                      for i in sorted(state.touched_outputs)),
+    )
+    return child, delta
+
+
+def mutate(parent: RqfpNetlist, rng: random.Random,
+           config: RcgpConfig) -> RqfpNetlist:
+    """Create one offspring of ``parent`` (the parent is not modified)."""
+    return mutate_with_delta(parent, rng, config)[0]

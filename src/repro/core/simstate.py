@@ -1,0 +1,72 @@
+"""Memoized per-port simulation state for incremental fitness.
+
+The ``(1 + λ)`` hot path evaluates offspring that differ from one
+shared parent by a handful of genes (a :class:`~repro.core.mutation.
+MutationDelta`).  Re-simulating the whole netlist per offspring wastes
+almost all of that work: only the transitive fan-out *cone* of the
+touched gates can change value.  :class:`SimulationState` caches the
+parent's bit-parallel port values (in topological order — the netlist's
+gate order) so every offspring evaluation starts from the memoized
+words and recomputes just its cone, with value-identity pruning cutting
+the cone short wherever a recomputed word matches the parent's.
+
+A state is only valid for one ``(parent, pattern set)`` pair: it
+records the evaluator's ``pattern_epoch`` at construction, and the
+evaluator falls back to full simulation whenever the epoch has moved on
+(a SAT counterexample grew the pattern set) or the candidate's shape no
+longer matches (callers other than the mutation loop).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..rqfp.netlist import RqfpNetlist
+
+__all__ = ["SimulationState"]
+
+
+class SimulationState:
+    """Per-port simulation words of one parent netlist.
+
+    Parameters
+    ----------
+    netlist:
+        The parent; its gate order defines the port index space shared
+        with every offspring (point mutation never changes the shape).
+    words:
+        One bit-parallel input word per primary input.
+    mask:
+        Valid-bit mask of the words (``2^patterns - 1``).
+    epoch:
+        The evaluator's ``pattern_epoch`` the words belong to.
+    """
+
+    __slots__ = ("num_gates", "num_ports", "values", "mask", "epoch")
+
+    def __init__(self, netlist: RqfpNetlist, words: Sequence[int],
+                 mask: int, epoch: int = 0):
+        self.num_gates = netlist.num_gates
+        self.num_ports = netlist.num_ports()
+        self.values: List[int] = netlist.simulate_ports(words, mask)
+        self.mask = mask
+        self.epoch = epoch
+
+    def compatible(self, candidate: RqfpNetlist) -> bool:
+        """Whether ``candidate`` lives in the same port index space."""
+        return candidate.num_gates == self.num_gates
+
+    def child_values(self, child: RqfpNetlist,
+                     touched_gates: Sequence[int]) \
+            -> Tuple[List[int], int]:
+        """Port values of ``child``, resimulating only the dirty cone.
+
+        ``child`` must be shape-compatible with the parent and differ
+        from it in (at most) the ``touched_gates``.  Returns the full
+        per-port value vector plus the number of gate output ports that
+        were actually recomputed.
+        """
+        values = self.values.copy()
+        resimulated = child.resimulate_cone(values, self.mask,
+                                            touched_gates)
+        return values, resimulated

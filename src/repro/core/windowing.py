@@ -175,16 +175,29 @@ class WindowResult:
     garbage_before: int = 0
     garbage_after: int = 0
     history: List[Tuple[int, int, int]] = field(default_factory=list)
+    eval_full: int = 0
+    eval_incremental: int = 0
+    ports_resimulated: int = 0
 
 
 def optimize_window(netlist: RqfpNetlist, start: int, stop: int,
                     config: Optional[RcgpConfig] = None,
-                    max_inputs: int = 12) -> Optional[RqfpNetlist]:
+                    max_inputs: int = 12,
+                    stats: Optional[WindowResult] = None) \
+        -> Optional[RqfpNetlist]:
     """Optimize one window; returns the improved netlist or None.
 
     The window's local function is computed exhaustively, so windows
     whose boundary exceeds ``max_inputs`` inputs are skipped (return
     None) rather than sampled.
+
+    Incremental evaluation composes naturally with windowing: the
+    window *is* the sub-netlist the engine optimizes, so every
+    offspring's resimulation cone is window-local by construction —
+    mutations near the window's output boundary touch only a handful of
+    ports, independent of the full circuit's size.  ``stats``
+    aggregates the run's evaluation counters into a
+    :class:`WindowResult`.
     """
     window = analyze_window(netlist, start, stop)
     if not window.output_ports:
@@ -201,6 +214,10 @@ def optimize_window(netlist: RqfpNetlist, start: int, stop: int,
     config = config.replace(workers=0, telemetry_path=None)
     result = EvolutionRun(spec, config, initial=sub,
                           name=sub.name).run()
+    if stats is not None:
+        stats.eval_full += result.eval_full
+        stats.eval_incremental += result.eval_incremental
+        stats.ports_resimulated += result.ports_resimulated
     improved = result.netlist
     if (improved.num_gates, improved.num_garbage) >= \
             (sub.shrink().num_gates, sub.shrink().num_garbage):
@@ -243,7 +260,7 @@ def windowed_optimize(netlist: RqfpNetlist,
             # see different cuts.
             stats.windows_tried += 1
             improved = optimize_window(current, start, stop, config,
-                                       max_inputs)
+                                       max_inputs, stats=stats)
             if improved is not None:
                 improved = improved.shrink()
                 if reference is not None:

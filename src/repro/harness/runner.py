@@ -56,6 +56,7 @@ class HarnessConfig:
     stagnation_limit: Optional[int] = None
     workers: int = 0
     telemetry_dir: Optional[str] = None
+    incremental: bool = True
 
     @classmethod
     def from_env(cls) -> "HarnessConfig":
@@ -76,6 +77,7 @@ class HarnessConfig:
             run_exact=_env_int("RCGP_BENCH_RUN_EXACT", 1) != 0,
             workers=_env_int("RCGP_BENCH_WORKERS", base.workers),
             telemetry_dir=os.environ.get("RCGP_BENCH_TELEMETRY_DIR") or None,
+            incremental=_env_int("RCGP_BENCH_INCREMENTAL", 1) != 0,
         )
 
     def rcgp_config(self, scale: float = 1.0,
@@ -95,6 +97,7 @@ class HarnessConfig:
             stagnation_limit=self.stagnation_limit,
             workers=self.workers,
             telemetry_path=telemetry_path,
+            incremental_eval=self.incremental,
         )
 
 

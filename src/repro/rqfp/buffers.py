@@ -50,19 +50,23 @@ def _edge_list(netlist: RqfpNetlist):
     """Edges as (kind, src, dst, slot): kind in {gg, ig, go, io}.
 
     ``slot`` is the consuming input position (or 0 for POs) so parallel
-    edges between the same pair of gates stay distinct.
+    edges between the same pair of gates stay distinct.  Ports are
+    classified by inline arithmetic (gate ports are ``>= base``, the
+    constant port is 0, everything else is a PI) — this walk sits on the
+    functional-fitness path.
     """
+    base = netlist.num_inputs + 1
     edges = []
     for g, gate in enumerate(netlist.gates):
-        for pos, port in enumerate(gate.inputs):
-            if netlist.is_gate_port(port):
-                edges.append(("gg", netlist.port_gate(port), g, pos))
-            elif netlist.is_input_port(port):
+        for pos, port in enumerate((gate.in0, gate.in1, gate.in2)):
+            if port >= base:
+                edges.append(("gg", (port - base) // 3, g, pos))
+            elif port:
                 edges.append(("ig", port, g, pos))
     for o, port in enumerate(netlist.outputs):
-        if netlist.is_gate_port(port):
-            edges.append(("go", netlist.port_gate(port), o, 0))
-        elif netlist.is_input_port(port):
+        if port >= base:
+            edges.append(("go", (port - base) // 3, o, 0))
+        elif port:
             edges.append(("io", port, o, 0))
     return edges
 
@@ -161,17 +165,26 @@ def greedy_plan(netlist: RqfpNetlist) -> BufferPlan:
 
 
 def estimate_buffers(netlist: RqfpNetlist) -> int:
-    """Fast n_b estimate used inside the CGP fitness loop."""
+    """Fast n_b estimate used inside the CGP fitness loop.
+
+    Equivalent to summing spans over :func:`_edge_list` with ASAP
+    levels, but walks the gates directly instead of materializing the
+    edge tuples — this runs for every simulation-clean candidate.
+    """
+    base = netlist.num_inputs + 1
     levels = asap_levels(netlist)
     depth = max(levels, default=0)
     total = 0
-    for kind, src, dst, _slot in _edge_list(netlist):
-        if kind == "gg":
-            total += levels[dst] - levels[src] - 1
-        elif kind == "ig":
-            total += levels[dst] - 1
-        elif kind == "go":
-            total += depth - levels[src]
-        else:
+    for g, gate in enumerate(netlist.gates):
+        here = levels[g]
+        for port in (gate.in0, gate.in1, gate.in2):
+            if port >= base:
+                total += here - levels[(port - base) // 3] - 1
+            elif port:
+                total += here - 1
+    for port in netlist.outputs:
+        if port >= base:
+            total += depth - levels[(port - base) // 3]
+        elif port:
             total += depth
     return total

@@ -63,6 +63,18 @@ class RqfpGate:
                 f"{config_to_string(self.config)})")
 
 
+def _fast_gate(in0: int, in1: int, in2: int, config: int) -> RqfpGate:
+    """Build a gate from already-validated genes, skipping the dataclass
+    machinery (``copy``/``shrink`` construct thousands of gates per
+    second inside the evolution loop)."""
+    gate = RqfpGate.__new__(RqfpGate)
+    gate.in0 = in0
+    gate.in1 = in1
+    gate.in2 = in2
+    gate.config = config
+    return gate
+
+
 class RqfpNetlist:
     """An RQFP logic circuit prior to buffer insertion."""
 
@@ -138,9 +150,22 @@ class RqfpNetlist:
         )
 
     def copy(self) -> "RqfpNetlist":
+        # Per-offspring hot path of the (1+λ) loop: every gate here was
+        # validated when first constructed, so bypass the dataclass
+        # __init__ (and its check_config) rather than re-checking a
+        # value that cannot have gone bad.
         dup = RqfpNetlist(self.num_inputs, self.name,
                           list(self.input_names), [])
-        dup.gates = [RqfpGate(g.in0, g.in1, g.in2, g.config) for g in self.gates]
+        make = RqfpGate.__new__
+        gates = []
+        for g in self.gates:
+            h = make(RqfpGate)
+            h.in0 = g.in0
+            h.in1 = g.in1
+            h.in2 = g.in2
+            h.config = g.config
+            gates.append(h)
+        dup.gates = gates
         dup.outputs = list(self.outputs)
         dup.output_names = list(self.output_names)
         return dup
@@ -194,14 +219,27 @@ class RqfpNetlist:
         return len(self.garbage_ports())
 
     def levels(self) -> List[int]:
-        """ASAP level per gate (a gate fed only by PIs/constant is level 1)."""
+        """ASAP level per gate (a gate fed only by PIs/constant is level 1).
+
+        Runs on every functional fitness evaluation (buffer estimate),
+        so the port classification is inline arithmetic rather than
+        ``is_gate_port``/``port_gate`` calls.
+        """
+        base = self.num_inputs + 1
         levels: List[int] = []
         for gate in self.gates:
-            level = 1
-            for port in gate.inputs:
-                if self.is_gate_port(port):
-                    level = max(level, levels[self.port_gate(port)] + 1)
-            levels.append(level)
+            level = 0
+            if gate.in0 >= base:
+                level = levels[(gate.in0 - base) // 3]
+            if gate.in1 >= base:
+                other = levels[(gate.in1 - base) // 3]
+                if other > level:
+                    level = other
+            if gate.in2 >= base:
+                other = levels[(gate.in2 - base) // 3]
+                if other > level:
+                    level = other
+            levels.append(level + 1)
         return levels
 
     def depth(self) -> int:
@@ -210,21 +248,29 @@ class RqfpNetlist:
         return max(levels, default=0)
 
     def reachable_gates(self) -> List[int]:
-        """Gates in the transitive fan-in of the primary outputs."""
+        """Gates in the transitive fan-in of the primary outputs.
+
+        Gate inputs reference strictly earlier gates, so one reverse
+        sweep propagates reachability completely — no DFS stack, no
+        sort, and flat flags instead of a set (this feeds ``shrink`` on
+        every functional fitness evaluation).
+        """
         base = self.num_inputs + 1
-        seen = set()
-        stack = [(p - base) // 3 for p in self.outputs if p >= base]
         gates = self.gates
-        while stack:
-            gate = stack.pop()
-            if gate in seen:
-                continue
-            seen.add(gate)
-            record = gates[gate]
-            for port in (record.in0, record.in1, record.in2):
-                if port >= base:
-                    stack.append((port - base) // 3)
-        return sorted(seen)
+        keep = bytearray(len(gates))
+        for port in self.outputs:
+            if port >= base:
+                keep[(port - base) // 3] = 1
+        for g in range(len(gates) - 1, -1, -1):
+            if keep[g]:
+                gate = gates[g]
+                if gate.in0 >= base:
+                    keep[(gate.in0 - base) // 3] = 1
+                if gate.in1 >= base:
+                    keep[(gate.in1 - base) // 3] = 1
+                if gate.in2 >= base:
+                    keep[(gate.in2 - base) // 3] = 1
+        return [g for g in range(len(gates)) if keep[g]]
 
     def shrink(self) -> "RqfpNetlist":
         """Remove gates unreachable from the POs (paper §3.2.3).
@@ -234,27 +280,32 @@ class RqfpNetlist:
         plain arithmetic on the port-index layout.
         """
         keep = self.reachable_gates()
-        remap_gate = {old: new for new, old in enumerate(keep)}
         fresh = RqfpNetlist(self.num_inputs, self.name,
                             list(self.input_names), [])
         base = self.num_inputs + 1
 
-        def remap_port(port: int) -> int:
-            offset = port - base
-            if offset < 0:
-                return port
-            return base + 3 * remap_gate[offset // 3] + offset % 3
+        # Flat old-port -> new-port table (pruned gates' ports stay -1;
+        # nothing kept can reference them).
+        remap = [-1] * self.num_ports()
+        for port in range(base):
+            remap[port] = port
+        for new, old in enumerate(keep):
+            src = base + 3 * old
+            dst = base + 3 * new
+            remap[src] = dst
+            remap[src + 1] = dst + 1
+            remap[src + 2] = dst + 2
 
         gates = self.gates
         fresh_gates = fresh.gates
         for old in keep:
             gate = gates[old]
-            fresh_gates.append(RqfpGate(remap_port(gate.in0),
-                                        remap_port(gate.in1),
-                                        remap_port(gate.in2),
-                                        gate.config))
+            fresh_gates.append(_fast_gate(remap[gate.in0],
+                                          remap[gate.in1],
+                                          remap[gate.in2],
+                                          gate.config))
         for port, name in zip(self.outputs, self.output_names):
-            fresh.add_output(remap_port(port), name)
+            fresh.add_output(remap[port], name)
         return fresh
 
     # -- validation --------------------------------------------------------------
@@ -310,6 +361,57 @@ class RqfpNetlist:
                 values[index] = (pa & pb) | (pa & pc) | (pb & pc)
                 index += 1
         return values
+
+    def resimulate_cone(self, values: List[int], mask: int,
+                        touched_gates: Sequence[int]) -> int:
+        """Recompute the transitive fan-out cone of ``touched_gates``.
+
+        ``values`` must be a full per-port value vector for this netlist
+        under the same input words and ``mask`` (typically the parent's
+        :meth:`simulate_ports` result, copied); it is updated in place.
+        Touched gates are recomputed unconditionally; downstream gates
+        are recomputed only when one of their input ports actually
+        changed value (value-identity pruning), so a mutation whose
+        effect is masked out stops propagating immediately.
+
+        Returns the number of gate output ports recomputed — the
+        ``ports_resimulated`` telemetry counter.
+        """
+        if not touched_gates:
+            return 0
+        gates = self.gates
+        # Flat flag arrays beat sets here: the sweep tests three flags
+        # per skipped gate and raises one per changed port, and
+        # bytearray indexing is far cheaper than hashing into a set.
+        touched = bytearray(len(gates))
+        for g in touched_gates:
+            touched[g] = 1
+        dirty = bytearray(self.num_ports())
+        first = min(touched_gates)
+        recomputed = 0
+        index = self.num_inputs + 1 + 3 * first
+        for g in range(first, len(gates)):
+            gate = gates[g]
+            if not touched[g] and not (dirty[gate.in0] or dirty[gate.in1]
+                                       or dirty[gate.in2]):
+                index += 3
+                continue
+            recomputed += 1
+            a = values[gate.in0]
+            b = values[gate.in1]
+            c = values[gate.in2]
+            config = gate.config
+            for shift in (6, 3, 0):
+                bits = config >> shift
+                pa = a ^ mask if bits & 4 else a
+                pb = b ^ mask if bits & 2 else b
+                pc = c ^ mask if bits & 1 else c
+                word = (pa & pb) | (pa & pc) | (pb & pc)
+                if values[index] != word:
+                    values[index] = word
+                    dirty[index] = 1
+                index += 1
+        return 3 * recomputed
 
     def simulate(self, input_words: Sequence[int], mask: int) -> List[int]:
         """Bit-parallel simulation returning one word per primary output."""

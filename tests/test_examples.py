@@ -65,6 +65,16 @@ class TestExampleScripts:
         assert "identical result" in out
         assert "pooled (workers=2)" in out
 
+    def test_incremental_speedup(self):
+        out = _run("incremental_speedup.py",
+                   env_extra={"RCGP_INCR_CIRCUIT": "alu",
+                              "RCGP_INCR_MUTANTS": "60",
+                              "RCGP_INCR_GENERATIONS": "30",
+                              "RCGP_INCR_OFFSPRING": "4"})
+        assert "fitness keys identical" in out
+        assert "identical result" in out
+        assert "eval_incr" in out
+
     @pytest.mark.slow
     def test_pareto_front(self):
         out = _run("pareto_front.py", timeout=420)

@@ -1,0 +1,151 @@
+"""Docs freshness check: extract and run the Python blocks in the docs.
+
+Every fenced ```python block in ``docs/*.md`` and ``README.md`` is a
+contract with the reader.  This tool keeps the contract honest:
+
+* every block must **compile** (no syntax rot);
+* a block whose first line starts with ``# doc: no-run`` is illustrative
+  (it would spawn pools, write files, or assumes names in scope) — for
+  those, only the ``import`` statements are extracted (via ``ast``) and
+  executed, so imports of dead names still fail;
+* every other block is executed in full, in a fresh namespace, from a
+  throwaway working directory.
+
+Run directly (``python tools/docs_smoke.py``) for a CI step, or import
+``iter_blocks`` / ``run_block`` from ``tests/test_docs.py`` for a
+per-block pytest parametrization.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+import tempfile
+import textwrap
+from dataclasses import dataclass
+from typing import Iterator, List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+NO_RUN_MARKER = "# doc: no-run"
+
+#: Files scanned for ```python fences, relative to the repo root.
+DOC_FILES = ("README.md", "docs")
+
+
+@dataclass(frozen=True)
+class DocBlock:
+    """One fenced ```python block lifted out of a markdown file."""
+
+    path: str        # repo-relative markdown path
+    lineno: int      # 1-based line of the opening fence
+    source: str      # dedented block body
+
+    @property
+    def no_run(self) -> bool:
+        first = self.source.lstrip().splitlines()[0] if self.source.strip() else ""
+        return first.startswith(NO_RUN_MARKER)
+
+    @property
+    def label(self) -> str:
+        mode = "imports-only" if self.no_run else "exec"
+        return f"{self.path}:{self.lineno} [{mode}]"
+
+
+def _markdown_files() -> List[str]:
+    files = []
+    for entry in DOC_FILES:
+        full = os.path.join(REPO_ROOT, entry)
+        if os.path.isdir(full):
+            for name in sorted(os.listdir(full)):
+                if name.endswith(".md"):
+                    files.append(os.path.join(entry, name))
+        elif os.path.exists(full):
+            files.append(entry)
+    return files
+
+
+def extract_blocks(path: str) -> Iterator[DocBlock]:
+    """Yield the ```python blocks of one markdown file."""
+    with open(os.path.join(REPO_ROOT, path), encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    fence_line = None
+    body: List[str] = []
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if fence_line is None:
+            if stripped.startswith("```python"):
+                fence_line = number
+                body = []
+        elif stripped == "```":
+            yield DocBlock(path, fence_line, textwrap.dedent("\n".join(body)))
+            fence_line = None
+        else:
+            body.append(line)
+    if fence_line is not None:
+        raise ValueError(f"{path}:{fence_line}: unterminated ```python fence")
+
+
+def iter_blocks() -> List[DocBlock]:
+    """All python blocks across the scanned markdown files."""
+    blocks: List[DocBlock] = []
+    for path in _markdown_files():
+        blocks.extend(extract_blocks(path))
+    return blocks
+
+
+def _imports_of(tree: ast.Module) -> ast.Module:
+    """A module containing only the import statements of *tree*."""
+    imports = [node for node in ast.walk(tree)
+               if isinstance(node, (ast.Import, ast.ImportFrom))]
+    module = ast.Module(body=imports, type_ignores=[])
+    return ast.fix_missing_locations(module)
+
+
+def run_block(block: DocBlock) -> None:
+    """Compile *block*; exec it fully, or just its imports if ``no_run``.
+
+    Raises whatever the block raises — SyntaxError on rot, ImportError
+    on dead names, AssertionError on stale claims.
+    """
+    filename = f"<{block.path}:{block.lineno}>"
+    tree = ast.parse(block.source, filename=filename)
+    if block.no_run:
+        code = compile(_imports_of(tree), filename, "exec")
+        exec(code, {"__name__": "__docs_smoke__"})
+        return
+    code = compile(block.source, filename, "exec")
+    cwd = os.getcwd()
+    with tempfile.TemporaryDirectory() as scratch:
+        os.chdir(scratch)
+        try:
+            exec(code, {"__name__": "__docs_smoke__"})
+        finally:
+            os.chdir(cwd)
+
+
+def main(argv: List[str]) -> int:
+    blocks = iter_blocks()
+    if not blocks:
+        print("docs_smoke: no ```python blocks found", file=sys.stderr)
+        return 1
+    failures = 0
+    for block in blocks:
+        print(f"-- {block.label}", flush=True)
+        try:
+            run_block(block)
+        except Exception:  # noqa: BLE001 - report every failing block
+            failures += 1
+            import traceback
+
+            traceback.print_exc()
+    ran = sum(1 for b in blocks if not b.no_run)
+    print(f"docs_smoke: {len(blocks)} blocks "
+          f"({ran} executed, {len(blocks) - ran} imports-only), "
+          f"{failures} failed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
