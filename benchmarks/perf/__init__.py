@@ -1,0 +1,8 @@
+"""Performance microbenchmarks for the CGP inner loop.
+
+Not collected by pytest (the tier-1 suite stays fast); run through
+``tools/perf_bench.py``, which writes ``BENCH_perf.json`` at the repo
+root and can fail on regressions against a committed baseline.
+"""
+
+from .microbench import BENCHES, run_benches  # noqa: F401

@@ -1,0 +1,146 @@
+"""Microbenchmarks for the (1+λ) hot path, one rate per operation.
+
+Each benchmark times the operation the inner loop actually performs —
+full evaluation, incremental (cone) evaluation, mutation + copy-on-write
+copy, shrink — over a Table-1 circuit, plus two end-to-end evolution
+runs (serial and ``workers=2``).  All benchmarks run on the
+representation selected by ``RcgpConfig.kernel`` so the same harness
+measures both the flat kernel and the object-netlist fallback.
+
+Rates are evaluations (or operations) per second; use
+``tools/perf_bench.py`` to run the suite, persist ``BENCH_perf.json``,
+and gate on regressions.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.bench.registry import get_benchmark
+from repro.core.config import RcgpConfig
+from repro.core.engine import EvolutionRun
+from repro.core.fitness import Evaluator
+from repro.core.kernel import NetlistKernel
+from repro.core.mutation import mutate_with_delta
+from repro.core.synthesis import initialize_netlist
+
+__all__ = ["BENCHES", "run_benches"]
+
+
+def _fixture(circuit: str, kernel: str):
+    """(spec, parent candidate, mutation config) for one circuit."""
+    benchmark = get_benchmark(circuit)
+    spec = benchmark.spec()
+    netlist = initialize_netlist(spec, benchmark.name)
+    parent = NetlistKernel.from_netlist(netlist) \
+        if kernel == "flat" else netlist
+    config = RcgpConfig(mutation_rate=0.08, max_mutated_genes=8, seed=3,
+                        kernel=kernel)
+    return spec, parent, config
+
+
+def _mutants(parent, config, count: int):
+    rng = random.Random(7)
+    return [mutate_with_delta(parent, rng, config) for _ in range(count)]
+
+
+def bench_full_eval(circuit: str, kernel: str, iterations: int) -> float:
+    """Full (non-incremental) fitness evaluations per second."""
+    spec, parent, config = _fixture(circuit, kernel)
+    mutants = _mutants(parent, config, iterations)
+    evaluator = Evaluator(spec, config, random.Random(config.seed))
+    start = time.perf_counter()
+    for child, _ in mutants:
+        evaluator.evaluate(child)
+    return iterations / (time.perf_counter() - start)
+
+
+def bench_incremental_eval(circuit: str, kernel: str,
+                           iterations: int) -> float:
+    """Cone-aware incremental evaluations per second (memoized parent)."""
+    spec, parent, config = _fixture(circuit, kernel)
+    mutants = _mutants(parent, config, iterations)
+    evaluator = Evaluator(spec, config, random.Random(config.seed))
+    state = evaluator.prepare_parent(parent)
+    start = time.perf_counter()
+    for child, delta in mutants:
+        evaluator.evaluate_incremental(child, delta, state)
+    return iterations / (time.perf_counter() - start)
+
+
+def bench_mutation_copy(circuit: str, kernel: str, iterations: int) -> float:
+    """Mutations per second, engine-style: copy-on-write child plus
+    shared-consumer-map journaling with rollback."""
+    _, parent, config = _fixture(circuit, kernel)
+    consumers = parent.consumers()
+    rng = random.Random(7)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        mutate_with_delta(parent, rng, config, consumers=consumers,
+                          rollback=True)
+    return iterations / (time.perf_counter() - start)
+
+
+def bench_shrink(circuit: str, kernel: str, iterations: int) -> float:
+    """Dead-gate elimination sweeps per second."""
+    _, parent, config = _fixture(circuit, kernel)
+    start = time.perf_counter()
+    for _ in range(iterations):
+        parent.shrink()
+    return iterations / (time.perf_counter() - start)
+
+
+def _bench_run(circuit: str, kernel: str, generations: int,
+               workers: int) -> float:
+    benchmark = get_benchmark(circuit)
+    spec = benchmark.spec()
+    initial = initialize_netlist(spec, benchmark.name)
+    config = RcgpConfig(mutation_rate=0.08, max_mutated_genes=8, seed=2024,
+                        eval_cache_size=0, shrink="on_improvement",
+                        generations=generations, kernel=kernel,
+                        workers=workers)
+    start = time.perf_counter()
+    result = EvolutionRun(spec, config, initial=initial,
+                          name=benchmark.name).run()
+    return result.evaluations / (time.perf_counter() - start)
+
+
+def bench_run_serial(circuit: str, kernel: str, generations: int) -> float:
+    """End-to-end serial evolution, evaluations per second."""
+    return _bench_run(circuit, kernel, generations, workers=0)
+
+
+def bench_run_workers2(circuit: str, kernel: str, generations: int) -> float:
+    """End-to-end evolution with a 2-worker pool, evaluations per
+    second (includes pool startup — a smoke-level parallel number)."""
+    return _bench_run(circuit, kernel, generations, workers=2)
+
+
+#: name -> (callable(circuit, kernel, n), full n, quick n)
+BENCHES: Dict[str, Tuple[Callable[[str, str, int], float], int, int]] = {
+    "full_eval": (bench_full_eval, 300, 40),
+    "incremental_eval": (bench_incremental_eval, 2000, 300),
+    "mutation_copy": (bench_mutation_copy, 5000, 800),
+    "shrink": (bench_shrink, 2000, 300),
+    "run_serial": (bench_run_serial, 600, 60),
+    "run_workers2": (bench_run_workers2, 120, 40),
+}
+
+
+def run_benches(circuit: str = "intdiv9", kernel: str = "flat",
+                quick: bool = False, repeats: int = 2,
+                skip_workers: bool = False) -> Dict[str, Dict[str, float]]:
+    """Run every microbenchmark, best rate of ``repeats`` repetitions.
+
+    Returns ``{bench: {"rate": evals_per_sec, "iterations": n}}``.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for name, (func, full_n, quick_n) in BENCHES.items():
+        if skip_workers and name == "run_workers2":
+            continue
+        n = quick_n if quick else full_n
+        rate = max(func(circuit, kernel, n) for _ in range(repeats))
+        results[name] = {"rate": round(rate, 2), "iterations": n}
+    return results

@@ -30,6 +30,7 @@ from .core.config import RcgpConfig
 from .core.engine import EvolutionRun, TelemetryWriter, read_telemetry
 from .core.evolution import EvolutionResult, evolve
 from .core.fitness import Evaluator, Fitness
+from .core.kernel import NetlistKernel
 from .core.mutation import MutationDelta, mutate_with_delta
 from .core.simstate import SimulationState
 from .core.synthesis import (
@@ -75,6 +76,7 @@ __all__ = [
     "Fitness",
     "MutationDelta",
     "mutate_with_delta",
+    "NetlistKernel",
     "SimulationState",
     "exact_synthesize",
     "ExactResult",

@@ -50,6 +50,11 @@ def _add_rcgp_options(parser: argparse.ArgumentParser) -> None:
                              "results for a fixed seed)")
     parser.add_argument("--telemetry", metavar="PATH", default=None,
                         help="write per-generation JSONL telemetry events")
+    parser.add_argument("--kernel", choices=("flat", "object"),
+                        default="flat",
+                        help="inner-loop genome representation: flat "
+                             "structure-of-arrays kernel (default) or the "
+                             "object netlist; results are bit-identical")
 
 
 def _config_from(args: argparse.Namespace) -> RcgpConfig:
@@ -64,6 +69,7 @@ def _config_from(args: argparse.Namespace) -> RcgpConfig:
         verify_method=args.verify_method,
         workers=args.workers,
         telemetry_path=args.telemetry,
+        kernel=args.kernel,
     )
 
 
@@ -212,7 +218,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                           mutation_rate=args.mutation_rate,
                           max_mutated_genes=args.max_genes,
                           seed=seed, shrink=args.shrink,
-                          workers=args.workers)
+                          workers=args.workers,
+                          kernel=args.kernel)
 
     sweep = seed_sweep(spec, seeds, factory, name=name)
     print(sweep.report())

@@ -14,6 +14,7 @@ from .engine import (
 )
 from .evolution import EvolutionResult, evolve
 from .fitness import Evaluator, Fitness
+from .kernel import NetlistKernel
 from .mutation import MutationDelta, chromosome_length, mutate, \
     mutate_with_delta
 from .simstate import SimulationState
@@ -57,6 +58,7 @@ __all__ = [
     "mutate",
     "mutate_with_delta",
     "MutationDelta",
+    "NetlistKernel",
     "SimulationState",
     "chromosome_length",
     "evolve",

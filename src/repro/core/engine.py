@@ -55,7 +55,8 @@ from ..rqfp.netlist import RqfpNetlist
 from ..rqfp.simplify import bypass_wire_gates
 from .config import RcgpConfig
 from .fitness import Evaluator, Fitness
-from .mutation import MutationDelta, copy_consumer_map, mutate_with_delta
+from .kernel import NetlistKernel
+from .mutation import MutationDelta, mutate_with_delta
 from .simstate import SimulationState
 
 ProgressCallback = Callable[[int, Fitness], None]
@@ -70,12 +71,43 @@ Genome = Tuple[int, ...]
 # Genome codec
 
 
-def encode_genome(netlist: RqfpNetlist) -> Genome:
-    """Netlist -> compact port-index tuple (loses only the names)."""
-    flat: List[int] = [netlist.num_inputs, netlist.num_gates]
-    for gate in netlist.gates:
+def encode_genome(candidate) -> Genome:
+    """Candidate -> compact port-index tuple (loses only the names).
+
+    Accepts either representation: a :class:`NetlistKernel` flattens its
+    gene arrays directly, an :class:`RqfpNetlist` walks its gate
+    objects.  Both produce the identical tuple for the same chromosome.
+    """
+    if isinstance(candidate, NetlistKernel):
+        return candidate.to_genome()
+    flat: List[int] = [candidate.num_inputs, candidate.num_gates]
+    for gate in candidate.gates:
         flat.extend((gate.in0, gate.in1, gate.in2, gate.config))
-    flat.extend(netlist.outputs)
+    flat.extend(candidate.outputs)
+    return tuple(flat)
+
+
+def genome_with_delta(parent_genome: Genome,
+                      delta: MutationDelta) -> Genome:
+    """Offspring genome by patching the parent's tuple in place.
+
+    Point mutation preserves the chromosome shape, so the child's
+    genome is the parent's with at most ``max_mutated_genes`` positions
+    rewritten — an O(delta) patch on a C-level list copy instead of an
+    O(genome) re-walk of the candidate.  Equals
+    ``encode_genome(delta.apply_to(parent))`` by construction.
+    """
+    flat = list(parent_genome)
+    for g, (in0, in1, in2, config) in delta.gates:
+        i = 2 + 4 * g
+        flat[i] = in0
+        flat[i + 1] = in1
+        flat[i + 2] = in2
+        flat[i + 3] = config
+    if delta.outputs:
+        base = 2 + 4 * parent_genome[1]
+        for index, port in delta.outputs:
+            flat[base + index] = port
     return tuple(flat)
 
 
@@ -91,6 +123,18 @@ def decode_genome(genome: Genome, name: str = "") -> RqfpNetlist:
     for port in genome[base + 4 * num_gates:]:
         netlist.add_output(port)
     return netlist
+
+
+def _decode_candidate(genome: Genome, evaluator: Evaluator):
+    """Genome -> the evaluator's preferred representation.
+
+    Backends decode through this so a flat-mode evaluator receives
+    :class:`NetlistKernel` candidates (array slicing, no per-gate
+    objects) and an object-mode evaluator receives netlists.
+    """
+    if evaluator.kernel_mode:
+        return NetlistKernel.from_genome(genome)
+    return decode_genome(genome)
 
 
 def child_seed(base_seed: int, generation: int, index: int) -> int:
@@ -193,26 +237,28 @@ class InlineBackend:
     def __init__(self, evaluator: Evaluator):
         self._evaluator = evaluator
         self._parent_genome: Optional[Genome] = None
-        self._parent: Optional[RqfpNetlist] = None
+        self._parent = None
         self._state: Optional[SimulationState] = None
 
     def evaluate(self, genomes: Sequence[Genome]) -> List[Fitness]:
-        return [self._evaluator.evaluate(decode_genome(g)) for g in genomes]
+        evaluator = self._evaluator
+        return [evaluator.evaluate(_decode_candidate(g, evaluator))
+                for g in genomes]
 
     def evaluate_deltas(self, parent_genome: Genome,
                         deltas: Sequence[MutationDelta],
-                        children: Optional[Sequence[RqfpNetlist]] = None) \
+                        children: Optional[Sequence] = None) \
             -> List[Fitness]:
         """Fitness of ``[delta.apply_to(parent) for delta in deltas]``.
 
         ``children`` optionally supplies the already-built offspring
-        netlists (the engine has them anyway), skipping the
+        candidates (the engine has them anyway), skipping the
         reconstruction copy.
         """
         evaluator = self._evaluator
         if self._parent_genome != parent_genome or self._state is None \
                 or self._state.epoch != evaluator.pattern_epoch:
-            self._parent = decode_genome(parent_genome)
+            self._parent = _decode_candidate(parent_genome, evaluator)
             self._state = evaluator.prepare_parent(self._parent)
             self._parent_genome = parent_genome
         out = []
@@ -232,7 +278,7 @@ class InlineBackend:
 # genome tuples (or, incrementally, one parent genome plus per-offspring
 # deltas) and get back plain fitness tuples with counter deltas.
 _WORKER_EVALUATOR: Optional[Evaluator] = None
-_WORKER_PARENT: Optional[Tuple[Genome, RqfpNetlist, SimulationState]] = None
+_WORKER_PARENT = None  # (Genome, candidate, SimulationState)
 
 _Counters = Tuple[int, int, int]  # (eval_full, eval_incremental, ports)
 
@@ -257,7 +303,7 @@ def _pool_evaluate(genomes: Sequence[Genome]) \
     before = _counters(evaluator)
     out = []
     for genome in genomes:
-        fit = evaluator.evaluate(decode_genome(genome))
+        fit = evaluator.evaluate(_decode_candidate(genome, evaluator))
         out.append((fit.success, fit.n_r, fit.n_g, fit.n_b))
     after = _counters(evaluator)
     return out, (after[0] - before[0], after[1] - before[1],
@@ -280,7 +326,7 @@ def _pool_evaluate_deltas(parent_genome: Genome,
     assert evaluator is not None, "pool worker used before initialization"
     if _WORKER_PARENT is None or _WORKER_PARENT[0] != parent_genome \
             or _WORKER_PARENT[2].epoch != evaluator.pattern_epoch:
-        parent = decode_genome(parent_genome)
+        parent = _decode_candidate(parent_genome, evaluator)
         _WORKER_PARENT = (parent_genome, parent,
                           evaluator.prepare_parent(parent))
     _, parent, state = _WORKER_PARENT
@@ -563,6 +609,11 @@ class EvolutionRun:
         else:
             from .synthesis import initialize_netlist
             parent = initialize_netlist(spec, self.name)
+        # The inner loop runs on the configured representation; the flat
+        # kernel is bit-identical to the object netlist (same port-index
+        # genome, same RNG streams) and only the boundaries convert.
+        if evaluator.kernel_mode:
+            parent = NetlistKernel.from_netlist(parent)
 
         parent_genome = encode_genome(parent)
         parent_fitness = self._fitness_of(parent_genome, parent,
@@ -586,8 +637,10 @@ class EvolutionRun:
         incremental = config.incremental_eval and delta_eval is not None
         pool_evaluations = 0
         # Connectivity view of the current parent, built lazily and
-        # copied per offspring (copying beats rebuilding; see
-        # copy_consumer_map).  Invalidated whenever the parent changes.
+        # *shared* across the brood: mutate_with_delta(rollback=True)
+        # journals its consumer-map edits and rewinds them, so no
+        # per-offspring copy exists at all.  Invalidated whenever the
+        # parent changes.
         parent_consumers = None
         start = time.monotonic()
         stagnation = 0
@@ -625,57 +678,70 @@ class EvolutionRun:
                         child_seed(base_seed, generation, i))
                     child, delta = mutate_with_delta(
                         parent, rng, config,
-                        consumers=copy_consumer_map(parent_consumers))
-                    children.append((encode_genome(child), child, delta))
+                        consumers=parent_consumers, rollback=True)
+                    children.append((child, delta))
 
                 # Evaluation: memo-cache lookup first, then one batched
                 # backend call over the distinct misses — incremental
                 # (parent genome + deltas) when the backend supports it.
-                fitnesses: List[Optional[Fitness]] = \
-                    [None] * len(children)
-                miss_order: List[Genome] = []
-                miss_slots: Dict[Genome, List[int]] = {}
-                miss_children: Dict[Genome, RqfpNetlist] = {}
-                miss_deltas: Dict[Genome, MutationDelta] = {}
-                for slot, (genome, child, delta) in enumerate(children):
-                    if not cache.enabled:
-                        miss_order.append(genome)
-                        miss_slots.setdefault(genome, []).append(slot)
-                        miss_children[genome] = child
-                        miss_deltas[genome] = delta
-                        continue
-                    found = cache.get(genome)
-                    if found is not None:
-                        fitnesses[slot] = found
-                    elif genome in miss_slots:
-                        # Duplicate within the batch: evaluate once.
-                        cache.hits += 1
-                        cache.misses -= 1
-                        miss_slots[genome].append(slot)
-                    else:
-                        miss_order.append(genome)
-                        miss_slots[genome] = [slot]
-                        miss_children[genome] = child
-                        miss_deltas[genome] = delta
-                if miss_order:
-                    epoch = evaluator.pattern_epoch
+                if not cache.enabled:
+                    # No memoization: every child is evaluated, so the
+                    # genome keys (an O(genome) tuple hash per dict
+                    # operation) buy nothing — skip them entirely.  The
+                    # non-incremental backend still transports genomes.
                     if incremental:
-                        evaluated = delta_eval(
+                        fitnesses = list(delta_eval(
                             parent_genome,
-                            [miss_deltas[g] for g in miss_order],
-                            [miss_children[g] for g in miss_order])
+                            [delta for _, delta in children],
+                            [child for child, _ in children]))
                     else:
-                        evaluated = backend.evaluate(miss_order)
+                        fitnesses = list(backend.evaluate(
+                            [genome_with_delta(parent_genome, delta)
+                             for _, delta in children]))
                     if isinstance(backend, ProcessPoolBackend):
-                        pool_evaluations += len(miss_order)
-                    for genome, fitness in zip(miss_order, evaluated):
-                        for slot in miss_slots[genome]:
-                            fitnesses[slot] = fitness
-                    if evaluator.pattern_epoch != epoch:
-                        cache.clear()
-                    else:
+                        pool_evaluations += len(children)
+                else:
+                    fitnesses: List[Optional[Fitness]] = \
+                        [None] * len(children)
+                    miss_order: List[Genome] = []
+                    miss_slots: Dict[Genome, List[int]] = {}
+                    miss_children: Dict[Genome, RqfpNetlist] = {}
+                    miss_deltas: Dict[Genome, MutationDelta] = {}
+                    for slot, (child, delta) in enumerate(children):
+                        genome = genome_with_delta(parent_genome, delta)
+                        found = cache.get(genome)
+                        if found is not None:
+                            fitnesses[slot] = found
+                        elif genome in miss_slots:
+                            # Duplicate within the batch: evaluate once.
+                            cache.hits += 1
+                            cache.misses -= 1
+                            miss_slots[genome].append(slot)
+                        else:
+                            miss_order.append(genome)
+                            miss_slots[genome] = [slot]
+                            miss_children[genome] = child
+                            miss_deltas[genome] = delta
+                    if miss_order:
+                        epoch = evaluator.pattern_epoch
+                        if incremental:
+                            evaluated = delta_eval(
+                                parent_genome,
+                                [miss_deltas[g] for g in miss_order],
+                                [miss_children[g] for g in miss_order])
+                        else:
+                            evaluated = backend.evaluate(miss_order)
+                        if isinstance(backend, ProcessPoolBackend):
+                            pool_evaluations += len(miss_order)
                         for genome, fitness in zip(miss_order, evaluated):
-                            cache.put(genome, fitness)
+                            for slot in miss_slots[genome]:
+                                fitnesses[slot] = fitness
+                        if evaluator.pattern_epoch != epoch:
+                            cache.clear()
+                        else:
+                            for genome, fitness in zip(miss_order,
+                                                       evaluated):
+                                cache.put(genome, fitness)
 
                 # Selection: later offspring win ties, matching the
                 # historical serial loop (>= replacement).
@@ -684,7 +750,7 @@ class EvolutionRun:
                     if fitnesses[slot].key() >= fitnesses[best_slot].key():
                         best_slot = slot
                 best_fitness = fitnesses[best_slot]
-                best_child = children[best_slot][1]
+                best_child = children[best_slot][0]
                 assert best_fitness is not None
 
                 accepted = best_fitness.key() >= parent_fitness.key()
@@ -696,9 +762,15 @@ class EvolutionRun:
                             config.shrink == "on_improvement" and improved):
                         parent = parent.shrink()
                     if improved and config.simplify_wires:
-                        simplified = bypass_wire_gates(parent)
-                        if simplified.num_gates < parent.num_gates:
-                            parent = simplified
+                        # Wire bypass is a cold structural pass that
+                        # needs gate objects; round-trip through the
+                        # object netlist only when it actually helps.
+                        flat = isinstance(parent, NetlistKernel)
+                        view = parent.to_netlist() if flat else parent
+                        simplified = bypass_wire_gates(view)
+                        if simplified.num_gates < view.num_gates:
+                            parent = NetlistKernel.from_netlist(simplified) \
+                                if flat else simplified
                             parent_fitness = self._fitness_of(
                                 encode_genome(parent), parent,
                                 evaluator, cache)

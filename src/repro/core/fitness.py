@@ -35,6 +35,7 @@ from ..rqfp.simplify import bypass_wire_gates
 from ..rqfp.splitters import insert_splitters
 from ..sat.equivalence import check_against_tables
 from .config import RcgpConfig
+from .kernel import NetlistKernel
 from .mutation import MutationDelta
 from .simstate import SimulationState
 
@@ -99,22 +100,6 @@ class Fitness:
                 f"n_b={self.n_b})")
 
 
-def _fanout_counts(netlist: RqfpNetlist) -> list:
-    """Consumer count per port, as a flat list (index = port).
-
-    Index 0 is the constant port (exempt from the fan-out limit); a
-    count of 0 on a gate output port means garbage.
-    """
-    counts = [0] * netlist.num_ports()
-    for gate in netlist.gates:
-        counts[gate.in0] += 1
-        counts[gate.in1] += 1
-        counts[gate.in2] += 1
-    for port in netlist.outputs:
-        counts[port] += 1
-    return counts
-
-
 class Evaluator:
     """Evaluates RQFP netlists against a truth-table specification."""
 
@@ -145,8 +130,11 @@ class Evaluator:
         self.eval_full = 0
         self.eval_incremental = 0
         self.ports_resimulated = 0
+        self.kernel_mode = config.kernel == "flat"
         self._check_incremental = \
             os.environ.get("RCGP_CHECK_INCREMENTAL", "") not in ("", "0")
+        self._check_kernel = \
+            os.environ.get("RCGP_CHECK_KERNEL", "") not in ("", "0")
 
     @property
     def pattern_epoch(self) -> int:
@@ -187,8 +175,12 @@ class Evaluator:
         """
         if self.exhaustive:
             return
-        if self.num_inputs < 31:
-            pattern &= full_mask(self.num_inputs)
+        # The counterexample is an n-bit *input assignment*; stray high
+        # bits (a SAT backend quirk) must never reach the tabulation
+        # below.  The mask is (1 << n) - 1 — n bits, not the 2^n-bit
+        # truth-table mask full_mask(n) — so it is cheap at any input
+        # count and applied unconditionally.
+        pattern &= (1 << self.num_inputs) - 1
         slot = len(self._patterns)
         self._patterns.append(pattern)
         bit = 1 << slot
@@ -203,12 +195,17 @@ class Evaluator:
 
     # ------------------------------------------------------------------
 
-    def success_rate(self, netlist: RqfpNetlist) -> float:
-        """Fraction of matching simulated output bits."""
-        got = netlist.simulate(self._words, self._mask)
+    def success_rate(self, candidate) -> float:
+        """Fraction of matching simulated output bits.
+
+        ``candidate`` is an :class:`RqfpNetlist` or a
+        :class:`NetlistKernel` — both simulate bit-identically.
+        """
+        got = candidate.simulate(self._words, self._mask)
         wrong = 0
+        mask = self._mask
         for value, expected in zip(got, self._expected):
-            wrong += bin((value ^ expected) & self._mask).count("1")
+            wrong += ((value ^ expected) & mask).bit_count()
         return 1.0 - wrong / self._total_bits
 
     def is_equivalent(self, netlist: RqfpNetlist) -> Optional[bool]:
@@ -248,8 +245,8 @@ class Evaluator:
             return False
         return True
 
-    def evaluate(self, netlist: RqfpNetlist) -> Fitness:
-        """Two-phase fitness of a candidate genome/netlist.
+    def evaluate(self, candidate) -> Fitness:
+        """Two-phase fitness of a candidate genome (netlist or kernel).
 
         Simulation runs on the raw genome (inactive gates cannot affect
         the outputs); shrink and the SAT miter only run for
@@ -258,9 +255,11 @@ class Evaluator:
         """
         self.evaluations += 1
         self.eval_full += 1
-        return self._finish(netlist, self.success_rate(netlist))
+        if self._check_kernel and isinstance(candidate, NetlistKernel):
+            self._verify_kernel(candidate)
+        return self._finish(candidate, self.success_rate(candidate))
 
-    def prepare_parent(self, parent: RqfpNetlist) -> SimulationState:
+    def prepare_parent(self, parent) -> SimulationState:
         """Memoize the parent's port values for incremental evaluation.
 
         The returned state is bound to the current pattern epoch;
@@ -270,48 +269,133 @@ class Evaluator:
         return SimulationState(parent, self._words, self._mask,
                                self.pattern_epoch)
 
-    def evaluate_incremental(self, child: RqfpNetlist,
-                             delta: MutationDelta,
+    def evaluate_incremental(self, child, delta: MutationDelta,
                              state: Optional[SimulationState]) -> Fitness:
         """Fitness of ``child = delta.apply_to(parent)``, cone-aware.
 
         Bit-identical to :meth:`evaluate` by construction: the success
         rate is computed from exactly recomputed port words, and the
         performance phase (shrink, SAT, splitter legalization) runs on
-        the same netlist either way.  Falls back to the full path when
+        the same candidate either way.  Falls back to the full path when
         the state is stale (pattern epoch advanced) or shape-incompatible.
         Set ``RCGP_CHECK_INCREMENTAL=1`` to verify every incremental
         sweep against a full simulation.
+
+        Kernel children use the *tracked* in-place cone: the memoized
+        parent vector is patched under an undo log and restored before
+        returning, so a rejected offspring costs O(cone), not an
+        O(ports) vector copy.
         """
         if state is None or state.epoch != self.pattern_epoch \
                 or not state.compatible(child):
             return self.evaluate(child)
         self.evaluations += 1
         self.eval_incremental += 1
-        values, resimulated = state.child_values(child,
-                                                 delta.touched_gates)
-        self.ports_resimulated += resimulated
         mask = self._mask
-        wrong = 0
-        for port, expected in zip(child.outputs, self._expected):
-            wrong += bin((values[port] ^ expected) & mask).count("1")
-        rate = 1.0 - wrong / self._total_bits
-        if self._check_incremental:
-            full = child.simulate(self._words, mask)
-            if [values[p] for p in child.outputs] != full:
-                raise AssertionError(
-                    "incremental simulation diverged from full simulation "
-                    f"(touched gates {delta.touched_gates})"
-                )
+        tracked = isinstance(child, NetlistKernel)
+        if tracked:
+            if state.out_terms is None:
+                # Must happen before the child's cone is patched in:
+                # the memoized terms are the *parent's*.
+                state.init_output_terms(self._expected)
+            values, resimulated, undo = state.child_values_tracked(
+                child, delta.touched_gates)
+        else:
+            values, resimulated = state.child_values(child,
+                                                     delta.touched_gates)
+            undo = None
+        self.ports_resimulated += resimulated
+        try:
+            if tracked:
+                # Derive the child's wrong-bit count from the parent's
+                # memoized per-output terms: only outputs whose port
+                # value changed (in the undo log) or whose port was
+                # rewired (in the delta) need re-counting.
+                expected = self._expected
+                terms = state.out_terms
+                wrong = state.out_total
+                rewired = None
+                if delta.outputs:
+                    rewired = dict(delta.outputs)
+                    for i, port in delta.outputs:
+                        wrong += ((values[port] ^ expected[i])
+                                  & mask).bit_count() - terms[i]
+                flags = state.out_flags
+                out_map = state.out_map
+                for port, _ in undo:
+                    if flags[port]:
+                        word = values[port]
+                        for i in out_map[port]:
+                            if rewired is not None and i in rewired:
+                                continue
+                            wrong += ((word ^ expected[i])
+                                      & mask).bit_count() - terms[i]
+            else:
+                wrong = 0
+                for port, expected in zip(child.outputs, self._expected):
+                    wrong += ((values[port] ^ expected) & mask).bit_count()
+            rate = 1.0 - wrong / self._total_bits
+            if self._check_incremental:
+                direct = 0
+                for port, word in zip(child.outputs, self._expected):
+                    direct += ((values[port] ^ word) & mask).bit_count()
+                if direct != wrong:
+                    raise AssertionError(
+                        "memoized wrong-bit count diverged from the "
+                        f"direct count ({wrong} != {direct})")
+                full = child.simulate(self._words, mask)
+                if [values[p] for p in child.outputs] != full:
+                    raise AssertionError(
+                        "incremental simulation diverged from full "
+                        f"simulation (touched gates {delta.touched_gates})"
+                    )
+        finally:
+            if tracked:
+                state.restore(undo)
+        if self._check_kernel and tracked:
+            self._verify_kernel(child)
         return self._finish(child, rate)
 
-    def _finish(self, netlist: RqfpNetlist, rate: float) -> Fitness:
-        """Performance phase shared by the full and incremental paths."""
+    def _verify_kernel(self, kernel: NetlistKernel) -> None:
+        """``RCGP_CHECK_KERNEL=1`` oracle: every flat-kernel operation
+        the fitness function relies on must match the object netlist
+        bit for bit."""
+        netlist = kernel.to_netlist()
+        if kernel.simulate(self._words, self._mask) != \
+                netlist.simulate(self._words, self._mask):
+            raise AssertionError(
+                "flat kernel simulation diverged from the object netlist")
+        if kernel.shrink().to_genome() != \
+                NetlistKernel.from_netlist(netlist.shrink()).to_genome():
+            raise AssertionError(
+                "flat kernel shrink diverged from the object netlist")
+        if kernel.levels() != netlist.levels():
+            raise AssertionError(
+                "flat kernel levels diverged from the object netlist")
+        if kernel.estimate_buffers() != estimate_buffers(netlist):
+            raise AssertionError(
+                "flat kernel buffer estimate diverged from the object "
+                "netlist")
+        if kernel.fanout_counts_flat() != netlist.fanout_counts_flat():
+            raise AssertionError(
+                "flat kernel fan-out counts diverged from the object "
+                "netlist")
+
+    def _finish(self, candidate, rate: float) -> Fitness:
+        """Performance phase shared by the full and incremental paths.
+
+        Representation-polymorphic: shrink, fan-out counts and the
+        buffer estimate run natively on either a netlist or a kernel;
+        the cold sub-paths that need gate objects (the SAT/BDD miter,
+        splitter legalization) materialize the object netlist on demand.
+        """
         if rate < 1.0:
             return Fitness(rate)
-        active = netlist.shrink()
+        active = candidate.shrink()
         if not self.exhaustive and self.config.verify_with_sat:
-            if not self._formally_equivalent(active):
+            formal = active.to_netlist() \
+                if isinstance(active, NetlistKernel) else active
+            if not self._formally_equivalent(formal):
                 # Simulation-clean but not formally proven: keep it just
                 # below functional so it never displaces a verified parent.
                 return Fitness(1.0 - 1.0 / (2 * self._total_bits))
@@ -319,18 +403,23 @@ class Evaluator:
         # the garbage count (3 ports per gate minus the gate ports with
         # a consumer) — this block runs per simulation-clean candidate,
         # which is every candidate on a plateau, so no consumer dict.
-        counts = _fanout_counts(active)
+        counts = active.fanout_counts_flat()
         if len(counts) > 1 and max(counts[1:]) > 1:
+            if isinstance(active, NetlistKernel):
+                active = active.to_netlist()
             active = insert_splitters(active)
-            counts = _fanout_counts(active)
-        n_b = estimate_buffers(active) if self.config.count_buffers_in_fitness else 0
+            counts = active.fanout_counts_flat()
+        n_b = active.estimate_buffers() \
+            if self.config.count_buffers_in_fitness else 0
         base = active.num_inputs + 1
         n_g = 3 * active.num_gates - sum(1 for c in counts[base:] if c)
         return Fitness(1.0, active.num_gates, n_g, n_b)
 
-    def finalize(self, netlist: RqfpNetlist) -> RqfpNetlist:
+    def finalize(self, candidate) -> RqfpNetlist:
         """Shrunk, simplified, fan-out-legal version of a candidate."""
-        active = netlist.shrink()
+        if isinstance(candidate, NetlistKernel):
+            candidate = candidate.to_netlist()
+        active = candidate.shrink()
         if active.fanout_violations():
             active = insert_splitters(active)
         if self.config.simplify_wires:

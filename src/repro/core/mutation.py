@@ -18,17 +18,26 @@ Point mutation modifies up to ``m`` genes, ``m`` drawn uniformly from
   legalization);
 * **inverter-configuration flip** — ``f' = f XOR (1 << beta)`` with
   ``beta`` uniform in ``[0, 9)``.
+
+The operators are representation-agnostic: a candidate is either an
+:class:`~repro.rqfp.netlist.RqfpNetlist` or a flat
+:class:`~repro.core.kernel.NetlistKernel` (``config.kernel``), and the
+mutation state reads/writes genes through a small primitive surface so
+the RNG stream — and therefore the mutant — is bit-identical across
+representations.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..rqfp.netlist import CONST_PORT, RqfpNetlist
 from .config import RcgpConfig
+from .kernel import NetlistKernel
 
+Candidate = Union[RqfpNetlist, NetlistKernel]
 Consumer = Tuple[str, int, int]  # ("gate", gate_index, position) | ("po", index, 0)
 
 
@@ -69,8 +78,16 @@ class MutationDelta:
     def is_empty(self) -> bool:
         return not self.gates and not self.outputs
 
-    def apply_to(self, parent: RqfpNetlist) -> RqfpNetlist:
-        """Reconstruct the offspring this delta was recorded against."""
+    def apply_to(self, parent: Candidate) -> Candidate:
+        """Reconstruct the offspring this delta was recorded against.
+
+        Works on either representation: a :class:`NetlistKernel` parent
+        patches flat gene arrays copy-on-write
+        (:meth:`NetlistKernel.apply_delta`), an object netlist patches
+        gate objects.
+        """
+        if isinstance(parent, NetlistKernel):
+            return parent.apply_delta(self)
         child = parent.copy()
         for g, (in0, in1, in2, config) in self.gates:
             gate = child.gates[g]
@@ -81,13 +98,13 @@ class MutationDelta:
         return child
 
 
-def chromosome_length(netlist: RqfpNetlist) -> int:
+def chromosome_length(candidate: Candidate) -> int:
     """The paper's ``n_L = n_C * (n_i + 1) + n_po`` with ``n_i = 3``."""
-    return 4 * netlist.num_gates + netlist.num_outputs
+    return 4 * candidate.num_gates + candidate.num_outputs
 
 
-def _consumer_map(netlist: RqfpNetlist) -> Dict[int, List[Consumer]]:
-    return netlist.consumers()
+def _consumer_map(candidate: Candidate) -> Dict[int, List[Consumer]]:
+    return candidate.consumers()
 
 
 def copy_consumer_map(consumers: Dict[int, List[Consumer]]) \
@@ -95,9 +112,9 @@ def copy_consumer_map(consumers: Dict[int, List[Consumer]]) \
     """A mutation-safe copy of a consumer map.
 
     Building the map walks every gate; copying it is markedly cheaper.
-    Callers that mutate many offspring of one parent (the engine's
-    (1+λ) loop) build the parent's map once and hand each
-    :func:`mutate_with_delta` call a copy.
+    Callers that share one parent map across many
+    :func:`mutate_with_delta` calls and cannot pass ``rollback=True``
+    hand each call a copy instead.
     """
     return {port: users.copy() for port, users in consumers.items()}
 
@@ -108,46 +125,70 @@ class _MutationState:
     Also records which gates and primary outputs were touched, so the
     caller can build the :class:`MutationDelta` without diffing the
     whole chromosome afterwards.
+
+    Subclasses bind one genome representation through the gene
+    primitives (``input``/``config``/``output``/``num_ports``/
+    ``source_limit`` reads, ``set_*`` writes); the consumer bookkeeping,
+    touched-set tracking and optional undo log live here.
+
+    With ``track_undo`` the consumer-map edits are journalled so
+    :meth:`rollback` restores the map to its pre-mutation state —
+    including list order, which the swap rule's first-consumer choice
+    depends on.  That lets the ``(1+λ)`` loop mutate all λ offspring
+    against one *shared* parent map instead of copying it per offspring.
     """
 
-    def __init__(self, netlist: RqfpNetlist,
-                 consumers: Optional[Dict[int, List[Consumer]]] = None):
-        self.netlist = netlist
-        self.consumers = consumers if consumers is not None \
-            else _consumer_map(netlist)
+    __slots__ = ("consumers", "touched_gates", "touched_outputs", "_undo")
+
+    def __init__(self, consumers: Dict[int, List[Consumer]],
+                 track_undo: bool):
+        self.consumers = consumers
         self.touched_gates: Set[int] = set()
         self.touched_outputs: Set[int] = set()
+        self._undo: Optional[List[Tuple[bool, int, int, Consumer]]] = \
+            [] if track_undo else None
+
+    # -- consumer bookkeeping ------------------------------------------
 
     def _detach(self, port: int, consumer: Consumer) -> None:
         users = self.consumers.get(port)
-        if users is not None:
-            try:
-                users.remove(consumer)
-            except ValueError:
-                pass
-            if not users:
-                del self.consumers[port]
+        if users is None:
+            return
+        try:
+            at = users.index(consumer)
+        except ValueError:
+            return
+        users.pop(at)
+        if self._undo is not None:
+            self._undo.append((False, port, at, consumer))
+        if not users:
+            del self.consumers[port]
 
     def _attach(self, port: int, consumer: Consumer) -> None:
         self.consumers.setdefault(port, []).append(consumer)
+        if self._undo is not None:
+            self._undo.append((True, port, 0, consumer))
 
-    def set_gate_input(self, gate: int, position: int, port: int) -> None:
-        old = self.netlist.gates[gate].inputs[position]
-        self._detach(old, ("gate", gate, position))
-        self.netlist.gates[gate].replace_input(position, port)
-        self._attach(port, ("gate", gate, position))
-        self.touched_gates.add(gate)
+    def rollback(self) -> None:
+        """Undo every consumer-map edit, restoring exact list order.
 
-    def set_config(self, gate: int, config: int) -> None:
-        self.netlist.gates[gate].config = config
-        self.touched_gates.add(gate)
-
-    def set_output(self, index: int, port: int) -> None:
-        old = self.netlist.outputs[index]
-        self._detach(old, ("po", index, 0))
-        self.netlist.outputs[index] = port
-        self._attach(port, ("po", index, 0))
-        self.touched_outputs.add(index)
+        Replayed in reverse, so when an *attach* is undone all later
+        edits are already gone and the attached consumer is the list's
+        last element again; a *detach* re-inserts at its recorded index.
+        """
+        undo = self._undo
+        if not undo:
+            return
+        consumers = self.consumers
+        for was_attach, port, at, consumer in reversed(undo):
+            if was_attach:
+                users = consumers[port]
+                users.pop()
+                if not users:
+                    del consumers[port]
+            else:
+                consumers.setdefault(port, []).insert(at, consumer)
+        undo.clear()
 
     def gene_consumer_of(self, port: int,
                          exclude: Consumer) -> Optional[Consumer]:
@@ -169,19 +210,134 @@ class _MutationState:
         return fallback
 
 
-def _legal_source_limit(netlist: RqfpNetlist, gate: int) -> int:
+class _NetlistState(_MutationState):
+    """Mutation primitives over :class:`RqfpNetlist` gate objects."""
+
+    __slots__ = ("netlist",)
+
+    def __init__(self, netlist: RqfpNetlist,
+                 consumers: Optional[Dict[int, List[Consumer]]] = None,
+                 track_undo: bool = False):
+        super().__init__(consumers if consumers is not None
+                         else netlist.consumers(), track_undo)
+        self.netlist = netlist
+
+    def num_ports(self) -> int:
+        return self.netlist.num_ports()
+
+    def source_limit(self, gate: int) -> int:
+        """Gate inputs may reference any strictly earlier port (``n_l``
+        spans every previous column, as in the paper's setup)."""
+        return self.netlist.first_gate_port(gate)
+
+    def input(self, gate: int, position: int) -> int:
+        return self.netlist.gates[gate].inputs[position]
+
+    def config(self, gate: int) -> int:
+        return self.netlist.gates[gate].config
+
+    def output(self, index: int) -> int:
+        return self.netlist.outputs[index]
+
+    def set_gate_input(self, gate: int, position: int, port: int) -> None:
+        old = self.netlist.gates[gate].inputs[position]
+        self._detach(old, ("gate", gate, position))
+        self.netlist.gates[gate].replace_input(position, port)
+        self._attach(port, ("gate", gate, position))
+        self.touched_gates.add(gate)
+
+    def set_config(self, gate: int, config: int) -> None:
+        self.netlist.gates[gate].config = config
+        self.touched_gates.add(gate)
+
+    def set_output(self, index: int, port: int) -> None:
+        old = self.netlist.outputs[index]
+        self._detach(old, ("po", index, 0))
+        self.netlist.outputs[index] = port
+        self._attach(port, ("po", index, 0))
+        self.touched_outputs.add(index)
+
+    def build_delta(self) -> MutationDelta:
+        gates = self.netlist.gates
+        return MutationDelta(
+            gates=tuple((g, (gates[g].in0, gates[g].in1, gates[g].in2,
+                             gates[g].config))
+                        for g in sorted(self.touched_gates)),
+            outputs=tuple((i, self.netlist.outputs[i])
+                          for i in sorted(self.touched_outputs)),
+        )
+
+
+class _KernelState(_MutationState):
+    """Mutation primitives over :class:`NetlistKernel` gene arrays."""
+
+    __slots__ = ("kernel", "_inputs")
+
+    def __init__(self, kernel: NetlistKernel,
+                 consumers: Optional[Dict[int, List[Consumer]]] = None,
+                 track_undo: bool = False):
+        super().__init__(consumers if consumers is not None
+                         else kernel.consumers(), track_undo)
+        self.kernel = kernel
+        self._inputs = (kernel.in0, kernel.in1, kernel.in2)
+
+    def num_ports(self) -> int:
+        return self.kernel.num_ports()
+
+    def source_limit(self, gate: int) -> int:
+        return self.kernel.first_gate_port(gate)
+
+    def input(self, gate: int, position: int) -> int:
+        return self._inputs[position][gate]
+
+    def config(self, gate: int) -> int:
+        return self.kernel.config[gate]
+
+    def output(self, index: int) -> int:
+        return self.kernel.outputs[index]
+
+    def set_gate_input(self, gate: int, position: int, port: int) -> None:
+        column = self._inputs[position]
+        self._detach(column[gate], ("gate", gate, position))
+        column[gate] = port
+        self._attach(port, ("gate", gate, position))
+        self.touched_gates.add(gate)
+
+    def set_config(self, gate: int, config: int) -> None:
+        self.kernel.config[gate] = config
+        self.touched_gates.add(gate)
+
+    def set_output(self, index: int, port: int) -> None:
+        old = self.kernel.outputs[index]
+        self._detach(old, ("po", index, 0))
+        self.kernel.outputs[index] = port
+        self._attach(port, ("po", index, 0))
+        self.touched_outputs.add(index)
+
+    def build_delta(self) -> MutationDelta:
+        kernel = self.kernel
+        in0, in1, in2, config = (kernel.in0, kernel.in1, kernel.in2,
+                                 kernel.config)
+        return MutationDelta(
+            gates=tuple((g, (in0[g], in1[g], in2[g], config[g]))
+                        for g in sorted(self.touched_gates)),
+            outputs=tuple((i, kernel.outputs[i])
+                          for i in sorted(self.touched_outputs)),
+        )
+
+
+def _legal_source_limit(candidate: Candidate, gate: int) -> int:
     """Gate inputs may reference any strictly earlier port (``n_l`` spans
     every previous column, as in the paper's setup)."""
-    return netlist.first_gate_port(gate)
+    return candidate.first_gate_port(gate)
 
 
 def _mutate_gate_input(state: _MutationState, gate: int, position: int,
                        rng: random.Random) -> bool:
-    netlist = state.netlist
-    limit = _legal_source_limit(netlist, gate)
+    limit = state.source_limit(gate)
     new_port = rng.randrange(limit)
     me: Consumer = ("gate", gate, position)
-    old_port = netlist.gates[gate].inputs[position]
+    old_port = state.input(gate, position)
     if new_port == old_port:
         return False
     if new_port == CONST_PORT:
@@ -196,7 +352,7 @@ def _mutate_gate_input(state: _MutationState, gate: int, position: int,
     # values, provided the other gene may legally read ``old_port``.
     kind, index, pos = other
     if kind == "gate":
-        if old_port >= _legal_source_limit(netlist, index):
+        if old_port >= state.source_limit(index):
             return False  # swap would let a gate read from its future
         state.set_gate_input(gate, position, new_port)
         state.set_gate_input(index, pos, old_port)
@@ -209,9 +365,8 @@ def _mutate_gate_input(state: _MutationState, gate: int, position: int,
 
 def _mutate_output(state: _MutationState, index: int,
                    rng: random.Random) -> bool:
-    netlist = state.netlist
-    new_port = rng.randrange(netlist.num_ports())
-    if new_port == netlist.outputs[index]:
+    new_port = rng.randrange(state.num_ports())
+    if new_port == state.output(index):
         return False
     state.set_output(index, new_port)
     return True
@@ -220,27 +375,31 @@ def _mutate_output(state: _MutationState, index: int,
 def _mutate_config(state: _MutationState, gate: int,
                    rng: random.Random) -> bool:
     beta = rng.randrange(9)
-    state.set_config(gate, state.netlist.gates[gate].config ^ (1 << beta))
+    state.set_config(gate, state.config(gate) ^ (1 << beta))
     return True
 
 
-def mutate_with_delta(parent: RqfpNetlist, rng: random.Random,
+def mutate_with_delta(parent: Candidate, rng: random.Random,
                       config: RcgpConfig,
-                      consumers: Optional[Dict[int, List[Consumer]]] = None) \
-        -> Tuple[RqfpNetlist, MutationDelta]:
+                      consumers: Optional[Dict[int, List[Consumer]]] = None,
+                      rollback: bool = False) \
+        -> Tuple[Candidate, MutationDelta]:
     """One offspring of ``parent`` plus its structured footprint.
 
     The delta records every gate and primary output the mutation wrote
     to (including swap-rule side effects), with their final gene
     values — enough for :meth:`MutationDelta.apply_to` to rebuild the
     child from the parent, and for the evaluator to resimulate only the
-    delta's fan-out cone.  The parent is not modified, and the RNG
-    stream is drawn exactly as :func:`mutate` draws it.
+    delta's fan-out cone.  The parent is not modified, the offspring has
+    the parent's representation (netlist or kernel), and the RNG stream
+    is identical across representations.
 
-    ``consumers``, when given, must be a fresh consumer map of
-    ``parent`` (see :func:`copy_consumer_map`); the call takes ownership
-    and mutates it.  This lets a (1+λ) loop amortize the per-offspring
-    connectivity scan across the brood.
+    ``consumers``, when given, must be a consumer map of ``parent``.
+    With ``rollback=False`` the call takes ownership and mutates it
+    (pass a :func:`copy_consumer_map`); with ``rollback=True`` every
+    edit is journalled and undone before returning, so a (1+λ) loop can
+    share one parent map across the whole brood with no per-offspring
+    copy at all.
     """
     child = parent.copy()
     n_l = chromosome_length(child)
@@ -250,7 +409,10 @@ def mutate_with_delta(parent: RqfpNetlist, rng: random.Random,
     if config.max_mutated_genes is not None:
         max_m = max(1, min(max_m, config.max_mutated_genes))
     m = rng.randint(1, max_m)
-    state = _MutationState(child, consumers)
+    if isinstance(child, NetlistKernel):
+        state: _MutationState = _KernelState(child, consumers, rollback)
+    else:
+        state = _NetlistState(child, consumers, rollback)
     node_genes = 4 * child.num_gates
 
     for _ in range(m):
@@ -272,18 +434,13 @@ def mutate_with_delta(parent: RqfpNetlist, rng: random.Random,
                     continue
                 _mutate_output(state, gene - node_genes, rng)
                 break
-    gates = child.gates
-    delta = MutationDelta(
-        gates=tuple((g, (gates[g].in0, gates[g].in1, gates[g].in2,
-                         gates[g].config))
-                    for g in sorted(state.touched_gates)),
-        outputs=tuple((i, child.outputs[i])
-                      for i in sorted(state.touched_outputs)),
-    )
+    delta = state.build_delta()
+    if rollback:
+        state.rollback()
     return child, delta
 
 
-def mutate(parent: RqfpNetlist, rng: random.Random,
-           config: RcgpConfig) -> RqfpNetlist:
+def mutate(parent: Candidate, rng: random.Random,
+           config: RcgpConfig) -> Candidate:
     """Create one offspring of ``parent`` (the parent is not modified)."""
     return mutate_with_delta(parent, rng, config)[0]

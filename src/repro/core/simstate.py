@@ -5,10 +5,19 @@ shared parent by a handful of genes (a :class:`~repro.core.mutation.
 MutationDelta`).  Re-simulating the whole netlist per offspring wastes
 almost all of that work: only the transitive fan-out *cone* of the
 touched gates can change value.  :class:`SimulationState` caches the
-parent's bit-parallel port values (in topological order — the netlist's
+parent's bit-parallel port values (in topological order — the parent's
 gate order) so every offspring evaluation starts from the memoized
 words and recomputes just its cone, with value-identity pruning cutting
 the cone short wherever a recomputed word matches the parent's.
+
+The parent may be an :class:`~repro.rqfp.netlist.RqfpNetlist` or a flat
+:class:`~repro.core.kernel.NetlistKernel`; both expose the same
+``simulate_ports``/``resimulate_cone`` surface.  The kernel additionally
+supports *tracked* cone evaluation (:meth:`SimulationState.
+child_values_tracked`): the memoized parent vector is patched in place
+under an undo log and restored afterwards, so a rejected offspring —
+the overwhelmingly common case — costs O(cone) instead of an O(ports)
+copy of the whole vector.
 
 A state is only valid for one ``(parent, pattern set)`` pair: it
 records the evaluator's ``pattern_epoch`` at construction, and the
@@ -21,19 +30,18 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from ..rqfp.netlist import RqfpNetlist
-
 __all__ = ["SimulationState"]
 
 
 class SimulationState:
-    """Per-port simulation words of one parent netlist.
+    """Per-port simulation words of one parent netlist or kernel.
 
     Parameters
     ----------
-    netlist:
-        The parent; its gate order defines the port index space shared
-        with every offspring (point mutation never changes the shape).
+    parent:
+        The parent candidate (netlist or kernel); its gate order defines
+        the port index space shared with every offspring (point mutation
+        never changes the shape).
     words:
         One bit-parallel input word per primary input.
     mask:
@@ -42,31 +50,99 @@ class SimulationState:
         The evaluator's ``pattern_epoch`` the words belong to.
     """
 
-    __slots__ = ("num_gates", "num_ports", "values", "mask", "epoch")
+    __slots__ = ("num_gates", "num_ports", "values", "mask", "epoch",
+                 "_parent", "_zipped", "out_terms", "out_total",
+                 "out_flags", "out_map")
 
-    def __init__(self, netlist: RqfpNetlist, words: Sequence[int],
-                 mask: int, epoch: int = 0):
-        self.num_gates = netlist.num_gates
-        self.num_ports = netlist.num_ports()
-        self.values: List[int] = netlist.simulate_ports(words, mask)
+    def __init__(self, parent, words: Sequence[int], mask: int,
+                 epoch: int = 0):
+        self.num_gates = parent.num_gates
+        self.num_ports = parent.num_ports()
+        self.values: List[int] = parent.simulate_ports(words, mask)
         self.mask = mask
         self.epoch = epoch
+        self._parent = parent
+        self._zipped = None  # parent genes zipped per gate, on demand
+        self.out_terms = None  # see init_output_terms
 
-    def compatible(self, candidate: RqfpNetlist) -> bool:
+    def init_output_terms(self, expected: Sequence[int]) -> None:
+        """Memoize the parent's per-output wrong-bit counts.
+
+        ``expected`` is the evaluator's expected output word list (one
+        word per primary output, same epoch as this state).  After this,
+        an offspring's total wrong-bit count can be derived from the
+        parent's by adjusting only the outputs whose port value changed
+        (they are in the tracked undo log) or whose port was rewired
+        (they are in the delta) — instead of re-counting every output.
+        """
+        values, mask = self.values, self.mask
+        outputs = self._parent.outputs
+        terms = [((values[port] ^ word) & mask).bit_count()
+                 for port, word in zip(outputs, expected)]
+        self.out_terms = terms
+        self.out_total = sum(terms)
+        flags = bytearray(self.num_ports)
+        out_map = {}
+        for i, port in enumerate(outputs):
+            flags[port] = 1
+            out_map.setdefault(port, []).append(i)
+        self.out_flags = flags
+        self.out_map = out_map
+
+    def compatible(self, candidate) -> bool:
         """Whether ``candidate`` lives in the same port index space."""
         return candidate.num_gates == self.num_gates
 
-    def child_values(self, child: RqfpNetlist,
-                     touched_gates: Sequence[int]) \
+    def child_values(self, child, touched_gates: Sequence[int]) \
             -> Tuple[List[int], int]:
         """Port values of ``child``, resimulating only the dirty cone.
 
         ``child`` must be shape-compatible with the parent and differ
-        from it in (at most) the ``touched_gates``.  Returns the full
-        per-port value vector plus the number of gate output ports that
-        were actually recomputed.
+        from it in (at most) the ``touched_gates``.  Returns a fresh
+        full per-port value vector plus the number of gate output ports
+        that were actually recomputed.
         """
         values = self.values.copy()
         resimulated = child.resimulate_cone(values, self.mask,
                                             touched_gates)
         return values, resimulated
+
+    def child_values_tracked(self, child, touched_gates: Sequence[int]) \
+            -> Tuple[List[int], int, List[Tuple[int, int]]]:
+        """In-place variant of :meth:`child_values` (kernel children).
+
+        The memoized *parent* vector itself is patched and returned,
+        together with the undo log of ``(port, previous word)`` entries;
+        the caller must pass that log to :meth:`restore` once done with
+        the values.  Requires a child exposing
+        ``resimulate_cone_tracked`` (:class:`~repro.core.kernel.
+        NetlistKernel`).
+
+        The sweep reads genes from a per-parent zipped list (one tuple
+        per gate), built once per state and shared by the whole brood;
+        the child's touched gates are patched in and out around the
+        call.
+        """
+        zipped = self._zipped
+        if zipped is None:
+            parent = self._parent
+            zipped = self._zipped = list(zip(parent.in0, parent.in1,
+                                             parent.in2, parent.config))
+        in0, in1, in2, cfg = child.in0, child.in1, child.in2, child.config
+        patches = []
+        for g in touched_gates:
+            patches.append((g, zipped[g]))
+            zipped[g] = (in0[g], in1[g], in2[g], cfg[g])
+        try:
+            resimulated, undo = child.resimulate_cone_tracked(
+                self.values, self.mask, touched_gates, zipped)
+        finally:
+            for g, entry in patches:
+                zipped[g] = entry
+        return self.values, resimulated, undo
+
+    def restore(self, undo: List[Tuple[int, int]]) -> None:
+        """Rewind a :meth:`child_values_tracked` patch."""
+        values = self.values
+        for port, word in undo:
+            values[port] = word

@@ -44,7 +44,7 @@ def popcount(value: int) -> int:
     """Number of set bits in a non-negative integer."""
     if value < 0:
         raise ValueError("popcount requires a non-negative integer")
-    return bin(value).count("1")
+    return value.bit_count()
 
 
 def bits_of(value: int, width: int) -> List[int]:

@@ -51,7 +51,7 @@ class Cube:
         return out
 
     def num_literals(self) -> int:
-        return bin(self.pos).count("1") + bin(self.neg).count("1")
+        return self.pos.bit_count() + self.neg.bit_count()
 
     def table(self, num_vars: int) -> TruthTable:
         """Truth table of this cube over ``num_vars`` variables."""

@@ -195,24 +195,40 @@ class RqfpNetlist:
             result.setdefault(port, []).append(("po", o, 0))
         return result
 
+    def fanout_counts_flat(self) -> List[int]:
+        """Consumer count per port, as a flat list (index = port).
+
+        The single fan-out-counting implementation: the evaluator's
+        performance phase, :meth:`fanout_counts`,
+        :meth:`fanout_violations` and :meth:`garbage_ports` all read
+        from it.  Index 0 is the constant port (exempt from the fan-out
+        limit); a count of 0 on a gate output port means garbage.
+        """
+        counts = [0] * self.num_ports()
+        for gate in self.gates:
+            counts[gate.in0] += 1
+            counts[gate.in1] += 1
+            counts[gate.in2] += 1
+        for port in self.outputs:
+            counts[port] += 1
+        return counts
+
     def fanout_counts(self) -> Dict[int, int]:
-        return {port: len(users) for port, users in self.consumers().items()}
+        return {port: count
+                for port, count in enumerate(self.fanout_counts_flat())
+                if count}
 
     def fanout_violations(self) -> List[int]:
         """Non-constant ports with more than one consumer."""
-        return [port for port, users in self.consumers().items()
-                if port != CONST_PORT and len(users) > 1]
+        counts = self.fanout_counts_flat()
+        return [port for port in range(1, len(counts)) if counts[port] > 1]
 
     def garbage_ports(self) -> List[int]:
         """Gate output ports with no consumer at all."""
-        used = self.consumers()
-        garbage = []
-        for g in range(len(self.gates)):
-            for m in range(3):
-                port = self.gate_output_port(g, m)
-                if port not in used:
-                    garbage.append(port)
-        return garbage
+        counts = self.fanout_counts_flat()
+        base = self.num_inputs + 1
+        return [port for port in range(base, len(counts))
+                if not counts[port]]
 
     @property
     def num_garbage(self) -> int:
@@ -246,6 +262,16 @@ class RqfpNetlist:
         """Circuit depth in gate levels (the paper's ``n_d``)."""
         levels = self.levels()
         return max(levels, default=0)
+
+    def estimate_buffers(self) -> int:
+        """Estimated path-balancing buffer count (``n_b``).
+
+        Delegates to :func:`repro.rqfp.buffers.estimate_buffers`; the
+        method exists so netlists and :class:`~repro.core.kernel.
+        NetlistKernel` share one call surface in the evaluator.
+        """
+        from .buffers import estimate_buffers
+        return estimate_buffers(self)
 
     def reachable_gates(self) -> List[int]:
         """Gates in the transitive fan-in of the primary outputs.

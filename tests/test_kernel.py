@@ -1,0 +1,405 @@
+"""Flat structure-of-arrays kernel: bit-exactness properties.
+
+The contract under test: :class:`NetlistKernel` is an alternative
+*representation* of the same chromosome, never an approximation.  Every
+operation the fitness function relies on — simulation, cone
+resimulation (plain and tracked), shrink, levels, the fused buffer
+estimate, fan-out counts, mutation, genome encoding — must match the
+object netlist bit for bit, over random netlists x random mutation
+chains and through the full evolution engine.
+"""
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.random_circuits import random_rqfp
+from repro.bench.registry import get_benchmark
+from repro.core.config import RcgpConfig
+from repro.core.engine import (
+    EvolutionRun,
+    decode_genome,
+    encode_genome,
+    genome_with_delta,
+)
+from repro.core.fitness import Evaluator
+from repro.core.kernel import NetlistKernel
+from repro.core.mutation import mutate_with_delta
+from repro.core.synthesis import initialize_netlist
+from repro.logic.bitops import full_mask, variable_pattern
+from repro.rqfp.buffers import estimate_buffers
+
+pytestmark = []
+
+
+def _words(num_inputs):
+    return ([variable_pattern(i, num_inputs) for i in range(num_inputs)],
+            full_mask(num_inputs))
+
+
+def _mutation_config(**kwargs):
+    base = dict(mutation_rate=0.25, max_mutated_genes=6, seed=5)
+    base.update(kwargs)
+    return RcgpConfig(**base)
+
+
+class TestRoundTrips:
+    def test_netlist_round_trip(self):
+        for trial in range(20):
+            netlist = random_rqfp(4, 12, 3, random.Random(trial))
+            kernel = NetlistKernel.from_netlist(netlist)
+            back = kernel.to_netlist()
+            assert encode_genome(back) == encode_genome(netlist)
+            assert back.input_names == netlist.input_names
+            assert back.output_names == netlist.output_names
+            assert back.name == netlist.name
+
+    def test_genome_round_trip(self):
+        for trial in range(20):
+            netlist = random_rqfp(5, 10, 4, random.Random(50 + trial))
+            genome = encode_genome(netlist)
+            kernel = NetlistKernel.from_genome(genome)
+            assert kernel.to_genome() == genome
+            assert encode_genome(kernel) == genome
+            assert encode_genome(decode_genome(genome)) == genome
+
+    def test_copy_is_independent(self):
+        kernel = NetlistKernel.from_netlist(
+            random_rqfp(3, 8, 2, random.Random(1)))
+        clone = kernel.copy()
+        clone.in0[0] = (kernel.in0[0] + 1) % 4
+        clone.outputs[0] = 0
+        assert kernel.to_genome() != clone.to_genome()
+
+    def test_shape_properties(self):
+        netlist = random_rqfp(4, 9, 3, random.Random(2))
+        kernel = NetlistKernel.from_netlist(netlist)
+        assert kernel.num_inputs == netlist.num_inputs
+        assert kernel.num_gates == netlist.num_gates
+        assert kernel.num_outputs == netlist.num_outputs
+        assert kernel.num_ports() == netlist.num_ports()
+        assert kernel.first_gate_port(0) == netlist.first_gate_port(0)
+        assert kernel.first_gate_port(5) == netlist.first_gate_port(5)
+
+
+class TestStructuralEquality:
+    """Every structural sweep matches the object netlist, for random
+    netlists and for mutants thereof (exercising garbage gates,
+    multi-fanout ports, and constant inputs)."""
+
+    def _pairs(self, count=25):
+        config = _mutation_config()
+        for trial in range(count):
+            rng = random.Random(300 + trial)
+            netlist = random_rqfp(4, 14, 3, rng)
+            if trial % 2:
+                netlist, _ = mutate_with_delta(netlist, rng, config)
+            yield netlist, NetlistKernel.from_netlist(netlist)
+
+    def test_simulate_matches(self):
+        for netlist, kernel in self._pairs():
+            words, mask = _words(netlist.num_inputs)
+            assert kernel.simulate(words, mask) == \
+                netlist.simulate(words, mask)
+            assert kernel.simulate_ports(words, mask) == \
+                netlist.simulate_ports(words, mask)
+
+    def test_levels_depth_match(self):
+        for netlist, kernel in self._pairs():
+            assert kernel.levels() == netlist.levels()
+            assert kernel.depth() == netlist.depth()
+
+    def test_estimate_buffers_matches(self):
+        for netlist, kernel in self._pairs():
+            assert kernel.estimate_buffers() == estimate_buffers(netlist)
+            assert kernel.estimate_buffers() == netlist.estimate_buffers()
+
+    def test_fanout_counts_match(self):
+        for netlist, kernel in self._pairs():
+            assert kernel.fanout_counts_flat() == \
+                netlist.fanout_counts_flat()
+
+    def test_reachable_and_shrink_match(self):
+        for netlist, kernel in self._pairs():
+            assert kernel.reachable_gates() == netlist.reachable_gates()
+            assert kernel.shrink().to_genome() == \
+                NetlistKernel.from_netlist(netlist.shrink()).to_genome()
+
+    def test_consumers_match(self):
+        for netlist, kernel in self._pairs():
+            assert kernel.consumers() == netlist.consumers()
+
+
+class TestConeResimulation:
+    def test_resimulate_cone_matches_full(self):
+        config = _mutation_config()
+        for trial in range(25):
+            rng = random.Random(600 + trial)
+            parent = NetlistKernel.from_netlist(random_rqfp(4, 14, 3, rng))
+            words, mask = _words(parent.num_inputs)
+            base = parent.simulate_ports(words, mask)
+            child, delta = mutate_with_delta(parent, rng, config)
+            values = base.copy()
+            child.resimulate_cone(values, mask, delta.touched_gates)
+            assert values == child.simulate_ports(words, mask)
+
+    def test_tracked_resim_matches_and_restores(self):
+        """The tracked in-place cone produces the same values and the
+        same recompute counter as the copying cone, and the undo log
+        restores the parent vector exactly."""
+        config = _mutation_config()
+        for trial in range(25):
+            rng = random.Random(900 + trial)
+            parent = NetlistKernel.from_netlist(random_rqfp(4, 14, 3, rng))
+            words, mask = _words(parent.num_inputs)
+            base = parent.simulate_ports(words, mask)
+            child, delta = mutate_with_delta(parent, rng, config)
+
+            copied = base.copy()
+            counted = child.resimulate_cone(copied, mask,
+                                            delta.touched_gates)
+            tracked = base.copy()
+            counted2, undo = child.resimulate_cone_tracked(
+                tracked, mask, delta.touched_gates)
+            assert tracked == copied
+            assert counted2 == counted
+            for port, word in undo:
+                tracked[port] = word
+            assert tracked == base
+
+    def test_tracked_resim_with_zipped_genes(self):
+        config = _mutation_config()
+        rng = random.Random(77)
+        parent = NetlistKernel.from_netlist(random_rqfp(4, 12, 3, rng))
+        words, mask = _words(parent.num_inputs)
+        base = parent.simulate_ports(words, mask)
+        child, delta = mutate_with_delta(parent, rng, config)
+        zipped = list(zip(child.in0, child.in1, child.in2, child.config))
+        values = base.copy()
+        child.resimulate_cone_tracked(values, mask, delta.touched_gates,
+                                      zipped)
+        assert values == child.simulate_ports(words, mask)
+
+
+class TestMutationEquivalence:
+    def test_same_rng_stream_same_mutant(self):
+        """Point mutation draws from the RNG in the identical order for
+        both representations, so mutants are bit-identical."""
+        config = _mutation_config()
+        for trial in range(25):
+            netlist = random_rqfp(4, 12, 3, random.Random(40 + trial))
+            kernel = NetlistKernel.from_netlist(netlist)
+            child_n, delta_n = mutate_with_delta(
+                netlist, random.Random(trial), config)
+            child_k, delta_k = mutate_with_delta(
+                kernel, random.Random(trial), config)
+            assert isinstance(child_k, NetlistKernel)
+            assert encode_genome(child_k) == encode_genome(child_n)
+            assert delta_k == delta_n
+            assert delta_k.apply_to(kernel).to_genome() == \
+                encode_genome(child_n)
+
+    def test_rollback_restores_shared_consumer_map(self):
+        config = _mutation_config()
+        for trial in range(15):
+            kernel = NetlistKernel.from_netlist(
+                random_rqfp(4, 12, 3, random.Random(70 + trial)))
+            before = kernel.to_genome()
+            consumers = kernel.consumers()
+            mutate_with_delta(kernel, random.Random(trial), config,
+                              consumers=consumers, rollback=True)
+            assert kernel.to_genome() == before
+            assert consumers == kernel.consumers()
+
+    def test_genome_with_delta_matches_encode(self):
+        config = _mutation_config()
+        for trial in range(20):
+            parent = NetlistKernel.from_netlist(
+                random_rqfp(4, 12, 3, random.Random(500 + trial)))
+            child, delta = mutate_with_delta(parent, random.Random(trial),
+                                             config)
+            assert genome_with_delta(parent.to_genome(), delta) == \
+                encode_genome(child)
+
+
+class TestEvaluatorEquality:
+    def test_full_evaluation_matches(self):
+        config = _mutation_config()
+        for trial in range(10):
+            rng = random.Random(2000 + trial)
+            netlist = random_rqfp(4, 15, 3, rng)
+            spec = netlist.to_truth_tables()
+            flat = Evaluator(spec, config).evaluate(
+                NetlistKernel.from_netlist(netlist))
+            obj = Evaluator(spec, config).evaluate(netlist)
+            assert flat.key() == obj.key()
+
+    def test_incremental_chain_matches_object_path(self):
+        """Mutation chains from an evolving parent: flat incremental
+        fitness == object incremental fitness == full fitness, and the
+        ports_resimulated counters agree."""
+        config = _mutation_config()
+        for trial in range(8):
+            outer = random.Random(3000 + trial)
+            netlist = random_rqfp(4, 15, 3, outer)
+            spec = netlist.to_truth_tables()
+            kernel = NetlistKernel.from_netlist(netlist)
+            ev_obj = Evaluator(spec, config)
+            ev_flat = Evaluator(spec, config)
+            reference = Evaluator(spec, config)
+            state_obj = ev_obj.prepare_parent(netlist)
+            state_flat = ev_flat.prepare_parent(kernel)
+            for step in range(6):
+                seed = outer.getrandbits(32)
+                child_n, delta_n = mutate_with_delta(
+                    netlist, random.Random(seed), config)
+                child_k, delta_k = mutate_with_delta(
+                    kernel, random.Random(seed), config)
+                f_obj = ev_obj.evaluate_incremental(child_n, delta_n,
+                                                    state_obj)
+                f_flat = ev_flat.evaluate_incremental(child_k, delta_k,
+                                                      state_flat)
+                full = reference.evaluate(child_n)
+                assert f_flat.key() == f_obj.key() == full.key()
+                netlist, kernel = child_n, child_k
+                state_obj = ev_obj.prepare_parent(netlist)
+                state_flat = ev_flat.prepare_parent(kernel)
+            assert ev_flat.ports_resimulated == ev_obj.ports_resimulated
+
+    def test_finalize_returns_netlist(self):
+        netlist = random_rqfp(4, 10, 3, random.Random(8))
+        spec = netlist.to_truth_tables()
+        evaluator = Evaluator(spec, _mutation_config())
+        final = evaluator.finalize(NetlistKernel.from_netlist(netlist))
+        assert final.describe() == evaluator.finalize(netlist).describe()
+
+    def test_check_kernel_env_flag(self):
+        """RCGP_CHECK_KERNEL verifies every kernel evaluation against
+        the object netlist (and passes on correct code)."""
+        env = dict(os.environ)
+        env["RCGP_CHECK_KERNEL"] = "1"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep))
+        code = (
+            "import random\n"
+            "from repro.bench.random_circuits import random_rqfp\n"
+            "from repro.core.config import RcgpConfig\n"
+            "from repro.core.fitness import Evaluator\n"
+            "from repro.core.kernel import NetlistKernel\n"
+            "from repro.core.mutation import mutate_with_delta\n"
+            "rng = random.Random(3)\n"
+            "netlist = random_rqfp(4, 12, 3, rng)\n"
+            "parent = NetlistKernel.from_netlist(netlist)\n"
+            "config = RcgpConfig(mutation_rate=0.3, max_mutated_genes=5,"
+            " seed=1)\n"
+            "ev = Evaluator(netlist.to_truth_tables(), config)\n"
+            "assert ev._check_kernel\n"
+            "state = ev.prepare_parent(parent)\n"
+            "for _ in range(10):\n"
+            "    child, delta = mutate_with_delta(parent, rng, config)\n"
+            "    ev.evaluate_incremental(child, delta, state)\n"
+            "    ev.evaluate(child)\n"
+            "print('checked', ev.evaluations)\n"
+        )
+        result = subprocess.run([sys.executable, "-c", code], env=env,
+                                capture_output=True, text=True, timeout=240)
+        assert result.returncode == 0, result.stderr
+        assert "checked 20" in result.stdout
+
+
+class TestCounterexampleMasking:
+    """Satellite regression: ``add_counterexample`` must mask the
+    pattern to the input width unconditionally — a counterexample is an
+    n-bit input assignment, and stray high bits (from any decoder)
+    previously survived whenever ``num_inputs >= 31``."""
+
+    def _sampled_evaluator(self, spec):
+        config = RcgpConfig(exhaustive_input_limit=2, verify_with_sat=False,
+                            simulation_patterns=64, seed=9,
+                            mutation_rate=0.2, max_mutated_genes=4)
+        return Evaluator(spec, config, random.Random(9))
+
+    def test_stray_high_bits_are_masked(self):
+        netlist = random_rqfp(4, 10, 3, random.Random(31))
+        spec = netlist.to_truth_tables()
+        clean = self._sampled_evaluator(spec)
+        stray = self._sampled_evaluator(spec)
+        clean.add_counterexample(5)
+        stray.add_counterexample(5 | (1 << 40))
+        assert stray._patterns == clean._patterns
+        assert stray._words == clean._words
+        assert stray._expected == clean._expected
+        assert stray._mask == clean._mask
+        # Identical epoch bookkeeping: both evaluators agree on fitness.
+        child = random_rqfp(4, 10, 3, random.Random(32))
+        assert stray.evaluate(child).key() == clean.evaluate(child).key()
+
+
+class TestEngineEquality:
+    def _run(self, kernel, **kwargs):
+        benchmark = get_benchmark("decoder_2_4")
+        spec = benchmark.spec()
+        config = RcgpConfig(generations=60, offspring=4, mutation_rate=0.2,
+                            max_mutated_genes=4, seed=77, kernel=kernel,
+                            **kwargs)
+        return EvolutionRun(spec, config, name="decoder_2_4").run()
+
+    def test_flat_run_matches_object_run(self):
+        flat = self._run("flat")
+        obj = self._run("object")
+        assert flat.fitness.key() == obj.fitness.key()
+        assert flat.netlist.describe() == obj.netlist.describe()
+        assert flat.evaluations == obj.evaluations
+        assert flat.eval_incremental == obj.eval_incremental
+        assert flat.ports_resimulated == obj.ports_resimulated
+
+    def test_flat_run_matches_with_cache_disabled(self):
+        flat = self._run("flat", eval_cache_size=0)
+        obj = self._run("object", eval_cache_size=0)
+        assert flat.fitness.key() == obj.fitness.key()
+        assert flat.netlist.describe() == obj.netlist.describe()
+        assert flat.evaluations == obj.evaluations
+
+    def test_flat_run_on_benchmark_seed(self):
+        benchmark = get_benchmark("ham3")
+        spec = benchmark.spec()
+        initial = initialize_netlist(spec, "ham3")
+        results = []
+        for kernel in ("flat", "object"):
+            config = RcgpConfig(generations=40, offspring=4, seed=11,
+                                mutation_rate=0.15, max_mutated_genes=4,
+                                kernel=kernel)
+            results.append(EvolutionRun(spec, config, initial=initial.copy(),
+                                        name="ham3").run())
+        assert results[0].fitness.key() == results[1].fitness.key()
+        assert results[0].netlist.describe() == results[1].netlist.describe()
+
+    @pytest.mark.slow
+    def test_flat_pool_matches_serial(self):
+        """workers=2 with the flat kernel is bit-identical to serial."""
+        benchmark = get_benchmark("decoder_2_4")
+        spec = benchmark.spec()
+        config = RcgpConfig(generations=25, offspring=8, mutation_rate=0.2,
+                            max_mutated_genes=4, seed=31, workers=2,
+                            kernel="flat", incremental_eval=True)
+        pooled = EvolutionRun(spec, config, name="decoder_2_4").run()
+        serial = EvolutionRun(
+            spec, config.replace(workers=0), name="decoder_2_4").run()
+        assert pooled.fitness.key() == serial.fitness.key()
+        assert pooled.netlist.describe() == serial.netlist.describe()
+
+
+class TestConfigKnob:
+    def test_kernel_knob_validation(self):
+        assert RcgpConfig().kernel == "flat"
+        assert RcgpConfig(kernel="object").kernel == "object"
+        with pytest.raises(ValueError):
+            RcgpConfig(kernel="numpy")
+
+    def test_kernel_knob_round_trips_through_dict(self):
+        config = RcgpConfig(kernel="object")
+        assert RcgpConfig.from_dict(config.to_dict()).kernel == "object"
