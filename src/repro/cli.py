@@ -55,6 +55,20 @@ def _add_rcgp_options(parser: argparse.ArgumentParser) -> None:
                         help="inner-loop genome representation: flat "
                              "structure-of-arrays kernel (default) or the "
                              "object netlist; results are bit-identical")
+    parser.add_argument("--verify", action="store_true",
+                        help="end-of-run result gate: re-simulate the "
+                             "final netlist on the object path, check "
+                             "RQFP legality (fan-out + path balancing) "
+                             "and SAT-prove spec equivalence; violations "
+                             "abort with a typed error")
+    parser.add_argument("--batch-timeout", type=float, default=None,
+                        help="seconds before a pool offspring batch is "
+                             "declared hung and re-dispatched to a fresh "
+                             "pool (default: wait forever)")
+    parser.add_argument("--batch-retries", type=int, default=2,
+                        help="re-dispatches of a lost/hung batch before "
+                             "the run degrades to inline evaluation "
+                             "(default 2)")
 
 
 def _config_from(args: argparse.Namespace) -> RcgpConfig:
@@ -70,6 +84,9 @@ def _config_from(args: argparse.Namespace) -> RcgpConfig:
         workers=args.workers,
         telemetry_path=args.telemetry,
         kernel=args.kernel,
+        verify_result=args.verify,
+        batch_timeout=args.batch_timeout,
+        batch_retries=args.batch_retries,
     )
 
 
@@ -77,6 +94,18 @@ def _print_result(result, verbose: bool) -> None:
     print(f"initialization: {result.initial.cost}")
     print(f"rcgp          : {result.cost}")
     print(f"verified      : {result.verify()}")
+    if result.evolution.verified:
+        print("result gate   : passed (object-path re-simulation, RQFP "
+              "legality, equivalence)")
+    if result.evolution.interrupted:
+        print("interrupted   : run stopped early (SIGINT); result is the "
+              "best so far")
+    if result.evolution.worker_restarts or result.evolution.degraded_to_inline:
+        print(f"worker faults : {result.evolution.worker_restarts} pool "
+              f"restarts, {result.evolution.batches_retried} batches "
+              f"retried"
+              + (", degraded to inline evaluation"
+                 if result.evolution.degraded_to_inline else ""))
     if verbose:
         print(f"generations   : {result.evolution.generations}")
         print(f"evaluations   : {result.evolution.evaluations}")

@@ -114,6 +114,26 @@ class RcgpConfig:
     """Write per-generation JSONL telemetry events to this file
     (None: no telemetry)."""
 
+    batch_timeout: Optional[float] = None
+    """Wall-clock cap in seconds on one offspring batch in the process
+    pool (None: wait forever).  A batch that overruns is treated like a
+    crashed one: the pool is killed and respawned, and the batch is
+    re-dispatched up to :attr:`batch_retries` times."""
+
+    batch_retries: int = 2
+    """How many times a lost batch (``BrokenProcessPool``, hung worker)
+    is re-dispatched to a freshly spawned pool before the backend
+    degrades to inline evaluation for the rest of the run."""
+
+    verify_result: bool = False
+    """End-of-run result gate: re-simulate the best candidate on the
+    object path, check RQFP legality (single fan-out + path balancing
+    via :func:`repro.rqfp.validate.validate_circuit`) and prove spec
+    equivalence with the SAT miter.  Violations raise typed
+    :mod:`repro.errors` exceptions instead of silently returning an
+    illegal or wrong circuit.  Off by default: the gate runs once per
+    run but SAT proofs on large sampled specs can be costly."""
+
     # Mutation-kind toggles, used by the ablation benchmarks (A1).
     enable_input_mutation: bool = True
     enable_output_mutation: bool = True
@@ -159,6 +179,10 @@ class RcgpConfig:
             raise ValueError("workers must be >= 0")
         if self.eval_cache_size < 0:
             raise ValueError("eval_cache_size must be >= 0")
+        if self.batch_retries < 0:
+            raise ValueError("batch_retries must be >= 0")
+        if self.batch_timeout is not None and self.batch_timeout <= 0:
+            raise ValueError("batch_timeout must be positive")
         if not (self.enable_input_mutation or self.enable_output_mutation
                 or self.enable_inverter_mutation):
             raise ValueError("at least one mutation kind must stay enabled")

@@ -29,6 +29,17 @@ makes that loop scale without changing its semantics:
 * **Deterministic parallelism** — every offspring gets its own RNG
   stream derived from ``(seed, generation, offspring index)``, so a run
   is bit-identical for a fixed seed regardless of worker count.
+* **Fault tolerance** — a crashed or hung worker pool is respawned and
+  the lost batch re-dispatched (purity makes the retry bit-identical);
+  exhausted retries degrade the run to inline evaluation instead of
+  aborting, ``KeyboardInterrupt`` finalizes the incumbent cleanly, and
+  ``worker_restarts`` / ``batches_retried`` / ``degraded_to_inline``
+  are reported on the result and in telemetry.
+* **Result gate** (``config.verify_result``) — the finished run's best
+  netlist is independently re-simulated on the object path, checked for
+  RQFP legality and SAT-proven equivalent to the spec
+  (:mod:`repro.core.verify`); violations raise typed
+  :mod:`repro.errors` exceptions.
 
 Parallel evaluation requires the fitness function to be *pure*: it is
 used when simulation is exhaustive, or when SAT verification is off and
@@ -45,11 +56,14 @@ import json
 import random
 import time
 from collections import OrderedDict
+from concurrent.futures import BrokenExecutor as BrokenExecutorError
+# On 3.10 futures' TimeoutError is not the builtin one (3.11+ aliases it).
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import (Callable, Dict, IO, List, Optional, Protocol, Sequence,
                     Tuple)
 
-from ..errors import SynthesisError
+from ..errors import SynthesisError, WorkerPoolError
 from ..logic.truth_table import TruthTable
 from ..rqfp.netlist import RqfpNetlist
 from ..rqfp.simplify import bypass_wire_gates
@@ -263,6 +277,12 @@ class InlineBackend:
             self._parent_genome = parent_genome
         out = []
         for i, delta in enumerate(deltas):
+            if self._state.epoch != evaluator.pattern_epoch:
+                # The pattern set grew mid-batch (SAT counterexample):
+                # rebuild the memoized parent words rather than letting
+                # every remaining offspring fall back to full simulation
+                # against a state known to be stale.
+                self._state = evaluator.prepare_parent(self._parent)
             child = children[i] if children is not None \
                 else delta.apply_to(self._parent)
             out.append(evaluator.evaluate_incremental(child, delta,
@@ -280,15 +300,46 @@ class InlineBackend:
 _WORKER_EVALUATOR: Optional[Evaluator] = None
 _WORKER_PARENT = None  # (Genome, candidate, SimulationState)
 
+# Fault injection for the fault-tolerance test suite: when the
+# environment sets RCGP_TEST_CRASH_AFTER_EVALS / RCGP_TEST_HANG_AFTER_EVALS
+# to N, every worker process dies (or hangs) after its N-th evaluation.
+# None in production — the per-evaluation check is one "is None" branch.
+_WORKER_FAULT_COUNTDOWN: Optional[int] = None
+_WORKER_FAULT_MODE = ""
+
 _Counters = Tuple[int, int, int]  # (eval_full, eval_incremental, ports)
 
 
 def _pool_initializer(spec_bits: List[int], num_vars: int,
                       config_dict: Dict[str, object]) -> None:
     global _WORKER_EVALUATOR, _WORKER_PARENT
+    global _WORKER_FAULT_COUNTDOWN, _WORKER_FAULT_MODE
     spec = [TruthTable(num_vars, bits) for bits in spec_bits]
     _WORKER_EVALUATOR = Evaluator(spec, RcgpConfig.from_dict(config_dict))
     _WORKER_PARENT = None
+    import os
+    for mode, variable in (("crash", "RCGP_TEST_CRASH_AFTER_EVALS"),
+                           ("hang", "RCGP_TEST_HANG_AFTER_EVALS")):
+        value = os.environ.get(variable, "")
+        if value:
+            _WORKER_FAULT_COUNTDOWN = int(value)
+            _WORKER_FAULT_MODE = mode
+            break
+
+
+def _maybe_inject_fault() -> None:
+    """Test hook: kill or wedge this worker when its countdown expires."""
+    global _WORKER_FAULT_COUNTDOWN
+    if _WORKER_FAULT_COUNTDOWN is None:
+        return
+    _WORKER_FAULT_COUNTDOWN -= 1
+    if _WORKER_FAULT_COUNTDOWN > 0:
+        return
+    if _WORKER_FAULT_MODE == "crash":
+        import os
+        os._exit(17)  # simulate a hard worker crash (no cleanup)
+    import time as _time
+    _time.sleep(600)  # simulate a hung worker; the master kills us
 
 
 def _counters(evaluator: Evaluator) -> _Counters:
@@ -299,10 +350,12 @@ def _counters(evaluator: Evaluator) -> _Counters:
 def _pool_evaluate(genomes: Sequence[Genome]) \
         -> Tuple[List[Tuple[float, int, int, int]], _Counters]:
     evaluator = _WORKER_EVALUATOR
-    assert evaluator is not None, "pool worker used before initialization"
+    if evaluator is None:
+        raise WorkerPoolError("pool worker used before initialization")
     before = _counters(evaluator)
     out = []
     for genome in genomes:
+        _maybe_inject_fault()
         fit = evaluator.evaluate(_decode_candidate(genome, evaluator))
         out.append((fit.success, fit.n_r, fit.n_g, fit.n_b))
     after = _counters(evaluator)
@@ -323,7 +376,8 @@ def _pool_evaluate_deltas(parent_genome: Genome,
     """
     global _WORKER_PARENT
     evaluator = _WORKER_EVALUATOR
-    assert evaluator is not None, "pool worker used before initialization"
+    if evaluator is None:
+        raise WorkerPoolError("pool worker used before initialization")
     if _WORKER_PARENT is None or _WORKER_PARENT[0] != parent_genome \
             or _WORKER_PARENT[2].epoch != evaluator.pattern_epoch:
         parent = _decode_candidate(parent_genome, evaluator)
@@ -333,6 +387,16 @@ def _pool_evaluate_deltas(parent_genome: Genome,
     before = _counters(evaluator)
     out = []
     for delta in deltas:
+        _maybe_inject_fault()
+        if state.epoch != evaluator.pattern_epoch:
+            # A SAT counterexample grew this worker's pattern set
+            # mid-chunk: the memoized parent words are stale.  Rebuild
+            # the resident state instead of silently falling back to
+            # full simulation for the rest of the chunk (and leaving a
+            # stale _WORKER_PARENT behind for the next one).
+            _WORKER_PARENT = (parent_genome, parent,
+                              evaluator.prepare_parent(parent))
+            state = _WORKER_PARENT[2]
         fit = evaluator.evaluate_incremental(delta.apply_to(parent),
                                              delta, state)
         out.append((fit.success, fit.n_r, fit.n_g, fit.n_b))
@@ -352,46 +416,182 @@ class ProcessPoolBackend:
     Only valid when evaluation is pure (exhaustive simulation, or
     seeded random patterns without SAT feedback) — the engine enforces
     this via :func:`parallel_safe`.
+
+    **Fault tolerance.**  A batch that dies (``BrokenProcessPool`` — a
+    worker crashed or was OOM-killed) or overruns ``config.batch_timeout``
+    is recovered, not fatal: the pool is killed, respawned, and the whole
+    batch re-dispatched, up to ``config.batch_retries`` times.  Because
+    evaluation here is pure, a re-dispatched batch is bit-identical to
+    the lost one, so recovery never changes results.  When retries are
+    exhausted the backend *degrades to inline evaluation* for the rest
+    of the run — slower, but the run completes.  ``worker_restarts``,
+    ``batches_retried`` and ``degraded`` are surfaced on the
+    :class:`EvolutionResult` and in telemetry.
     """
 
     name = "process-pool"
 
     def __init__(self, spec: Sequence[TruthTable], config: RcgpConfig,
                  workers: int):
-        from concurrent.futures import ProcessPoolExecutor
         if workers < 2:
             raise ValueError("ProcessPoolBackend needs workers >= 2")
-        spec = list(spec)
+        self._spec = list(spec)
+        self._config = config
         self.workers = workers
         # Worker-side evaluation counters, accumulated per chunk result
         # (the master evaluator never sees pool evaluations).
         self.eval_full = 0
         self.eval_incremental = 0
         self.ports_resimulated = 0
+        # Fault-recovery counters.
+        self.worker_restarts = 0
+        self.batches_retried = 0
+        self.degraded = False
+        self._pool = None
+        self._inline: Optional[InlineBackend] = None
+        self._fallback_evaluator: Optional[Evaluator] = None
+        self._spawn()
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _spawn(self) -> None:
+        from concurrent.futures import ProcessPoolExecutor
         self._pool = ProcessPoolExecutor(
-            max_workers=workers,
+            max_workers=self.workers,
             initializer=_pool_initializer,
-            initargs=([t.bits for t in spec], spec[0].num_vars,
-                      config.to_dict()),
+            initargs=([t.bits for t in self._spec],
+                      self._spec[0].num_vars,
+                      self._config.to_dict()),
         )
 
-    def _collect(self, futures) -> List[Fitness]:
+    def _kill_pool(self) -> None:
+        """Tear the pool down *now*, hung workers included."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        # shutdown() alone joins worker processes, which never returns
+        # for a wedged worker — kill them first.  _processes is stable
+        # CPython executor internals; falling back to an empty dict just
+        # means shutdown() does the (slower) work alone.
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def terminate(self) -> None:
+        """Immediate shutdown (SIGINT path): kill workers, cancel work."""
+        self._kill_pool()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- inline degradation --------------------------------------------
+
+    def _inline_backend(self) -> InlineBackend:
+        if self._inline is None:
+            # Same construction as the pool initializer, so the
+            # fallback evaluator is interchangeable with a worker's in
+            # every parallel-safe mode (pure evaluation, seeded
+            # patterns) — degrading cannot change results.
+            self._fallback_evaluator = Evaluator(self._spec, self._config)
+            self._inline = InlineBackend(self._fallback_evaluator)
+        return self._inline
+
+    def _run_inline(self, call) -> List[Fitness]:
+        backend = self._inline_backend()
+        evaluator = self._fallback_evaluator
+        before = _counters(evaluator)
+        out = call(backend)
+        after = _counters(evaluator)
+        self.eval_full += after[0] - before[0]
+        self.eval_incremental += after[1] - before[1]
+        self.ports_resimulated += after[2] - before[2]
+        return out
+
+    # -- batch dispatch with recovery ----------------------------------
+
+    def _collect(self, futures, timeout: Optional[float]) \
+            -> Tuple[List[Fitness], _Counters]:
+        """Gather chunk results; counters are committed by the caller
+        only once the whole batch succeeded (a retry must not
+        double-count the lost batch's partial progress)."""
         results: List[Fitness] = []
+        totals = [0, 0, 0]
+        deadline = None if timeout is None else time.monotonic() + timeout
         for future in futures:
-            values, counters = future.result()
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            values, counters = future.result(timeout=remaining)
             results.extend(Fitness(*v) for v in values)
+            for i in range(3):
+                totals[i] += counters[i]
+        return results, (totals[0], totals[1], totals[2])
+
+    def _run_batch(self, submit) -> Optional[List[Fitness]]:
+        """Dispatch one batch with bounded fault recovery.
+
+        ``submit`` is ``(pool) -> futures`` for the batch's chunks.
+        Returns None when recovery is exhausted and the backend has
+        degraded — the caller then evaluates inline.
+        """
+        if self.degraded:
+            return None
+        retries = self._config.batch_retries
+        timeout = self._config.batch_timeout
+        attempt = 0
+        while True:
+            try:
+                futures = submit(self._pool)
+                results, counters = self._collect(futures, timeout)
+            except (KeyboardInterrupt, SystemExit):
+                self._kill_pool()
+                raise
+            except (BrokenExecutorError, FuturesTimeoutError, TimeoutError,
+                    OSError, EOFError):
+                self._kill_pool()
+                if attempt >= retries:
+                    # Recovery exhausted: degrade for the rest of the
+                    # run instead of aborting a possibly hours-long
+                    # search over an infrastructure failure.
+                    self.degraded = True
+                    return None
+                attempt += 1
+                self.batches_retried += 1
+                self.worker_restarts += 1
+                try:
+                    self._spawn()
+                except OSError:
+                    # Cannot even respawn (fork limit, fd exhaustion):
+                    # nothing left to retry with.
+                    self.degraded = True
+                    return None
+                continue
             self.eval_full += counters[0]
             self.eval_incremental += counters[1]
             self.ports_resimulated += counters[2]
-        return results
+            return results
+
+    # -- the EvaluationBackend surface ---------------------------------
 
     def evaluate(self, genomes: Sequence[Genome]) -> List[Fitness]:
         genomes = list(genomes)
         if not genomes:
             return []
-        return self._collect(
-            self._pool.submit(_pool_evaluate, chunk)
-            for chunk in self._chunk(genomes))
+        chunks = self._chunk(genomes)
+        results = self._run_batch(lambda pool: [
+            pool.submit(_pool_evaluate, chunk) for chunk in chunks])
+        if results is None:
+            return self._run_inline(lambda b: b.evaluate(genomes))
+        return results
 
     def evaluate_deltas(self, parent_genome: Genome,
                         deltas: Sequence[MutationDelta],
@@ -402,14 +602,20 @@ class ProcessPoolBackend:
         ``children`` is accepted for interface symmetry with
         :meth:`InlineBackend.evaluate_deltas` but never crosses the
         process boundary — workers rebuild each offspring from their
-        resident parent.
+        resident parent.  (The degraded inline fallback does use them.)
         """
         deltas = list(deltas)
         if not deltas:
             return []
-        return self._collect(
-            self._pool.submit(_pool_evaluate_deltas, parent_genome, chunk)
-            for chunk in self._chunk(deltas))
+        chunks = self._chunk(deltas)
+        results = self._run_batch(lambda pool: [
+            pool.submit(_pool_evaluate_deltas, parent_genome, chunk)
+            for chunk in chunks])
+        if results is None:
+            return self._run_inline(
+                lambda b: b.evaluate_deltas(parent_genome, deltas,
+                                            children))
+        return results
 
     def _chunk(self, items: List) -> List[List]:
         n = min(self.workers, len(items))
@@ -420,9 +626,6 @@ class ProcessPoolBackend:
             chunks.append(items[at:at + width])
             at += width
         return chunks
-
-    def close(self) -> None:
-        self._pool.shutdown(wait=True)
 
 
 def parallel_safe(evaluator: Evaluator, config: RcgpConfig) -> bool:
@@ -502,6 +705,11 @@ class EvolutionResult:
     eval_full: int = 0
     eval_incremental: int = 0
     ports_resimulated: int = 0
+    worker_restarts: int = 0
+    batches_retried: int = 0
+    degraded_to_inline: bool = False
+    interrupted: bool = False
+    verified: bool = False
 
     @property
     def gate_reduction(self) -> float:
@@ -661,151 +869,197 @@ class EvolutionRun:
             # defines no counters of its own, so nothing double-counts).
             return getattr(evaluator, name) + getattr(backend, name, 0)
 
+        # Fault observability: emit a worker_fault event whenever the
+        # pool backend's recovery counters move (checked once per
+        # generation — three attribute reads, nothing on the inline path
+        # and nothing at all without telemetry).
+        interrupted = False
+        last_faults = (0, 0, False) \
+            if telemetry is not None and \
+            isinstance(backend, ProcessPoolBackend) else None
+
         try:
-            for generation in range(1, config.generations + 1):
-                if config.time_budget is not None and \
-                        time.monotonic() - start >= config.time_budget:
-                    generation -= 1
-                    break
+            try:
+                for generation in range(1, config.generations + 1):
+                    if config.time_budget is not None and \
+                            time.monotonic() - start >= config.time_budget:
+                        generation -= 1
+                        break
 
-                # Mutation: one private RNG stream per offspring, so the
-                # mutant set is a function of (seed, generation) alone.
-                children = []
-                if parent_consumers is None:
-                    parent_consumers = parent.consumers()
-                for i in range(config.offspring):
-                    rng = random.Random(
-                        child_seed(base_seed, generation, i))
-                    child, delta = mutate_with_delta(
-                        parent, rng, config,
-                        consumers=parent_consumers, rollback=True)
-                    children.append((child, delta))
+                    # Mutation: one private RNG stream per offspring, so the
+                    # mutant set is a function of (seed, generation) alone.
+                    children = []
+                    if parent_consumers is None:
+                        parent_consumers = parent.consumers()
+                    for i in range(config.offspring):
+                        rng = random.Random(
+                            child_seed(base_seed, generation, i))
+                        child, delta = mutate_with_delta(
+                            parent, rng, config,
+                            consumers=parent_consumers, rollback=True)
+                        children.append((child, delta))
 
-                # Evaluation: memo-cache lookup first, then one batched
-                # backend call over the distinct misses — incremental
-                # (parent genome + deltas) when the backend supports it.
-                if not cache.enabled:
-                    # No memoization: every child is evaluated, so the
-                    # genome keys (an O(genome) tuple hash per dict
-                    # operation) buy nothing — skip them entirely.  The
-                    # non-incremental backend still transports genomes.
-                    if incremental:
-                        fitnesses = list(delta_eval(
-                            parent_genome,
-                            [delta for _, delta in children],
-                            [child for child, _ in children]))
-                    else:
-                        fitnesses = list(backend.evaluate(
-                            [genome_with_delta(parent_genome, delta)
-                             for _, delta in children]))
-                    if isinstance(backend, ProcessPoolBackend):
-                        pool_evaluations += len(children)
-                else:
-                    fitnesses: List[Optional[Fitness]] = \
-                        [None] * len(children)
-                    miss_order: List[Genome] = []
-                    miss_slots: Dict[Genome, List[int]] = {}
-                    miss_children: Dict[Genome, RqfpNetlist] = {}
-                    miss_deltas: Dict[Genome, MutationDelta] = {}
-                    for slot, (child, delta) in enumerate(children):
-                        genome = genome_with_delta(parent_genome, delta)
-                        found = cache.get(genome)
-                        if found is not None:
-                            fitnesses[slot] = found
-                        elif genome in miss_slots:
-                            # Duplicate within the batch: evaluate once.
-                            cache.hits += 1
-                            cache.misses -= 1
-                            miss_slots[genome].append(slot)
-                        else:
-                            miss_order.append(genome)
-                            miss_slots[genome] = [slot]
-                            miss_children[genome] = child
-                            miss_deltas[genome] = delta
-                    if miss_order:
-                        epoch = evaluator.pattern_epoch
+                    # Evaluation: memo-cache lookup first, then one batched
+                    # backend call over the distinct misses — incremental
+                    # (parent genome + deltas) when the backend supports it.
+                    if not cache.enabled:
+                        # No memoization: every child is evaluated, so the
+                        # genome keys (an O(genome) tuple hash per dict
+                        # operation) buy nothing — skip them entirely.  The
+                        # non-incremental backend still transports genomes.
                         if incremental:
-                            evaluated = delta_eval(
+                            fitnesses = list(delta_eval(
                                 parent_genome,
-                                [miss_deltas[g] for g in miss_order],
-                                [miss_children[g] for g in miss_order])
+                                [delta for _, delta in children],
+                                [child for child, _ in children]))
                         else:
-                            evaluated = backend.evaluate(miss_order)
+                            fitnesses = list(backend.evaluate(
+                                [genome_with_delta(parent_genome, delta)
+                                 for _, delta in children]))
                         if isinstance(backend, ProcessPoolBackend):
-                            pool_evaluations += len(miss_order)
-                        for genome, fitness in zip(miss_order, evaluated):
-                            for slot in miss_slots[genome]:
-                                fitnesses[slot] = fitness
-                        if evaluator.pattern_epoch != epoch:
-                            cache.clear()
-                        else:
-                            for genome, fitness in zip(miss_order,
-                                                       evaluated):
-                                cache.put(genome, fitness)
+                            pool_evaluations += len(children)
+                    else:
+                        fitnesses: List[Optional[Fitness]] = \
+                            [None] * len(children)
+                        miss_order: List[Genome] = []
+                        miss_slots: Dict[Genome, List[int]] = {}
+                        miss_children: Dict[Genome, RqfpNetlist] = {}
+                        miss_deltas: Dict[Genome, MutationDelta] = {}
+                        for slot, (child, delta) in enumerate(children):
+                            genome = genome_with_delta(parent_genome, delta)
+                            found = cache.get(genome)
+                            if found is not None:
+                                fitnesses[slot] = found
+                            elif genome in miss_slots:
+                                # Duplicate within the batch: evaluate once.
+                                cache.hits += 1
+                                cache.misses -= 1
+                                miss_slots[genome].append(slot)
+                            else:
+                                miss_order.append(genome)
+                                miss_slots[genome] = [slot]
+                                miss_children[genome] = child
+                                miss_deltas[genome] = delta
+                        if miss_order:
+                            epoch = evaluator.pattern_epoch
+                            if incremental:
+                                evaluated = delta_eval(
+                                    parent_genome,
+                                    [miss_deltas[g] for g in miss_order],
+                                    [miss_children[g] for g in miss_order])
+                            else:
+                                evaluated = backend.evaluate(miss_order)
+                            if isinstance(backend, ProcessPoolBackend):
+                                pool_evaluations += len(miss_order)
+                            for genome, fitness in zip(miss_order, evaluated):
+                                for slot in miss_slots[genome]:
+                                    fitnesses[slot] = fitness
+                            if evaluator.pattern_epoch != epoch:
+                                cache.clear()
+                            else:
+                                for genome, fitness in zip(miss_order,
+                                                           evaluated):
+                                    cache.put(genome, fitness)
 
-                # Selection: later offspring win ties, matching the
-                # historical serial loop (>= replacement).
-                best_slot = 0
-                for slot in range(1, len(children)):
-                    if fitnesses[slot].key() >= fitnesses[best_slot].key():
-                        best_slot = slot
-                best_fitness = fitnesses[best_slot]
-                best_child = children[best_slot][0]
-                assert best_fitness is not None
+                    # Selection: later offspring win ties, matching the
+                    # historical serial loop (>= replacement).
+                    best_slot = 0
+                    for slot in range(1, len(children)):
+                        if fitnesses[slot].key() >= fitnesses[best_slot].key():
+                            best_slot = slot
+                    best_fitness = fitnesses[best_slot]
+                    best_child = children[best_slot][0]
+                    assert best_fitness is not None
 
-                accepted = best_fitness.key() >= parent_fitness.key()
-                improved = False
-                if accepted:
-                    improved = best_fitness.key() > parent_fitness.key()
-                    parent, parent_fitness = best_child, best_fitness
-                    if config.shrink == "always" or (
-                            config.shrink == "on_improvement" and improved):
-                        parent = parent.shrink()
-                    if improved and config.simplify_wires:
-                        # Wire bypass is a cold structural pass that
-                        # needs gate objects; round-trip through the
-                        # object netlist only when it actually helps.
-                        flat = isinstance(parent, NetlistKernel)
-                        view = parent.to_netlist() if flat else parent
-                        simplified = bypass_wire_gates(view)
-                        if simplified.num_gates < view.num_gates:
-                            parent = NetlistKernel.from_netlist(simplified) \
-                                if flat else simplified
-                            parent_fitness = self._fitness_of(
-                                encode_genome(parent), parent,
-                                evaluator, cache)
-                    parent_genome = encode_genome(parent)
-                    parent_consumers = None
+                    accepted = best_fitness.key() >= parent_fitness.key()
+                    improved = False
+                    if accepted:
+                        improved = best_fitness.key() > parent_fitness.key()
+                        parent, parent_fitness = best_child, best_fitness
+                        if config.shrink == "always" or (
+                                config.shrink == "on_improvement" and improved):
+                            parent = parent.shrink()
+                        if improved and config.simplify_wires:
+                            # Wire bypass is a cold structural pass that
+                            # needs gate objects; round-trip through the
+                            # object netlist only when it actually helps.
+                            flat = isinstance(parent, NetlistKernel)
+                            view = parent.to_netlist() if flat else parent
+                            simplified = bypass_wire_gates(view)
+                            if simplified.num_gates < view.num_gates:
+                                parent = NetlistKernel.from_netlist(simplified) \
+                                    if flat else simplified
+                                parent_fitness = self._fitness_of(
+                                    encode_genome(parent), parent,
+                                    evaluator, cache)
+                        parent_genome = encode_genome(parent)
+                        parent_consumers = None
+                        if improved:
+                            stagnation = 0
+                            if config.track_history:
+                                history.append((generation, parent_fitness))
+                            if self.progress is not None:
+                                self.progress(generation, parent_fitness)
+                    if telemetry is not None:
+                        telemetry.emit(
+                            "generation", generation=generation,
+                            best_key=list(parent_fitness.key()),
+                            improved=improved, accepted=accepted,
+                            evaluations=evaluator.evaluations + pool_evaluations,
+                            cache_hits=cache.hits,
+                            sat_calls=evaluator.sat_calls,
+                            eval_full=counter("eval_full"),
+                            eval_incremental=counter("eval_incremental"),
+                            ports_resimulated=counter("ports_resimulated"),
+                            wall_time=round(time.monotonic() - start, 6),
+                        )
+                    if last_faults is not None:
+                        faults = (backend.worker_restarts,
+                                  backend.batches_retried, backend.degraded)
+                        if faults != last_faults:
+                            last_faults = faults
+                            telemetry.emit(
+                                "worker_fault", generation=generation,
+                                worker_restarts=faults[0],
+                                batches_retried=faults[1],
+                                degraded=faults[2])
                     if improved:
-                        stagnation = 0
-                        if config.track_history:
-                            history.append((generation, parent_fitness))
-                        if self.progress is not None:
-                            self.progress(generation, parent_fitness)
-                if telemetry is not None:
-                    telemetry.emit(
-                        "generation", generation=generation,
-                        best_key=list(parent_fitness.key()),
-                        improved=improved, accepted=accepted,
-                        evaluations=evaluator.evaluations + pool_evaluations,
-                        cache_hits=cache.hits,
-                        sat_calls=evaluator.sat_calls,
-                        eval_full=counter("eval_full"),
-                        eval_incremental=counter("eval_incremental"),
-                        ports_resimulated=counter("ports_resimulated"),
-                        wall_time=round(time.monotonic() - start, 6),
-                    )
-                if improved:
-                    continue
-                stagnation += 1
-                if config.stagnation_limit is not None and \
-                        stagnation >= config.stagnation_limit:
-                    break
+                        continue
+                    stagnation += 1
+                    if config.stagnation_limit is not None and \
+                            stagnation >= config.stagnation_limit:
+                        break
 
+            except KeyboardInterrupt:
+                # Clean SIGINT shutdown: keep the incumbent parent,
+                # kill the pool immediately (workers may be mid-batch
+                # or wedged), finalize and return the best-so-far
+                # result with interrupted=True instead of dying with
+                # a half-written telemetry stream and orphan workers.
+                interrupted = True
+                generation = max(0, generation - 1)
+                if owns_backend:
+                    terminate = getattr(backend, "terminate", None)
+                    if terminate is not None:
+                        terminate()
             final = evaluator.finalize(parent)
             final_fitness = evaluator.evaluate(final)
             if not final_fitness.functional:
                 raise SynthesisError("finalized netlist lost functionality")
+            verified = False
+            if config.verify_result:
+                # End-of-run result gate: independent object-path
+                # re-simulation, RQFP legality, SAT equivalence.  Raises
+                # typed repro.errors exceptions on any violation.
+                from .verify import verify_evolution_result
+                report = verify_evolution_result(final, spec, config)
+                verified = True
+                if telemetry is not None:
+                    telemetry.emit(
+                        "verify", exhaustive=report.exhaustive,
+                        simulated_patterns=report.simulated_patterns,
+                        sat_checked=report.sat_checked,
+                        sat_conflicts=report.sat_conflicts)
             runtime = time.monotonic() - start
             result = EvolutionResult(
                 netlist=final,
@@ -821,6 +1075,11 @@ class EvolutionRun:
                 eval_full=counter("eval_full"),
                 eval_incremental=counter("eval_incremental"),
                 ports_resimulated=counter("ports_resimulated"),
+                worker_restarts=getattr(backend, "worker_restarts", 0),
+                batches_retried=getattr(backend, "batches_retried", 0),
+                degraded_to_inline=getattr(backend, "degraded", False),
+                interrupted=interrupted,
+                verified=verified,
             )
             if telemetry is not None:
                 telemetry.emit(
@@ -831,6 +1090,11 @@ class EvolutionRun:
                     eval_full=result.eval_full,
                     eval_incremental=result.eval_incremental,
                     ports_resimulated=result.ports_resimulated,
+                    worker_restarts=result.worker_restarts,
+                    batches_retried=result.batches_retried,
+                    degraded_to_inline=result.degraded_to_inline,
+                    interrupted=result.interrupted,
+                    verified=result.verified,
                     runtime=round(runtime, 6),
                     final_key=list(final_fitness.key()),
                 )

@@ -94,7 +94,8 @@ def _warn_on_config_mismatch(path: str, stored: Optional[Dict[str, Any]],
     current = config.to_dict()
     differing = sorted(
         name for name, value in current.items()
-        if name not in _OPERATIONAL_FIELDS and stored.get(name, value) != value
+        if name not in _OPERATIONAL_FIELDS and name in stored
+        and stored[name] != value
     )
     if differing:
         details = ", ".join(
@@ -103,6 +104,22 @@ def _warn_on_config_mismatch(path: str, stored: Optional[Dict[str, Any]],
         warnings.warn(
             f"resuming {path} with a different configuration ({details}); "
             "the continued search will not match the original run",
+            RuntimeWarning, stacklevel=3)
+    # Fields the live config has but the checkpoint never recorded: the
+    # checkpoint was written by an older version (e.g. a v2 file from
+    # before the `kernel` knob existed).  The resume must not crash and
+    # must proceed under the live configuration — but say so, because
+    # the original run's behaviour for that knob is unknowable.
+    missing = sorted(
+        name for name in current
+        if name not in _OPERATIONAL_FIELDS and name not in stored)
+    if missing:
+        details = ", ".join(
+            f"{name}={current[name]!r}" for name in missing)
+        warnings.warn(
+            f"checkpoint {path} was written by an older version and does "
+            f"not record {', '.join(missing)}; resuming with the live "
+            f"configuration ({details})",
             RuntimeWarning, stacklevel=3)
 
 

@@ -62,3 +62,33 @@ class ExactSynthesisTimeout(SynthesisError):
 
 class VerificationError(ReproError):
     """Formal verification produced an unexpected/inconsistent outcome."""
+
+
+class EquivalenceViolation(VerificationError):
+    """A synthesized circuit does not realize its specification.
+
+    Raised by the end-of-run result gate when re-simulation or the SAT
+    miter disagrees with the spec.  ``counterexample`` (when known) is
+    the offending input pattern, LSB = input 0.
+    """
+
+    def __init__(self, message: str,
+                 counterexample: "int | None" = None):
+        self.counterexample = counterexample
+        if counterexample is not None:
+            message = f"{message} (counterexample input {counterexample:#x})"
+        super().__init__(message)
+
+
+class VerificationUndecided(VerificationError):
+    """The result gate's SAT check exhausted its budget undecided."""
+
+
+class WorkerPoolError(ReproError):
+    """The offspring-evaluation worker pool failed beyond recovery.
+
+    The engine's :class:`~repro.core.engine.ProcessPoolBackend` retries
+    broken/hung batches and degrades to inline evaluation before ever
+    raising this; it only escapes when even the inline fallback is
+    unavailable.
+    """

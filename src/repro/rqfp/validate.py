@@ -64,6 +64,15 @@ def path_balance_violations(netlist: RqfpNetlist,
             key = ("io", port, o, 0)
         else:
             continue
+        if span < 0:
+            # The driving gate is scheduled after the plan's final
+            # stage — the output would sample a value from the future.
+            # Same class of violation as the gate→gate case above; a
+            # buffer count can never fix it, so report it distinctly.
+            problems.append(
+                f"output {o} sampled from the future (span {span})"
+            )
+            continue
         scheduled = plan.edge_buffers.get(key, 0)
         if scheduled != span:
             problems.append(

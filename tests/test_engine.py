@@ -326,6 +326,45 @@ class TestCheckpointConfigRoundTrip:
                                     slice_generations=10)
 
 
+class TestCheckpointForwardCompat:
+    def test_v2_checkpoint_missing_new_fields_resumes_with_warning(
+            self, tmp_path):
+        # A v2 checkpoint written before newer config knobs existed
+        # (e.g. `kernel`): resuming must not crash on the absent keys —
+        # it warns and proceeds under the live configuration.
+        spec = _decoder_spec()
+        path = str(tmp_path / "old_v2.json")
+        config = RcgpConfig(generations=20, mutation_rate=0.1, seed=4,
+                            shrink="always")
+        save_checkpoint(path, initialize_netlist(spec), 10, config)
+        with open(path) as handle:
+            payload = json.load(handle)
+        for field in ("kernel", "verify_result", "batch_timeout",
+                      "batch_retries"):
+            del payload["config"][field]
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        with pytest.warns(RuntimeWarning, match="does not record .*kernel"):
+            result = evolve_with_checkpoints(spec, config, path,
+                                             slice_generations=10)
+        assert result.fitness.functional
+        _, done = load_checkpoint(path)
+        assert done >= 20  # the resumed slice actually ran and saved
+
+    def test_round_trip_restores_new_fields(self, tmp_path):
+        spec = _decoder_spec()
+        path = str(tmp_path / "new.json")
+        config = RcgpConfig(generations=20, seed=4, verify_result=True,
+                            batch_timeout=1.5, batch_retries=7)
+        save_checkpoint(path, initialize_netlist(spec), 10, config)
+        _, _, stored = load_checkpoint(path, with_config=True)
+        restored = RcgpConfig.from_dict(stored)
+        assert restored.verify_result is True
+        assert restored.batch_timeout == 1.5
+        assert restored.batch_retries == 7
+        assert restored == config
+
+
 class TestMultiStartFullConfig:
     def test_stagnation_limit_survives_fan_out(self):
         # Before the redesign multi_start silently dropped

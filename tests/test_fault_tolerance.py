@@ -1,0 +1,282 @@
+"""Fault tolerance of the process-pool backend and the engine.
+
+The headline guarantee: because pool evaluation is pure, **worker
+crashes, hung workers and pool loss never change results** — a run that
+survived N pool restarts is bit-identical to the same run executed
+serially.  These tests inject real faults (``os._exit`` in workers, a
+wedged worker against ``batch_timeout``) through the engine's
+environment hooks and check both the recovered results and the
+surfaced counters.
+"""
+
+import json
+
+import pytest
+
+import repro.core.engine as engine_mod
+from repro.core.config import RcgpConfig
+from repro.core.engine import (
+    EvolutionRun,
+    ProcessPoolBackend,
+    TelemetryWriter,
+    encode_genome,
+    read_telemetry,
+)
+from repro.core.synthesis import initialize_netlist
+from repro.errors import WorkerPoolError
+from repro.logic.truth_table import tabulate_word
+
+
+def _decoder_spec():
+    return tabulate_word(lambda x: 1 << x, 2, 4)
+
+
+def _run(workers, **overrides):
+    spec = _decoder_spec()
+    kwargs = dict(generations=40, mutation_rate=0.1, seed=11,
+                  offspring=4, shrink="always", workers=workers)
+    kwargs.update(overrides)
+    return EvolutionRun(spec, RcgpConfig(**kwargs)).run()
+
+
+@pytest.fixture
+def reset_worker_globals():
+    """In-process use of the pool worker functions mutates module
+    globals; restore them so later tests see a clean slate."""
+    yield
+    engine_mod._WORKER_EVALUATOR = None
+    engine_mod._WORKER_PARENT = None
+    engine_mod._WORKER_FAULT_COUNTDOWN = None
+    engine_mod._WORKER_FAULT_MODE = ""
+
+
+class TestCrashRecovery:
+    def test_crashing_workers_recovered_bit_identical(self, monkeypatch):
+        serial = _run(workers=0)
+        # Every worker process hard-exits (os._exit, no cleanup) after
+        # its 7th evaluation; at ~2 evaluations per worker per
+        # generation the run must survive several BrokenProcessPool
+        # storms, respawning the pool and re-dispatching each time.
+        monkeypatch.setenv("RCGP_TEST_CRASH_AFTER_EVALS", "7")
+        crashed = _run(workers=2)
+        assert crashed.backend == "process-pool"
+        assert crashed.worker_restarts > 0
+        assert crashed.batches_retried > 0
+        assert not crashed.degraded_to_inline
+        assert crashed.fitness.key() == serial.fitness.key()
+        assert crashed.netlist.describe() == serial.netlist.describe()
+        assert crashed.generations == serial.generations
+
+    def test_exhausted_retries_degrade_to_inline(self, monkeypatch):
+        serial = _run(workers=0)
+        # Workers die on their *first* evaluation and retries are
+        # forbidden: the first batch must degrade the backend, and the
+        # whole run completes inline — still bit-identical.
+        monkeypatch.setenv("RCGP_TEST_CRASH_AFTER_EVALS", "1")
+        degraded = _run(workers=2, batch_retries=0)
+        assert degraded.backend == "process-pool"
+        assert degraded.degraded_to_inline
+        assert degraded.worker_restarts == 0  # no retry budget to spend
+        assert degraded.fitness.key() == serial.fitness.key()
+        assert degraded.netlist.describe() == serial.netlist.describe()
+        assert degraded.evaluations == serial.evaluations
+
+    def test_fault_counters_reach_telemetry(self, monkeypatch, tmp_path):
+        path = tmp_path / "faults.jsonl"
+        monkeypatch.setenv("RCGP_TEST_CRASH_AFTER_EVALS", "7")
+        result = _run(workers=2, telemetry_path=str(path))
+        events = read_telemetry(str(path))
+        faults = [e for e in events if e["event"] == "worker_fault"]
+        assert faults, "no worker_fault events despite injected crashes"
+        assert faults[-1]["worker_restarts"] == result.worker_restarts
+        assert faults[-1]["batches_retried"] == result.batches_retried
+        end = [e for e in events if e["event"] == "run_end"][-1]
+        assert end["worker_restarts"] == result.worker_restarts
+        assert end["degraded_to_inline"] is False
+        assert end["interrupted"] is False
+
+
+class TestHangRecovery:
+    def test_hung_worker_times_out_and_degrades(self, monkeypatch):
+        serial = _run(workers=0, generations=10)
+        # Workers wedge (sleep 600s) on their first evaluation; with a
+        # short batch_timeout and no retries the backend must kill the
+        # hung processes and finish the run inline, well under 600s.
+        monkeypatch.setenv("RCGP_TEST_HANG_AFTER_EVALS", "1")
+        hung = _run(workers=2, generations=10,
+                    batch_timeout=0.5, batch_retries=0)
+        assert hung.degraded_to_inline
+        assert hung.fitness.key() == serial.fitness.key()
+        assert hung.netlist.describe() == serial.netlist.describe()
+
+
+class TestInterrupt:
+    class _InterruptingTelemetry(TelemetryWriter):
+        """Raises KeyboardInterrupt inside the generation loop, exactly
+        where a real SIGINT would land mid-run."""
+
+        def __init__(self, handle, after):
+            super().__init__(handle)
+            self._countdown = after
+
+        def emit(self, event, **fields):
+            super().emit(event, **fields)
+            if event == "generation":
+                self._countdown -= 1
+                if self._countdown == 0:
+                    raise KeyboardInterrupt
+
+    def test_interrupt_returns_best_so_far(self, tmp_path):
+        path = tmp_path / "interrupted.jsonl"
+        spec = _decoder_spec()
+        config = RcgpConfig(generations=200, mutation_rate=0.1, seed=11,
+                            offspring=4, shrink="always", workers=0)
+        with open(path, "w") as handle:
+            telemetry = self._InterruptingTelemetry(handle, after=5)
+            result = EvolutionRun(spec, config,
+                                  telemetry=telemetry).run()
+        assert result.interrupted
+        assert result.generations < 200
+        assert result.fitness.functional
+        events = read_telemetry(str(path))
+        end = [e for e in events if e["event"] == "run_end"]
+        assert end and end[-1]["interrupted"] is True
+
+    def test_interrupt_with_pool_kills_workers(self, tmp_path):
+        path = tmp_path / "interrupted_pool.jsonl"
+        spec = _decoder_spec()
+        config = RcgpConfig(generations=200, mutation_rate=0.1, seed=11,
+                            offspring=4, shrink="always", workers=2)
+        with open(path, "w") as handle:
+            telemetry = self._InterruptingTelemetry(handle, after=3)
+            result = EvolutionRun(spec, config,
+                                  telemetry=telemetry).run()
+        assert result.interrupted
+        assert result.backend == "process-pool"
+        assert result.fitness.functional
+
+
+class TestBackendInternals:
+    def test_uninitialized_worker_raises_typed_error(
+            self, reset_worker_globals):
+        engine_mod._WORKER_EVALUATOR = None
+        with pytest.raises(WorkerPoolError):
+            engine_mod._pool_evaluate([])
+        with pytest.raises(WorkerPoolError):
+            engine_mod._pool_evaluate_deltas((), [])
+
+    def test_batch_counters_not_double_counted_on_retry(self, monkeypatch):
+        # Crash after 3 evaluations with a 5-genome batch on 2 workers:
+        # the first dispatch loses partial progress, the retry (fresh
+        # countdowns, ~3 evals/worker) succeeds.  eval_full must count
+        # the successful dispatch only.
+        monkeypatch.setenv("RCGP_TEST_CRASH_AFTER_EVALS", "3")
+        spec = _decoder_spec()
+        config = RcgpConfig(seed=3)
+        backend = ProcessPoolBackend(spec, config, workers=2)
+        try:
+            genome = encode_genome(initialize_netlist(spec))
+            results = backend.evaluate([genome] * 5)
+            assert len(results) == 5
+            assert all(f.functional for f in results)
+            assert backend.batches_retried >= 1
+            assert backend.eval_full == 5
+        finally:
+            backend.close()
+
+    def test_terminate_is_safe_and_idempotent(self):
+        spec = _decoder_spec()
+        backend = ProcessPoolBackend(spec, RcgpConfig(seed=0), workers=2)
+        backend.terminate()
+        backend.terminate()
+        backend.close()
+
+
+class TestWorkerEpochInvalidation:
+    """The worker-resident parent state must be rebuilt when the
+    worker's own pattern set grows (SAT counterexample feedback)."""
+
+    def _sampled_config(self):
+        # Force sampled simulation: 2-input spec, exhaustive limit 1.
+        return RcgpConfig(seed=5, exhaustive_input_limit=1,
+                          simulation_patterns=32, verify_with_sat=False)
+
+    def test_stale_state_rebuilt_at_chunk_entry(self, reset_worker_globals):
+        spec = _decoder_spec()
+        config = self._sampled_config()
+        engine_mod._pool_initializer([t.bits for t in spec],
+                                     spec[0].num_vars, config.to_dict())
+        evaluator = engine_mod._WORKER_EVALUATOR
+        parent = initialize_netlist(spec)
+        genome = encode_genome(parent)
+        import random as random_mod
+        from repro.core.mutation import mutate_with_delta
+        _, delta = mutate_with_delta(parent, random_mod.Random(1), config)
+
+        engine_mod._pool_evaluate_deltas(genome, [delta])
+        state_before = engine_mod._WORKER_PARENT[2]
+        evaluator.add_counterexample(3)  # pattern set grows: epoch moves
+        assert state_before.epoch != evaluator.pattern_epoch
+        [fit], _ = engine_mod._pool_evaluate_deltas(genome, [delta])
+        assert engine_mod._WORKER_PARENT[2].epoch == evaluator.pattern_epoch
+        child = delta.apply_to(parent)
+        assert fit == (evaluator.evaluate(child).success,
+                       evaluator.evaluate(child).n_r,
+                       evaluator.evaluate(child).n_g,
+                       evaluator.evaluate(child).n_b)
+
+    def test_stale_state_rebuilt_mid_chunk(self, reset_worker_globals):
+        spec = _decoder_spec()
+        config = self._sampled_config()
+        engine_mod._pool_initializer([t.bits for t in spec],
+                                     spec[0].num_vars, config.to_dict())
+        evaluator = engine_mod._WORKER_EVALUATOR
+        parent = initialize_netlist(spec)
+        genome = encode_genome(parent)
+        import random as random_mod
+        from repro.core.mutation import mutate_with_delta
+        deltas = [mutate_with_delta(parent, random_mod.Random(s),
+                                    config)[1] for s in (1, 2, 3)]
+
+        # Grow the pattern set *between deltas of one chunk*, as SAT
+        # counterexample feedback would: wrap evaluate_incremental so
+        # the first call advances the epoch after computing.
+        real = evaluator.evaluate_incremental
+        calls = {"n": 0}
+
+        def growing(child, delta, state=None):
+            fit = real(child, delta, state)
+            calls["n"] += 1
+            if calls["n"] == 1:
+                evaluator.add_counterexample(2)
+            return fit
+
+        evaluator.evaluate_incremental = growing
+        values, _ = engine_mod._pool_evaluate_deltas(genome, deltas)
+        evaluator.evaluate_incremental = real
+        assert engine_mod._WORKER_PARENT[2].epoch == evaluator.pattern_epoch
+        # Every fitness matches full evaluation on the *final* (grown)
+        # pattern set for the deltas evaluated after the growth.
+        for delta, value in list(zip(deltas, values))[1:]:
+            full = evaluator.evaluate(delta.apply_to(parent))
+            assert value == (full.success, full.n_r, full.n_g, full.n_b)
+
+    def test_engine_run_with_sat_growth_under_pool_oracle(
+            self, monkeypatch):
+        # End-to-end: sampled simulation *with* SAT feedback is not
+        # parallel-safe, but an explicitly passed pool backend forces
+        # workers to grow their own pattern sets mid-run.  With the
+        # RCGP_CHECK_INCREMENTAL oracle armed in every worker, any
+        # stale-state reuse fails the run loudly.
+        monkeypatch.setenv("RCGP_CHECK_INCREMENTAL", "1")
+        spec = _decoder_spec()
+        config = RcgpConfig(generations=15, mutation_rate=0.15, seed=9,
+                            offspring=4, shrink="always",
+                            exhaustive_input_limit=1,
+                            simulation_patterns=16)
+        backend = ProcessPoolBackend(spec, config, workers=2)
+        try:
+            result = EvolutionRun(spec, config, backend=backend).run()
+        finally:
+            backend.close()
+        assert result.fitness.functional

@@ -64,6 +64,35 @@ class TestValidateCircuit:
         problems = path_balance_violations(netlist, plan)
         assert any("ig" in p for p in problems)
 
+    def test_negative_gate_span_reported(self):
+        """A plan scheduling a consumer *before* its producer."""
+        netlist = _legal_chain()
+        bad = BufferPlan(levels=[2, 1], depth=2, edge_buffers={},
+                         num_buffers=0)
+        problems = path_balance_violations(netlist, bad)
+        assert any("from the future" in p and "gate 1" in p
+                   for p in problems)
+
+    def test_negative_output_span_reported(self):
+        """A plan whose depth predates the PO's driving gate: the
+        output would sample a value from the future, which no buffer
+        count can fix."""
+        netlist = _legal_chain()
+        bad = BufferPlan(levels=[1, 2], depth=1,
+                         edge_buffers={("gg", 0, 1, 0): 0}, num_buffers=0)
+        problems = path_balance_violations(netlist, bad)
+        future = [p for p in problems if "from the future" in p]
+        assert future == ["output 0 sampled from the future (span -1)"]
+
+    def test_size_mismatch_message_appears_exactly_once(self):
+        netlist = _legal_chain()
+        bad = BufferPlan(levels=[1], depth=1)
+        for report in (path_balance_violations(netlist, bad),
+                       check_circuit(netlist, bad)):
+            assert report == [
+                "plan covers 1 gates, netlist has 2"
+            ]
+
     def test_check_circuit_collects_instead_of_raising(self):
         netlist = RqfpNetlist(1)
         netlist.add_gate(1, 1, CONST_PORT, NORMAL_CONFIG)

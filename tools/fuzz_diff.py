@@ -1,0 +1,248 @@
+"""Differential fuzz harness: flat kernel vs object path vs SAT.
+
+Every round draws a random specification and a random RQFP netlist,
+drives both candidate representations through a random mutation chain,
+and cross-checks every invariant the evolution engine silently relies
+on:
+
+* **genome codec** — ``encode_genome``/``decode_genome``/
+  ``NetlistKernel.from_genome`` round-trip, and
+  ``genome_with_delta(parent, delta) == encode_genome(child)``;
+* **kernel vs object** — simulation, shrink, levels, buffer estimate
+  and fan-out counts agree bit for bit after every mutation;
+* **mutation parity** — the same RNG stream mutates the kernel and the
+  object netlist into the same chromosome;
+* **incremental vs full** — cone-aware incremental fitness equals full
+  re-simulation for both representations;
+* **SAT vs exhaustive simulation** — ``check_against_tables`` agrees
+  with exhaustive truth-table comparison, UNSAT and SAT legs both, and
+  returned counterexamples actually distinguish the circuits;
+* **legality** — splitter insertion yields a fan-out-legal netlist
+  whose scheduled buffer plan passes ``validate_circuit`` /
+  ``check_circuit`` cleanly.
+
+Usage::
+
+    PYTHONPATH=src python tools/fuzz_diff.py --seed 0 --rounds 50
+    PYTHONPATH=src python tools/fuzz_diff.py --seed 0 --only 17  # replay
+
+Any mismatch prints a replay command, writes a ``fuzz_replay_*.json``
+artifact (uploaded by CI on failure) and exits non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.config import RcgpConfig                      # noqa: E402
+from repro.core.engine import (decode_genome, encode_genome,   # noqa: E402
+                               genome_with_delta)
+from repro.core.fitness import Evaluator                       # noqa: E402
+from repro.core.kernel import NetlistKernel                    # noqa: E402
+from repro.core.mutation import mutate_with_delta              # noqa: E402
+from repro.logic.truth_table import TruthTable                 # noqa: E402
+from repro.rqfp.buffers import estimate_buffers                # noqa: E402
+from repro.rqfp.netlist import RqfpNetlist                     # noqa: E402
+from repro.rqfp.splitters import insert_splitters              # noqa: E402
+from repro.rqfp.validate import check_circuit, validate_circuit  # noqa: E402
+from repro.sat.equivalence import check_against_tables         # noqa: E402
+
+NUM_CONFIGS = 512
+MUTATION_STEPS = 6
+
+
+class Mismatch(AssertionError):
+    """A differential invariant failed."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise Mismatch(message)
+
+
+def round_rng(seed: int, round_index: int) -> random.Random:
+    """Independent, well-mixed RNG stream for one fuzz round."""
+    data = f"fuzz:{seed}:{round_index}".encode()
+    digest = hashlib.blake2b(data, digest_size=8).digest()
+    return random.Random(int.from_bytes(digest, "big"))
+
+
+def random_spec(rng: random.Random, num_vars: int,
+                num_outputs: int) -> list:
+    full = (1 << (1 << num_vars)) - 1
+    return [TruthTable(num_vars, rng.getrandbits(1 << num_vars) & full)
+            for _ in range(num_outputs)]
+
+
+def random_netlist(rng: random.Random, num_inputs: int,
+                   num_gates: int, num_outputs: int) -> RqfpNetlist:
+    netlist = RqfpNetlist(num_inputs, "fuzz")
+    for g in range(num_gates):
+        limit = netlist.first_gate_port(g)  # const + PIs + earlier gates
+        netlist.add_gate(rng.randrange(limit), rng.randrange(limit),
+                         rng.randrange(limit),
+                         rng.randrange(NUM_CONFIGS))
+    for _ in range(num_outputs):
+        netlist.add_output(rng.randrange(netlist.num_ports()))
+    return netlist
+
+
+def check_kernel_vs_object(netlist: RqfpNetlist, kernel: NetlistKernel,
+                           words, mask) -> None:
+    _check(encode_genome(netlist) == kernel.to_genome(),
+           "genome: kernel and object encodings differ")
+    _check(kernel.simulate(words, mask) == netlist.simulate(words, mask),
+           "simulate: kernel diverged from object netlist")
+    _check(kernel.shrink().to_genome()
+           == NetlistKernel.from_netlist(netlist.shrink()).to_genome(),
+           "shrink: kernel diverged from object netlist")
+    _check(kernel.levels() == netlist.levels(),
+           "levels: kernel diverged from object netlist")
+    _check(kernel.estimate_buffers() == estimate_buffers(netlist),
+           "buffer estimate: kernel diverged from object netlist")
+    _check(kernel.fanout_counts_flat() == netlist.fanout_counts_flat(),
+           "fan-out counts: kernel diverged from object netlist")
+
+
+def check_codec(netlist: RqfpNetlist) -> None:
+    genome = encode_genome(netlist)
+    _check(encode_genome(decode_genome(genome)) == genome,
+           "codec: decode/encode round trip changed the genome")
+    _check(NetlistKernel.from_genome(genome).to_genome() == genome,
+           "codec: kernel from_genome/to_genome changed the genome")
+
+
+def check_incremental(evaluator: Evaluator, parent, child, delta) -> None:
+    state = evaluator.prepare_parent(parent)
+    incremental = evaluator.evaluate_incremental(child, delta, state)
+    full = evaluator.evaluate(child)
+    _check(incremental.key() == full.key(),
+           f"incremental fitness {incremental} != full fitness {full}")
+
+
+def check_sat_vs_simulation(netlist: RqfpNetlist, spec) -> None:
+    result = check_against_tables(netlist.encoder(), spec)
+    expected = netlist.to_truth_tables() == list(spec)
+    _check(result.equivalent is not None,
+           "SAT: budget exhausted on a tiny miter")
+    _check(result.equivalent == expected,
+           f"SAT said equivalent={result.equivalent}, exhaustive "
+           f"simulation says {expected}")
+    if result.equivalent is False:
+        pattern = result.counterexample
+        _check(pattern is not None, "SAT: inequivalent without model")
+        tables = netlist.to_truth_tables()
+        _check(any(t.value(pattern) != s.value(pattern)
+                   for t, s in zip(tables, spec)),
+               f"SAT counterexample {pattern:#x} does not distinguish "
+               "the circuits")
+
+
+def check_legality(netlist: RqfpNetlist) -> None:
+    legal = insert_splitters(netlist)
+    _check(legal.fanout_violations() == [],
+           "insert_splitters left fan-out violations")
+    _check(legal.to_truth_tables() == netlist.to_truth_tables(),
+           "insert_splitters changed the function")
+    plan = validate_circuit(legal)  # raises on any design-rule violation
+    _check(check_circuit(legal, plan) == [],
+           "check_circuit disagrees with validate_circuit")
+
+
+def run_round(seed: int, round_index: int) -> None:
+    rng = round_rng(seed, round_index)
+    num_inputs = rng.randint(1, 4)
+    num_outputs = rng.randint(1, 3)
+    num_gates = rng.randint(1, 10)
+
+    spec = random_spec(rng, num_inputs, num_outputs)
+    netlist = random_netlist(rng, num_inputs, num_gates, num_outputs)
+    kernel = NetlistKernel.from_netlist(netlist)
+    config = RcgpConfig(seed=round_index, mutation_rate=0.3,
+                        max_mutated_genes=4)
+    evaluator = Evaluator(spec, config)
+    words, mask = evaluator._words, evaluator._mask
+
+    check_codec(netlist)
+    check_kernel_vs_object(netlist, kernel, words, mask)
+    check_sat_vs_simulation(netlist, spec)
+    check_legality(netlist)
+    # The UNSAT leg: a spec the netlist realizes by construction.
+    check_sat_vs_simulation(netlist, netlist.to_truth_tables())
+
+    parent_obj, parent_ker = netlist, kernel
+    for step in range(MUTATION_STEPS):
+        mutation_seed = rng.getrandbits(48)
+        child_obj, delta_obj = mutate_with_delta(
+            parent_obj, random.Random(mutation_seed), config)
+        child_ker, delta_ker = mutate_with_delta(
+            parent_ker, random.Random(mutation_seed), config)
+        _check(delta_obj == delta_ker,
+               f"step {step}: mutation deltas diverged across "
+               "representations")
+        _check(encode_genome(child_obj) == child_ker.to_genome(),
+               f"step {step}: mutated genomes diverged across "
+               "representations")
+        _check(genome_with_delta(encode_genome(parent_obj), delta_obj)
+               == encode_genome(child_obj),
+               f"step {step}: genome_with_delta != encode(child)")
+        check_kernel_vs_object(child_obj, child_ker, words, mask)
+        check_incremental(evaluator, parent_obj, child_obj, delta_obj)
+        check_incremental(evaluator, parent_ker, child_ker, delta_ker)
+        check_legality(child_obj)
+        parent_obj, parent_ker = child_obj, child_ker
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Differential fuzzing of kernel/object/incremental/"
+                    "SAT/legality invariants.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed (each round derives its own "
+                             "stream; default 0)")
+    parser.add_argument("--rounds", type=int, default=50,
+                        help="number of fuzz rounds (default 50)")
+    parser.add_argument("--only", type=int, default=None, metavar="ROUND",
+                        help="replay a single round index")
+    parser.add_argument("--artifact-dir", default=".",
+                        help="where to write fuzz_replay_*.json on "
+                             "failure (default: cwd)")
+    args = parser.parse_args(argv)
+
+    rounds = [args.only] if args.only is not None else range(args.rounds)
+    failures = 0
+    for round_index in rounds:
+        try:
+            run_round(args.seed, round_index)
+        except Exception as exc:  # mismatch OR unexpected crash: both bugs
+            failures += 1
+            replay = (f"PYTHONPATH=src python tools/fuzz_diff.py "
+                      f"--seed {args.seed} --only {round_index}")
+            print(f"FAIL round {round_index}: {type(exc).__name__}: {exc}")
+            print(f"  replay: {replay}")
+            artifact = os.path.join(
+                args.artifact_dir, f"fuzz_replay_{round_index}.json")
+            with open(artifact, "w") as handle:
+                json.dump({"seed": args.seed, "round": round_index,
+                           "error": f"{type(exc).__name__}: {exc}",
+                           "replay": replay}, handle, indent=2)
+            print(f"  artifact: {artifact}")
+    total = len(list(rounds))
+    if failures:
+        print(f"{failures}/{total} rounds failed")
+        return 1
+    print(f"all {total} rounds clean "
+          f"(seed {args.seed}, {MUTATION_STEPS} mutations/round)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
