@@ -4,12 +4,19 @@
 A from-scratch reproduction of Fu, Wille & Ho, DAC 2024.  The public API
 re-exports the pieces a downstream user needs:
 
->>> from repro import rcgp_synthesize, RcgpConfig
+>>> from repro import synthesize, RcgpConfig
 >>> from repro.bench import get_benchmark
 >>> spec = get_benchmark("decoder_2_4").spec()
->>> result = rcgp_synthesize(spec, RcgpConfig(generations=2000, seed=7))
+>>> result = synthesize(spec, RcgpConfig(generations=2000, seed=7))
 >>> result.verify()
 True
+
+Many specs, shared workers, resumable state — use a
+:class:`~repro.api.Session` (see ``docs/api_overview.md``):
+
+>>> from repro import Session
+>>> with Session(store="runs/", workers=8) as session:   # doctest: +SKIP
+...     result = session.synthesize("designs/decod24.real")
 
 Subpackages
 -----------
@@ -22,10 +29,12 @@ Subpackages
 ``repro.exact``      SAT-based exact synthesis (baseline 2)
 ``repro.io``         BLIF / AIGER / Verilog / PLA / .real / JSON
 ``repro.reversible`` MCT/MCF reversible-circuit substrate
+``repro.jobs``       multi-job scheduler with persistent job store
 ``repro.bench``      every Table-1/2 benchmark as executable spec
 ``repro.harness``    experiment harness regenerating the tables
 """
 
+from .api import Session, synthesize
 from .core.config import RcgpConfig
 from .core.engine import EvolutionRun, TelemetryWriter, read_telemetry
 from .core.evolution import EvolutionResult, evolve
@@ -53,14 +62,21 @@ from .errors import (
 )
 from .exact.synthesizer import ExactResult, exact_synthesize
 from .flow import load_spec, synthesize_file
+from .jobs import Job, JobSpec, JobStore, Scheduler
 from .logic.truth_table import TruthTable, tabulate_word
 from .rqfp.metrics import CircuitCost
 from .rqfp.netlist import RqfpNetlist
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "synthesize",
+    "Session",
+    "Job",
+    "JobSpec",
+    "JobStore",
+    "Scheduler",
     "RcgpConfig",
     "rcgp_synthesize",
     "initialize_netlist",

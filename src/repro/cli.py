@@ -4,6 +4,7 @@ Subcommands::
 
     rcgp synth  design.{v,blif,aag,pla,real}  [-o out.json] [options]
     rcgp bench  <testcase> [options]          # one registry benchmark
+    rcgp batch  <target> [...] --store DIR    # scheduled, resumable jobs
     rcgp exact  <testcase> [options]          # exact baseline
     rcgp table  {1,2} [testcase ...]          # paper table harness
     rcgp list                                 # registry contents
@@ -12,21 +13,47 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from .api import Session, synthesize
 from .bench.registry import BENCHMARKS, get_benchmark
 from .core.config import RcgpConfig
-from .core.synthesis import rcgp_synthesize
 from .errors import ExactSynthesisTimeout, ReproError
 from .exact.synthesizer import exact_synthesize
-from .flow import synthesize_file
 from .harness.report import compare_with_paper, format_rows
 from .harness.runner import HarnessConfig, run_table
 from .io.rqfp_json import write_rqfp_json
 
 
-def _add_rcgp_options(parser: argparse.ArgumentParser) -> None:
+def _add_engine_options(parser: argparse.ArgumentParser, *,
+                        telemetry_help: str = "write per-generation JSONL "
+                        "telemetry events to this file") -> None:
+    """The option group every evolution-running subcommand shares."""
+    group = parser.add_argument_group("engine options")
+    group.add_argument("--workers", type=int, default=0,
+                       help="offspring-evaluation processes (0/1 inline; "
+                            "N>1 uses a persistent pool, bit-identical "
+                            "results for a fixed seed)")
+    group.add_argument("--kernel", choices=("flat", "object"),
+                       default="flat",
+                       help="inner-loop genome representation: flat "
+                            "structure-of-arrays kernel (default) or the "
+                            "object netlist; results are bit-identical")
+    group.add_argument("--telemetry", metavar="PATH", default=None,
+                       help=telemetry_help)
+    group.add_argument("--batch-timeout", type=float, default=None,
+                       help="seconds before a pool offspring batch is "
+                            "declared hung and re-dispatched to a fresh "
+                            "pool (default: wait forever)")
+    group.add_argument("--batch-retries", type=int, default=2,
+                       help="re-dispatches of a lost/hung batch before "
+                            "the run degrades to inline evaluation "
+                            "(default 2)")
+
+
+def _add_search_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--generations", type=int, default=10_000,
                         help="CGP generation budget N (default 10000)")
     parser.add_argument("--offspring", type=int, default=4,
@@ -44,31 +71,17 @@ def _add_rcgp_options(parser: argparse.ArgumentParser) -> None:
                                              "never"), default="always")
     parser.add_argument("--time-budget", type=float, default=None,
                         help="wall-clock cap in seconds")
-    parser.add_argument("--workers", type=int, default=0,
-                        help="offspring-evaluation processes (0/1 inline; "
-                             "N>1 uses a persistent pool, bit-identical "
-                             "results for a fixed seed)")
-    parser.add_argument("--telemetry", metavar="PATH", default=None,
-                        help="write per-generation JSONL telemetry events")
-    parser.add_argument("--kernel", choices=("flat", "object"),
-                        default="flat",
-                        help="inner-loop genome representation: flat "
-                             "structure-of-arrays kernel (default) or the "
-                             "object netlist; results are bit-identical")
     parser.add_argument("--verify", action="store_true",
                         help="end-of-run result gate: re-simulate the "
                              "final netlist on the object path, check "
                              "RQFP legality (fan-out + path balancing) "
                              "and SAT-prove spec equivalence; violations "
                              "abort with a typed error")
-    parser.add_argument("--batch-timeout", type=float, default=None,
-                        help="seconds before a pool offspring batch is "
-                             "declared hung and re-dispatched to a fresh "
-                             "pool (default: wait forever)")
-    parser.add_argument("--batch-retries", type=int, default=2,
-                        help="re-dispatches of a lost/hung batch before "
-                             "the run degrades to inline evaluation "
-                             "(default 2)")
+
+
+def _add_rcgp_options(parser: argparse.ArgumentParser) -> None:
+    _add_search_options(parser)
+    _add_engine_options(parser)
 
 
 def _config_from(args: argparse.Namespace) -> RcgpConfig:
@@ -119,7 +132,7 @@ def _print_result(result, verbose: bool) -> None:
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
-    result = synthesize_file(args.design, _config_from(args))
+    result = synthesize(args.design, _config_from(args))
     _print_result(result, args.verbose)
     if args.output:
         with open(args.output, "w") as handle:
@@ -139,7 +152,7 @@ def _resolve_spec(testcase: str):
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     spec, name = _resolve_spec(args.testcase)
-    result = rcgp_synthesize(spec, _config_from(args), name=name)
+    result = synthesize(spec, _config_from(args), name=name)
     _print_result(result, args.verbose)
     if args.output:
         with open(args.output, "w") as handle:
@@ -169,12 +182,64 @@ def _cmd_exact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Scheduled, resumable synthesis of many targets over one store.
+
+    Each target is a design file path or a registry/extra benchmark
+    name.  Jobs are keyed by content hash in the store: re-running the
+    same command serves finished jobs without re-evaluation and resumes
+    interrupted ones from their last checkpoint.  Exit status: 0 all
+    done, 1 a job failed, 3 ``--max-ticks`` exhausted with work left.
+    """
+    config = _config_from(args)
+    with Session(args.store, workers=args.workers,
+                 quantum=args.quantum) as session:
+        jobs = []
+        for target in args.targets:
+            if os.path.exists(target):
+                job = session.submit(target, config)
+            else:
+                spec, name = _resolve_spec(target)
+                job = session.submit(spec, config, name=name)
+            jobs.append(job)
+        served = {job.id for job in jobs if job.from_store}
+        session.run(max_ticks=args.max_ticks)
+        failed = unfinished = 0
+        for job in jobs:
+            state = job.state
+            label = job.name or job.id
+            if state == "done":
+                result = job.result()
+                marker = "  [from store]" if job.id in served else ""
+                print(f"{label:<16} done    {result.cost}{marker}")
+            elif state == "failed":
+                failed += 1
+                print(f"{label:<16} failed  {job.record.get('error')}")
+            else:
+                unfinished += 1
+                print(f"{label:<16} {state:<7} "
+                      f"generation {job.generations_done}")
+    if failed:
+        return 1
+    return 3 if unfinished else 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     config = HarnessConfig.from_env()
     if args.generations is not None:
         config.generations = args.generations
     if args.no_exact:
         config.run_exact = False
+    if args.workers:
+        config.workers = args.workers
+    if args.kernel != "flat":
+        config.kernel = args.kernel
+    if args.telemetry is not None:
+        config.telemetry_dir = args.telemetry
+    if args.store is not None:
+        config.store_dir = args.store
+    config.batch_timeout = args.batch_timeout
+    config.batch_retries = args.batch_retries
     rows = run_table(args.table, config, args.testcases or None)
     title = ("Table 1 — small RevLib circuits" if args.table == 1 else
              "Table 2 — large RevLib + reciprocal circuits")
@@ -289,6 +354,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_rcgp_options(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
+    p_batch = sub.add_parser(
+        "batch", help="scheduled, resumable synthesis of many targets")
+    p_batch.add_argument("targets", nargs="+",
+                         help="design files and/or benchmark names")
+    p_batch.add_argument("--store", metavar="DIR", default=None,
+                         help="job store directory; enables resume after "
+                              "a kill and serves finished jobs without "
+                              "re-running (default: in-memory)")
+    p_batch.add_argument("--quantum", type=int, default=1000,
+                         help="generations per job per scheduler tick "
+                              "(fair-share + checkpoint granularity, "
+                              "default 1000)")
+    p_batch.add_argument("--max-ticks", type=int, default=None,
+                         help="stop after this many scheduler ticks "
+                              "(exit 3 if work remains; for testing "
+                              "and incremental draining)")
+    _add_rcgp_options(p_batch)
+    p_batch.set_defaults(func=_cmd_batch, seed=2024)
+    p_batch.epilog = ("--seed defaults to 2024 here (not random): the "
+                      "job identity hash includes the seed, so a stable "
+                      "default is what makes re-invocations resume "
+                      "instead of starting over.")
+
     p_exact = sub.add_parser("exact", help="exact baseline on a benchmark")
     p_exact.add_argument("testcase")
     p_exact.add_argument("--conflicts", type=int, default=200_000)
@@ -301,6 +389,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument("testcases", nargs="*")
     p_table.add_argument("--generations", type=int, default=None)
     p_table.add_argument("--no-exact", action="store_true")
+    p_table.add_argument("--store", metavar="DIR", default=None,
+                         help="job store directory: interrupted table "
+                              "runs resume at the first unfinished row")
+    _add_engine_options(p_table, telemetry_help="directory for per-"
+                        "benchmark JSONL telemetry files")
     p_table.set_defaults(func=_cmd_table)
 
     p_verify = sub.add_parser(

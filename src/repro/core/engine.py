@@ -309,14 +309,17 @@ _WORKER_FAULT_MODE = ""
 
 _Counters = Tuple[int, int, int]  # (eval_full, eval_incremental, ports)
 
+#: Everything a recoverable batch loss can look like: a worker crashed
+#: or was OOM-killed (BrokenExecutor), a batch overran its deadline, or
+#: the IPC pipe died underneath the future.  Shared by every pool owner
+#: (ProcessPoolBackend, the job scheduler's shared pool).
+RECOVERABLE_POOL_ERRORS = (BrokenExecutorError, FuturesTimeoutError,
+                           TimeoutError, OSError, EOFError)
 
-def _pool_initializer(spec_bits: List[int], num_vars: int,
-                      config_dict: Dict[str, object]) -> None:
-    global _WORKER_EVALUATOR, _WORKER_PARENT
+
+def install_fault_injection() -> None:
+    """Arm the worker-side fault hooks from the environment (test use)."""
     global _WORKER_FAULT_COUNTDOWN, _WORKER_FAULT_MODE
-    spec = [TruthTable(num_vars, bits) for bits in spec_bits]
-    _WORKER_EVALUATOR = Evaluator(spec, RcgpConfig.from_dict(config_dict))
-    _WORKER_PARENT = None
     import os
     for mode, variable in (("crash", "RCGP_TEST_CRASH_AFTER_EVALS"),
                            ("hang", "RCGP_TEST_HANG_AFTER_EVALS")):
@@ -325,6 +328,15 @@ def _pool_initializer(spec_bits: List[int], num_vars: int,
             _WORKER_FAULT_COUNTDOWN = int(value)
             _WORKER_FAULT_MODE = mode
             break
+
+
+def _pool_initializer(spec_bits: List[int], num_vars: int,
+                      config_dict: Dict[str, object]) -> None:
+    global _WORKER_EVALUATOR, _WORKER_PARENT
+    spec = [TruthTable(num_vars, bits) for bits in spec_bits]
+    _WORKER_EVALUATOR = Evaluator(spec, RcgpConfig.from_dict(config_dict))
+    _WORKER_PARENT = None
+    install_fault_injection()
 
 
 def _maybe_inject_fault() -> None:
@@ -405,6 +417,63 @@ def _pool_evaluate_deltas(parent_genome: Genome,
                  after[2] - before[2])
 
 
+def kill_executor(pool) -> None:
+    """Tear a ProcessPoolExecutor down *now*, hung workers included.
+
+    ``shutdown()`` alone joins worker processes, which never returns for
+    a wedged worker — kill them first.  ``_processes`` is stable CPython
+    executor internals; falling back to an empty dict just means
+    ``shutdown()`` does the (slower) work alone.
+    """
+    if pool is None:
+        return
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def chunk_evenly(items: Sequence, workers: int) -> List[List]:
+    """Split a batch into at most ``workers`` contiguous, even chunks."""
+    items = list(items)
+    n = min(workers, len(items))
+    size, extra = divmod(len(items), n)
+    chunks, at = [], 0
+    for i in range(n):
+        width = size + (1 if i < extra else 0)
+        chunks.append(items[at:at + width])
+        at += width
+    return chunks
+
+
+def collect_chunk_results(futures, timeout: Optional[float]) \
+        -> Tuple[List[Fitness], _Counters]:
+    """Gather chunk results under one shared deadline.
+
+    Counters are committed by the caller only once the whole batch
+    succeeded (a retry must not double-count the lost batch's partial
+    progress).
+    """
+    results: List[Fitness] = []
+    totals = [0, 0, 0]
+    deadline = None if timeout is None else time.monotonic() + timeout
+    for future in futures:
+        remaining = None
+        if deadline is not None:
+            remaining = max(0.0, deadline - time.monotonic())
+        values, counters = future.result(timeout=remaining)
+        results.extend(Fitness(*v) for v in values)
+        for i in range(3):
+            totals[i] += counters[i]
+    return results, (totals[0], totals[1], totals[2])
+
+
 class ProcessPoolBackend:
     """Persistent process pool; workers hold a pre-built evaluator.
 
@@ -430,6 +499,9 @@ class ProcessPoolBackend:
     """
 
     name = "process-pool"
+    #: Evaluations run in worker processes, invisible to the master
+    #: evaluator's counters — the engine adds them back per batch.
+    remote_evaluations = True
 
     def __init__(self, spec: Sequence[TruthTable], config: RcgpConfig,
                  workers: int):
@@ -467,22 +539,7 @@ class ProcessPoolBackend:
     def _kill_pool(self) -> None:
         """Tear the pool down *now*, hung workers included."""
         pool, self._pool = self._pool, None
-        if pool is None:
-            return
-        # shutdown() alone joins worker processes, which never returns
-        # for a wedged worker — kill them first.  _processes is stable
-        # CPython executor internals; falling back to an empty dict just
-        # means shutdown() does the (slower) work alone.
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
-            try:
-                process.kill()
-            except Exception:
-                pass
-        try:
-            pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:
-            pass
+        kill_executor(pool)
 
     def terminate(self) -> None:
         """Immediate shutdown (SIGINT path): kill workers, cancel work."""
@@ -518,24 +575,6 @@ class ProcessPoolBackend:
 
     # -- batch dispatch with recovery ----------------------------------
 
-    def _collect(self, futures, timeout: Optional[float]) \
-            -> Tuple[List[Fitness], _Counters]:
-        """Gather chunk results; counters are committed by the caller
-        only once the whole batch succeeded (a retry must not
-        double-count the lost batch's partial progress)."""
-        results: List[Fitness] = []
-        totals = [0, 0, 0]
-        deadline = None if timeout is None else time.monotonic() + timeout
-        for future in futures:
-            remaining = None
-            if deadline is not None:
-                remaining = max(0.0, deadline - time.monotonic())
-            values, counters = future.result(timeout=remaining)
-            results.extend(Fitness(*v) for v in values)
-            for i in range(3):
-                totals[i] += counters[i]
-        return results, (totals[0], totals[1], totals[2])
-
     def _run_batch(self, submit) -> Optional[List[Fitness]]:
         """Dispatch one batch with bounded fault recovery.
 
@@ -551,12 +590,11 @@ class ProcessPoolBackend:
         while True:
             try:
                 futures = submit(self._pool)
-                results, counters = self._collect(futures, timeout)
+                results, counters = collect_chunk_results(futures, timeout)
             except (KeyboardInterrupt, SystemExit):
                 self._kill_pool()
                 raise
-            except (BrokenExecutorError, FuturesTimeoutError, TimeoutError,
-                    OSError, EOFError):
+            except RECOVERABLE_POOL_ERRORS:
                 self._kill_pool()
                 if attempt >= retries:
                     # Recovery exhausted: degrade for the rest of the
@@ -618,14 +656,7 @@ class ProcessPoolBackend:
         return results
 
     def _chunk(self, items: List) -> List[List]:
-        n = min(self.workers, len(items))
-        size, extra = divmod(len(items), n)
-        chunks, at = [], 0
-        for i in range(n):
-            width = size + (1 if i < extra else 0)
-            chunks.append(items[at:at + width])
-            at += width
-        return chunks
+        return chunk_evenly(items, self.workers)
 
 
 def parallel_safe(evaluator: Evaluator, config: RcgpConfig) -> bool:
@@ -650,20 +681,30 @@ class TelemetryWriter:
 
     One JSON object per line; every event carries an ``"event"`` tag
     (``run_start`` / ``generation`` / ``run_end``).  Consumed by the CLI
-    (``--telemetry``), the harness (``RCGP_BENCH_TELEMETRY_DIR``) and
-    any external dashboard that can tail a file.
+    (``--telemetry``), the harness (``RCGP_BENCH_TELEMETRY_DIR``), the
+    job scheduler (per-job files under the :class:`repro.jobs.JobStore`)
+    and any external dashboard that can tail a file.
+
+    ``job_id`` namespaces every event with a ``"job_id"`` field so
+    multiple jobs in one process never produce ambiguous streams, and
+    ``mode="a"`` appends instead of truncating — a resumed job keeps
+    one continuous event history across process restarts.
     """
 
-    def __init__(self, path_or_file):
+    def __init__(self, path_or_file, *, mode: str = "w",
+                 job_id: Optional[str] = None):
+        self.job_id = job_id
         if hasattr(path_or_file, "write"):
             self._handle: IO[str] = path_or_file
             self._owns = False
         else:
-            self._handle = open(path_or_file, "w")
+            self._handle = open(path_or_file, mode)
             self._owns = True
 
     def emit(self, event: str, **fields: object) -> None:
-        record = {"event": event}
+        record: Dict[str, object] = {"event": event}
+        if self.job_id is not None:
+            record["job_id"] = self.job_id
         record.update(fields)
         self._handle.write(json.dumps(record) + "\n")
         self._handle.flush()
@@ -843,6 +884,10 @@ class EvolutionRun:
 
         delta_eval = getattr(backend, "evaluate_deltas", None)
         incremental = config.incremental_eval and delta_eval is not None
+        # Backends whose evaluations happen in other processes (the
+        # run-private pool, the scheduler's shared pool) never touch the
+        # master evaluator's counters; the engine adds them back.
+        remote = getattr(backend, "remote_evaluations", False)
         pool_evaluations = 0
         # Connectivity view of the current parent, built lazily and
         # *shared* across the brood: mutate_with_delta(rollback=True)
@@ -875,8 +920,7 @@ class EvolutionRun:
         # and nothing at all without telemetry).
         interrupted = False
         last_faults = (0, 0, False) \
-            if telemetry is not None and \
-            isinstance(backend, ProcessPoolBackend) else None
+            if telemetry is not None and remote else None
 
         try:
             try:
@@ -916,7 +960,7 @@ class EvolutionRun:
                             fitnesses = list(backend.evaluate(
                                 [genome_with_delta(parent_genome, delta)
                                  for _, delta in children]))
-                        if isinstance(backend, ProcessPoolBackend):
+                        if remote:
                             pool_evaluations += len(children)
                     else:
                         fitnesses: List[Optional[Fitness]] = \
@@ -949,7 +993,7 @@ class EvolutionRun:
                                     [miss_children[g] for g in miss_order])
                             else:
                                 evaluated = backend.evaluate(miss_order)
-                            if isinstance(backend, ProcessPoolBackend):
+                            if remote:
                                 pool_evaluations += len(miss_order)
                             for genome, fitness in zip(miss_order, evaluated):
                                 for slot in miss_slots[genome]:

@@ -8,11 +8,12 @@ infrastructure like this is what makes such runs operable:
   the **full** run configuration after every slice so a killed run
   resumes where it stopped (and warns when resumed under a different
   configuration);
-* :func:`multi_start` — independent restarts with different seeds
-  (optionally across processes), keeping the best result; the cheap,
-  embarrassingly parallel way to spend extra cores on a stochastic
-  optimizer.  The configuration fans out to workers via
-  :meth:`RcgpConfig.to_dict`, so every field survives the trip.
+* :func:`multi_start` — independent restarts with different seeds,
+  keeping the best result; the cheap, embarrassingly parallel way to
+  spend extra cores on a stochastic optimizer.  Each start is one job
+  on the :class:`repro.jobs.Scheduler`, so starts share one worker
+  budget, duplicate seeds evaluate once, and a disk-backed store makes
+  the whole portfolio resumable.
 """
 
 from __future__ import annotations
@@ -20,14 +21,17 @@ from __future__ import annotations
 import json
 import os
 import warnings
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
 from ..io.rqfp_json import netlist_from_dict, netlist_to_dict
 from ..logic.truth_table import TruthTable
 from ..rqfp.netlist import RqfpNetlist
 from .config import RcgpConfig
 from .engine import EvolutionResult, EvolutionRun
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..jobs import JobStore
 
 CHECKPOINT_FORMAT = "rcgp-checkpoint"
 CHECKPOINT_VERSION = 2
@@ -187,45 +191,39 @@ def evolve_with_checkpoints(spec: Sequence[TruthTable],
     return total_result
 
 
-def _one_start(args) -> Tuple[dict, tuple, int]:
-    """Process-pool worker: run one seed, return a portable result."""
-    spec_bits, num_vars, config_dict, seed, name = args
-    spec = [TruthTable(num_vars, bits) for bits in spec_bits]
-    # Per-start overrides: each start gets its own seed, evaluates its
-    # own offspring inline (no nested pools) and keeps telemetry off —
-    # one sink cannot serve concurrent writers.
-    config = RcgpConfig.from_dict({**config_dict, "seed": seed,
-                                   "workers": 0, "telemetry_path": None})
-    result = EvolutionRun(spec, config, name=name).run()
-    return (netlist_to_dict(result.netlist), result.fitness.key(),
-            result.evaluations)
-
-
 def multi_start(spec: Sequence[TruthTable], seeds: Sequence[int],
                 config: Optional[RcgpConfig] = None,
                 parallel: bool = False,
-                name: str = "") -> Tuple[RqfpNetlist, List[tuple]]:
+                name: str = "",
+                store: Optional["JobStore"] = None) \
+        -> Tuple[RqfpNetlist, List[tuple]]:
     """Independent evolution restarts; returns (best netlist, all keys).
 
-    With ``parallel`` the starts run in a process pool (the netlists,
-    specs and the *complete* configuration serialize through JSON/ints,
-    so no pickling surprises and no silently dropped fields).
+    A thin client of the :class:`repro.jobs.Scheduler`: each seed is one
+    job.  With ``parallel`` the jobs share a worker pool sized to the
+    machine; duplicate seeds map to the same job and are evaluated once.
+    Passing a disk-backed ``store`` makes the whole portfolio resumable
+    (and re-runs of finished seeds come straight from the store).
     """
     spec = list(spec)
     if not seeds:
         raise ValueError("need at least one seed")
     config = config or RcgpConfig(generations=2000, mutation_rate=0.08,
                                   max_mutated_genes=8, shrink="always")
-    config_dict = config.to_dict()
-    jobs = [([t.bits for t in spec], spec[0].num_vars, config_dict,
-             seed, name) for seed in seeds]
-    if parallel and len(seeds) > 1:
-        with ProcessPoolExecutor(max_workers=min(len(seeds),
-                                                 os.cpu_count() or 1)) as pool:
-            outcomes = list(pool.map(_one_start, jobs))
-    else:
-        outcomes = [_one_start(job) for job in jobs]
-    keys = [outcome[1] for outcome in outcomes]
-    best_index = max(range(len(outcomes)), key=lambda i: keys[i])
-    best = netlist_from_dict(outcomes[best_index][0])
+    from ..jobs import Scheduler
+    workers = min(len(set(seeds)), os.cpu_count() or 1) \
+        if parallel and len(seeds) > 1 else 0
+    with Scheduler(store, workers=workers) as scheduler:
+        # Per-start overrides: each start gets its own seed and keeps
+        # telemetry off — one sink cannot serve concurrent writers.
+        jobs = [scheduler.submit(
+                    spec,
+                    config.replace(seed=seed, workers=0,
+                                   telemetry_path=None),
+                    name=name)
+                for seed in seeds]
+        scheduler.run()
+        keys = [job.result().evolution.fitness.key() for job in jobs]
+        best_index = max(range(len(jobs)), key=lambda i: keys[i])
+        best = jobs[best_index].result().netlist
     return best, keys

@@ -13,6 +13,7 @@ runs the full flow.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -27,7 +28,7 @@ from ..rqfp.metrics import CircuitCost, circuit_cost
 from ..rqfp.netlist import RqfpNetlist
 from ..rqfp.splitters import insert_splitters
 from .config import RcgpConfig
-from .evolution import EvolutionResult, evolve
+from .evolution import EvolutionResult
 
 
 @dataclass
@@ -82,26 +83,14 @@ def rcgp_synthesize(spec: Sequence[TruthTable],
                     initial: Optional[RqfpNetlist] = None) -> SynthesisResult:
     """Run the complete RCGP flow on a truth-table specification.
 
-    ``initial`` lets callers supply a pre-built legal netlist (e.g. from
-    a parsed design); otherwise the standard initialization runs.
+    .. deprecated:: 1.1
+        Use :func:`repro.api.synthesize`, which accepts the same
+        arguments (plus design-file paths and shared sessions) and
+        returns bit-identical results.  This shim forwards there.
     """
-    spec = list(spec)
-    config = config or RcgpConfig()
-    start = time.monotonic()
-    if initial is None:
-        baseline = baseline_initialization(spec, name)
-    else:
-        plan = optimal_levels(initial)
-        baseline = BaselineResult(initial, plan, circuit_cost(initial, plan))
-    evolution = evolve(baseline.netlist, spec, config)
-    final = evolution.netlist
-    plan = optimal_levels(final)
-    cost = circuit_cost(final, plan, runtime=time.monotonic() - start)
-    return SynthesisResult(
-        netlist=final,
-        plan=plan,
-        cost=cost,
-        initial=baseline,
-        evolution=evolution,
-        spec=spec,
-    )
+    warnings.warn(
+        "rcgp_synthesize is deprecated; use repro.api.synthesize "
+        "(same arguments, same results, plus sessions and job reuse)",
+        DeprecationWarning, stacklevel=2)
+    from ..api import synthesize
+    return synthesize(list(spec), config, name=name, initial=initial)

@@ -9,10 +9,11 @@ the programmatic counterpart of the ``rcgp`` command-line tool.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import List, Optional, Tuple
 
 from .core.config import RcgpConfig
-from .core.synthesis import SynthesisResult, rcgp_synthesize
+from .core.synthesis import SynthesisResult
 from .errors import ParseError
 from .io import (read_aiger, read_bench, read_blif, read_pla,
                  read_real, read_verilog)
@@ -52,6 +53,15 @@ def load_spec(path: str) -> Tuple[List[TruthTable], str]:
 
 def synthesize_file(path: str,
                     config: Optional[RcgpConfig] = None) -> SynthesisResult:
-    """End-to-end: design file → optimized, buffered RQFP circuit."""
-    tables, name = load_spec(path)
-    return rcgp_synthesize(tables, config, name=name)
+    """End-to-end: design file → optimized, buffered RQFP circuit.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.api.synthesize`, which accepts file paths
+        directly (and shared sessions).  This shim forwards there.
+    """
+    warnings.warn(
+        "synthesize_file is deprecated; use repro.api.synthesize, "
+        "which accepts design-file paths directly",
+        DeprecationWarning, stacklevel=2)
+    from .api import synthesize
+    return synthesize(path, config)

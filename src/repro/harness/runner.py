@@ -20,9 +20,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..api import Session
 from ..bench.registry import Benchmark, get_benchmark, table_benchmarks
 from ..core.config import RcgpConfig
-from ..core.synthesis import rcgp_synthesize
 from ..errors import ExactSynthesisTimeout
 from ..exact.synthesizer import exact_synthesize
 from ..rqfp.metrics import CircuitCost, circuit_cost, garbage_lower_bound
@@ -57,6 +57,10 @@ class HarnessConfig:
     workers: int = 0
     telemetry_dir: Optional[str] = None
     incremental: bool = True
+    kernel: str = "flat"
+    store_dir: Optional[str] = None
+    batch_timeout: Optional[float] = None
+    batch_retries: int = 2
 
     @classmethod
     def from_env(cls) -> "HarnessConfig":
@@ -78,6 +82,8 @@ class HarnessConfig:
             workers=_env_int("RCGP_BENCH_WORKERS", base.workers),
             telemetry_dir=os.environ.get("RCGP_BENCH_TELEMETRY_DIR") or None,
             incremental=_env_int("RCGP_BENCH_INCREMENTAL", 1) != 0,
+            kernel=os.environ.get("RCGP_BENCH_KERNEL") or base.kernel,
+            store_dir=os.environ.get("RCGP_BENCH_STORE") or None,
         )
 
     def rcgp_config(self, scale: float = 1.0,
@@ -98,6 +104,9 @@ class HarnessConfig:
             workers=self.workers,
             telemetry_path=telemetry_path,
             incremental_eval=self.incremental,
+            kernel=self.kernel,
+            batch_timeout=self.batch_timeout,
+            batch_retries=self.batch_retries,
         )
 
 
@@ -128,15 +137,47 @@ class ExperimentRow:
         }
 
 
+def _rcgp_for(benchmark: Benchmark, config: HarnessConfig,
+              gen_scale: float, rcgp: Optional[RcgpConfig]) -> RcgpConfig:
+    """The evolution config for one row.
+
+    An explicit ``rcgp`` config is authoritative for the search; the
+    env-derived :class:`HarnessConfig` then only supplies the exact-
+    synthesis budgets and run flags.  Without one, the legacy env
+    overlay builds the config as before.
+    """
+    if rcgp is None:
+        return config.rcgp_config(gen_scale, benchmark_name=benchmark.name)
+    if gen_scale != 1.0:
+        rcgp = rcgp.replace(
+            generations=max(1, int(rcgp.generations * gen_scale)))
+    return rcgp
+
+
 def run_benchmark(benchmark: Benchmark, config: Optional[HarnessConfig] = None,
-                  gen_scale: float = 1.0) -> ExperimentRow:
-    """Produce one table row for a benchmark."""
+                  gen_scale: float = 1.0, *,
+                  rcgp: Optional[RcgpConfig] = None,
+                  session: Optional[Session] = None) -> ExperimentRow:
+    """Produce one table row for a benchmark.
+
+    The RCGP flow runs as a scheduler job through ``session`` (one is
+    created from ``config.store_dir``/``config.workers`` when not
+    given); with a disk-backed store, a row that already completed under
+    the same configuration is served from the store without re-running.
+    """
     config = config or HarnessConfig.from_env()
     spec = benchmark.spec()
+    rcgp_config = _rcgp_for(benchmark, config, gen_scale, rcgp)
 
-    result = rcgp_synthesize(
-        spec, config.rcgp_config(gen_scale, benchmark_name=benchmark.name),
-        name=benchmark.name)
+    owned: Optional[Session] = None
+    if session is None:
+        owned = session = Session(config.store_dir,
+                                  workers=rcgp_config.workers)
+    try:
+        result = session.synthesize(spec, rcgp_config, name=benchmark.name)
+    finally:
+        if owned is not None:
+            owned.close()
     if not result.verify():
         raise AssertionError(f"{benchmark.name}: RCGP result failed verification")
 
@@ -172,10 +213,27 @@ def run_benchmark(benchmark: Benchmark, config: Optional[HarnessConfig] = None,
 
 def run_table(table: int, config: Optional[HarnessConfig] = None,
               names: Optional[List[str]] = None,
-              gen_scale: float = 1.0) -> List[ExperimentRow]:
-    """All rows of one paper table (optionally a named subset)."""
+              gen_scale: float = 1.0, *,
+              rcgp: Optional[RcgpConfig] = None,
+              session: Optional[Session] = None) -> List[ExperimentRow]:
+    """All rows of one paper table (optionally a named subset).
+
+    All rows share one scheduling session (and so one worker pool and
+    one store); interrupted table runs over a disk-backed store resume
+    at the first unfinished row.
+    """
     config = config or HarnessConfig.from_env()
     benchmarks = table_benchmarks(table)
     if names is not None:
         benchmarks = [get_benchmark(n) for n in names]
-    return [run_benchmark(b, config, gen_scale) for b in benchmarks]
+    owned: Optional[Session] = None
+    if session is None:
+        workers = rcgp.workers if rcgp is not None else config.workers
+        owned = session = Session(config.store_dir, workers=workers)
+    try:
+        return [run_benchmark(b, config, gen_scale, rcgp=rcgp,
+                              session=session)
+                for b in benchmarks]
+    finally:
+        if owned is not None:
+            owned.close()

@@ -12,8 +12,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..api import Session, synthesize
 from ..core.config import RcgpConfig
-from ..core.synthesis import rcgp_synthesize
 from ..logic.truth_table import TruthTable
 
 
@@ -70,8 +70,14 @@ class SeedSweep:
 
 def seed_sweep(spec: Sequence[TruthTable], seeds: Sequence[int],
                config_factory: Optional[Callable[[int], RcgpConfig]] = None,
-               name: str = "") -> SeedSweep:
-    """Run the full RCGP flow once per seed and summarize the costs."""
+               name: str = "",
+               session: Optional[Session] = None) -> SeedSweep:
+    """Run the full RCGP flow once per seed and summarize the costs.
+
+    One scheduler job per seed; a shared ``session`` (e.g. over a
+    disk-backed store) makes interrupted sweeps resumable and repeated
+    seeds free.
+    """
     spec = list(spec)
     seeds = list(seeds)
     if not seeds:
@@ -83,7 +89,8 @@ def seed_sweep(spec: Sequence[TruthTable], seeds: Sequence[int],
                               shrink="always")
     per_seed: Dict[int, Dict[str, int]] = {}
     for seed in seeds:
-        result = rcgp_synthesize(spec, config_factory(seed), name=name)
+        result = synthesize(spec, config_factory(seed), name=name,
+                            session=session)
         if not result.verify():
             raise AssertionError(f"seed {seed}: result failed verification")
         cost = result.cost

@@ -1,0 +1,329 @@
+"""One worker pool, many jobs: the scheduler's shared evaluation budget.
+
+The engine's :class:`~repro.core.engine.ProcessPoolBackend` spawns one
+pool *per run* and bakes one spec into every worker.  Under the
+scheduler that would mean pool-per-job; instead a single
+:class:`SharedWorkerPool` outlives every job and its workers keep a
+small LRU of per-job evaluators, so interleaved evaluation batches from
+different jobs reuse warm worker state.  Each job's
+:class:`EvolutionRun` slice talks to the pool through a throwaway
+:class:`JobBackend` adapter that
+
+* satisfies the engine's ``EvaluationBackend`` protocol (including the
+  incremental ``evaluate_deltas`` entry point and the fault/eval
+  counters the engine reads per run),
+* reuses the engine's batch fault-recovery machinery — a crashed or
+  hung batch kills and respawns the *shared* pool and re-dispatches,
+  with per-job retry budgets, and
+* degrades to per-job inline evaluation when recovery is exhausted, so
+  one broken machine state never aborts the whole batch of jobs.
+
+Purity guarantees are unchanged from the single-run pool: only
+parallel-safe jobs (exhaustive simulation, or seeded sampling without
+SAT feedback) are ever routed here, so every re-dispatched batch is
+bit-identical to the lost one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import engine as _engine
+from ..core.config import RcgpConfig
+from ..core.engine import (Genome, InlineBackend, chunk_evenly,
+                           collect_chunk_results, kill_executor,
+                           RECOVERABLE_POOL_ERRORS)
+from ..core.fitness import Evaluator, Fitness
+from ..core.mutation import MutationDelta
+from ..logic.truth_table import TruthTable
+
+#: Portable per-chunk job context: (job_id, spec bits, num_vars, config
+#: dict).  Small relative to the genomes it rides along with, and only
+#: decoded worker-side on the first chunk of a new job.
+JobContext = Tuple[str, Tuple[int, ...], int, Dict[str, object]]
+
+#: Worker-side evaluator cache size.  Evaluators hold pattern words and
+#: compiled kernels; a handful of live jobs is the common case and
+#: evicted jobs just rebuild on their next chunk.
+_WORKER_JOB_CACHE = 8
+
+# Worker-side state: per-job evaluators and resident parents, keyed by
+# job id.  Mirrors the single-job globals in repro.core.engine.
+_JOB_EVALUATORS: "OrderedDict[str, Evaluator]" = OrderedDict()
+_JOB_PARENTS: Dict[str, tuple] = {}
+
+
+def _shared_initializer() -> None:
+    _JOB_EVALUATORS.clear()
+    _JOB_PARENTS.clear()
+    _engine.install_fault_injection()
+
+
+def _evaluator_for(ctx: JobContext) -> Evaluator:
+    job_id, spec_bits, num_vars, config_dict = ctx
+    evaluator = _JOB_EVALUATORS.get(job_id)
+    if evaluator is None:
+        spec = [TruthTable(num_vars, bits) for bits in spec_bits]
+        evaluator = Evaluator(spec, RcgpConfig.from_dict(config_dict))
+        _JOB_EVALUATORS[job_id] = evaluator
+        while len(_JOB_EVALUATORS) > _WORKER_JOB_CACHE:
+            evicted, _ = _JOB_EVALUATORS.popitem(last=False)
+            _JOB_PARENTS.pop(evicted, None)
+    _JOB_EVALUATORS.move_to_end(job_id)
+    return evaluator
+
+
+def _job_evaluate(ctx: JobContext, genomes: Sequence[Genome]):
+    evaluator = _evaluator_for(ctx)
+    before = _engine._counters(evaluator)
+    out = []
+    for genome in genomes:
+        _engine._maybe_inject_fault()
+        fit = evaluator.evaluate(
+            _engine._decode_candidate(genome, evaluator))
+        out.append((fit.success, fit.n_r, fit.n_g, fit.n_b))
+    after = _engine._counters(evaluator)
+    return out, (after[0] - before[0], after[1] - before[1],
+                 after[2] - before[2])
+
+
+def _job_evaluate_deltas(ctx: JobContext, parent_genome: Genome,
+                         deltas: Sequence[MutationDelta]):
+    job_id = ctx[0]
+    evaluator = _evaluator_for(ctx)
+    resident = _JOB_PARENTS.get(job_id)
+    if resident is None or resident[0] != parent_genome \
+            or resident[2].epoch != evaluator.pattern_epoch:
+        parent = _engine._decode_candidate(parent_genome, evaluator)
+        resident = (parent_genome, parent, evaluator.prepare_parent(parent))
+        _JOB_PARENTS[job_id] = resident
+    _, parent, state = resident
+    before = _engine._counters(evaluator)
+    out = []
+    for delta in deltas:
+        _engine._maybe_inject_fault()
+        if state.epoch != evaluator.pattern_epoch:
+            # SAT counterexample grew this worker's pattern set
+            # mid-chunk: rebuild the resident state (same policy as the
+            # single-job pool worker).
+            resident = (parent_genome, parent,
+                        evaluator.prepare_parent(parent))
+            _JOB_PARENTS[job_id] = resident
+            state = resident[2]
+        fit = evaluator.evaluate_incremental(delta.apply_to(parent),
+                                             delta, state)
+        out.append((fit.success, fit.n_r, fit.n_g, fit.n_b))
+    after = _engine._counters(evaluator)
+    return out, (after[0] - before[0], after[1] - before[1],
+                 after[2] - before[2])
+
+
+class SharedWorkerPool:
+    """A lazily spawned process pool shared by every scheduled job.
+
+    Owns only pool lifecycle and batch recovery; which job a batch
+    belongs to travels in the :data:`JobContext` of each chunk.
+    Recovery mirrors :class:`~repro.core.engine.ProcessPoolBackend`:
+    a lost batch (worker crash, hang past the deadline, dead pipe)
+    kills the pool, respawns it and re-dispatches, up to the retry
+    budget of the job that submitted it; when retries are exhausted the
+    pool is marked ``degraded`` and every job falls back to inline
+    evaluation for the rest of the session.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 2:
+            raise ValueError("SharedWorkerPool needs workers >= 2")
+        self.workers = workers
+        self.worker_restarts = 0
+        self.batches_retried = 0
+        self.degraded = False
+        self._pool = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_shared_initializer)
+        return self._pool
+
+    def _kill_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        kill_executor(pool)
+
+    def terminate(self) -> None:
+        """Immediate shutdown: kill workers, cancel queued work."""
+        self._kill_pool()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # -- batch dispatch with recovery ----------------------------------
+
+    def run_batch(self, submit, timeout: Optional[float],
+                  retries: int):
+        """Dispatch one batch with bounded fault recovery.
+
+        ``submit`` is ``(pool) -> futures``.  Returns ``(fitnesses,
+        counters)`` or ``None`` once the pool has degraded — the caller
+        then evaluates inline.
+        """
+        if self.degraded:
+            return None
+        attempt = 0
+        while True:
+            try:
+                futures = submit(self._ensure_pool())
+                return collect_chunk_results(futures, timeout)
+            except (KeyboardInterrupt, SystemExit):
+                self._kill_pool()
+                raise
+            except RECOVERABLE_POOL_ERRORS:
+                self._kill_pool()
+                if attempt >= retries:
+                    self.degraded = True
+                    return None
+                attempt += 1
+                self.batches_retried += 1
+                self.worker_restarts += 1
+                try:
+                    self._ensure_pool()
+                except OSError:
+                    self.degraded = True
+                    return None
+
+
+class JobBackend:
+    """Per-slice ``EvaluationBackend`` adapter over the shared pool.
+
+    Created fresh for every scheduler tick so the eval/fault counters
+    the engine reads off the backend are slice-local, while the pool
+    (and the worker-resident evaluators) persist across slices and
+    jobs.  ``batch_timeout``/``batch_retries`` come from the job's own
+    config, so fault budgets stay per-job even on shared hardware.
+    """
+
+    name = "shared-pool"
+    remote_evaluations = True
+
+    def __init__(self, pool: SharedWorkerPool, ctx: JobContext,
+                 spec: Sequence[TruthTable], config: RcgpConfig):
+        self._sp = pool
+        self._ctx = ctx
+        self._spec = list(spec)
+        self._config = config
+        self.eval_full = 0
+        self.eval_incremental = 0
+        self.ports_resimulated = 0
+        self._restarts_at = pool.worker_restarts
+        self._retried_at = pool.batches_retried
+        self._inline: Optional[InlineBackend] = None
+        self._fallback_evaluator: Optional[Evaluator] = None
+
+    # Slice-local views of the shared recovery counters.
+    @property
+    def worker_restarts(self) -> int:
+        return self._sp.worker_restarts - self._restarts_at
+
+    @property
+    def batches_retried(self) -> int:
+        return self._sp.batches_retried - self._retried_at
+
+    @property
+    def degraded(self) -> bool:
+        return self._sp.degraded
+
+    # -- inline degradation (same construction as the pool workers, so
+    # -- degrading cannot change results in any parallel-safe mode) ----
+
+    def _inline_backend(self) -> InlineBackend:
+        if self._inline is None:
+            self._fallback_evaluator = Evaluator(self._spec, self._config)
+            self._inline = InlineBackend(self._fallback_evaluator)
+        return self._inline
+
+    def _run_inline(self, call) -> List[Fitness]:
+        backend = self._inline_backend()
+        evaluator = self._fallback_evaluator
+        before = _engine._counters(evaluator)
+        out = call(backend)
+        after = _engine._counters(evaluator)
+        self.eval_full += after[0] - before[0]
+        self.eval_incremental += after[1] - before[1]
+        self.ports_resimulated += after[2] - before[2]
+        return out
+
+    def _commit(self, counters) -> None:
+        self.eval_full += counters[0]
+        self.eval_incremental += counters[1]
+        self.ports_resimulated += counters[2]
+
+    # -- the EvaluationBackend surface ---------------------------------
+
+    def evaluate(self, genomes: Sequence[Genome]) -> List[Fitness]:
+        genomes = list(genomes)
+        if not genomes:
+            return []
+        ctx = self._ctx
+        chunks = chunk_evenly(genomes, self._sp.workers)
+        out = self._sp.run_batch(
+            lambda pool: [pool.submit(_job_evaluate, ctx, chunk)
+                          for chunk in chunks],
+            self._config.batch_timeout, self._config.batch_retries)
+        if out is None:
+            return self._run_inline(lambda b: b.evaluate(genomes))
+        results, counters = out
+        self._commit(counters)
+        return results
+
+    def evaluate_deltas(self, parent_genome: Genome,
+                        deltas: Sequence[MutationDelta],
+                        children: Optional[Sequence] = None) \
+            -> List[Fitness]:
+        deltas = list(deltas)
+        if not deltas:
+            return []
+        ctx = self._ctx
+        chunks = chunk_evenly(deltas, self._sp.workers)
+        out = self._sp.run_batch(
+            lambda pool: [pool.submit(_job_evaluate_deltas, ctx,
+                                      parent_genome, chunk)
+                          for chunk in chunks],
+            self._config.batch_timeout, self._config.batch_retries)
+        if out is None:
+            return self._run_inline(
+                lambda b: b.evaluate_deltas(parent_genome, deltas,
+                                            children))
+        results, counters = out
+        self._commit(counters)
+        return results
+
+    def close(self) -> None:
+        # The shared pool outlives the slice; nothing to release here.
+        pass
+
+
+def parallel_safe_config(num_inputs: int, config: RcgpConfig) -> bool:
+    """Pool-safety of a job, decidable without building an evaluator.
+
+    Mirrors :func:`repro.core.engine.parallel_safe`: exhaustive
+    simulation is pure; sampled simulation is pure iff seeded and free
+    of SAT counterexample feedback.
+    """
+    if num_inputs <= config.exhaustive_input_limit:
+        return True
+    return not config.verify_with_sat and config.seed is not None
+
+
+__all__ = [
+    "JobBackend",
+    "JobContext",
+    "SharedWorkerPool",
+    "parallel_safe_config",
+]

@@ -1,0 +1,503 @@
+"""The multi-job synthesis scheduler.
+
+Many independent synthesis jobs — a multi-start portfolio, a Table-1/2
+benchmark sweep, a ``rcgp batch`` invocation — share one machine.  The
+:class:`Scheduler` runs them against a single global worker budget and
+a persistent :class:`~repro.jobs.store.JobStore`:
+
+* **Fair-share interleaving.**  Each live job advances one *slice* (at
+  most ``quantum`` generations) per scheduler tick, round-robin, so no
+  job starves and every job's offspring batches flow through the same
+  :class:`~repro.jobs.pool.SharedWorkerPool` instead of spawning a pool
+  per job.  Slices are seeded ``config.seed + generations_done`` —
+  exactly the :func:`repro.core.restart.evolve_with_checkpoints`
+  contract — so a job's trajectory is a function of its own spec,
+  config and seed alone: results are bit-identical whether the job runs
+  alone or interleaved with any number of others.
+* **Persistence & resume.**  After every slice the incumbent is
+  checkpointed to the store (atomically).  A killed process loses at
+  most one slice; a new scheduler over the same store re-runs that
+  slice deterministically and converges to the identical final result.
+* **Store-served results.**  A completed job's artifact is written once
+  and re-submitting the same :class:`~repro.jobs.spec.JobSpec` (same
+  spec hash) returns it without any re-evaluation.
+* **Fault tolerance.**  Worker crashes and hangs inside a slice are
+  recovered by the engine's batch retry machinery through the shared
+  pool; recovery counters are accumulated per job in the store.
+
+``quantum=None`` (the default) runs each job's whole remaining budget
+in a single slice — no mid-job checkpoint granularity, but byte-for-byte
+the legacy single-run semantics, which is what the one-shot
+:func:`repro.api.synthesize` facade uses.
+"""
+
+from __future__ import annotations
+
+import random as _random
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import RcgpConfig
+from ..core.engine import (EvolutionResult, EvolutionRun, TelemetryWriter)
+from ..core.fitness import Fitness
+from ..core.synthesis import (BaselineResult, SynthesisResult,
+                              baseline_initialization)
+from ..errors import ReproError
+from ..logic.truth_table import TruthTable
+from ..rqfp.buffer_opt import optimal_levels
+from ..rqfp.metrics import CircuitCost, circuit_cost
+from ..rqfp.netlist import RqfpNetlist
+from ..io.rqfp_json import netlist_from_dict, netlist_to_dict
+from .pool import JobBackend, SharedWorkerPool, parallel_safe_config
+from .spec import (JobSpec, spec_tables_from_payload,
+                   spec_tables_to_payload)
+from .store import DONE, FAILED, JobStore, PENDING, RUNNING
+
+_COUNTER_FIELDS = ("evaluations", "sat_calls", "cache_hits", "eval_full",
+                   "eval_incremental", "ports_resimulated",
+                   "worker_restarts", "batches_retried")
+
+
+def _fitness_fields(fitness: Fitness) -> List[float]:
+    return [fitness.success, fitness.n_r, fitness.n_g, fitness.n_b]
+
+
+def _cost_fields(cost: CircuitCost) -> Dict[str, float]:
+    return {"n_r": cost.n_r, "n_b": cost.n_b, "n_d": cost.n_d,
+            "n_g": cost.n_g, "runtime": cost.runtime}
+
+
+def result_from_payload(payload: Dict[str, object]) -> SynthesisResult:
+    """Rebuild a :class:`SynthesisResult` from a stored job artifact.
+
+    Netlists and scalar statistics are stored verbatim; buffer plans
+    are recomputed (``optimal_levels`` is deterministic), and the
+    improvement ``history`` is not persisted.
+    """
+    netlist = netlist_from_dict(payload["netlist"])
+    plan = optimal_levels(netlist)
+    baseline_net = netlist_from_dict(payload["baseline"]["netlist"])
+    baseline = BaselineResult(
+        baseline_net, optimal_levels(baseline_net),
+        CircuitCost(**payload["baseline"]["cost"]))
+    evolution = EvolutionResult(
+        netlist=netlist,
+        fitness=Fitness(*payload["fitness"]),
+        initial_fitness=Fitness(*payload["initial_fitness"]),
+        generations=int(payload["generations"]),
+        evaluations=int(payload["evaluations"]),
+        runtime=float(payload["runtime"]),
+        sat_calls=int(payload["sat_calls"]),
+        cache_hits=int(payload["cache_hits"]),
+        backend=str(payload["backend"]),
+        eval_full=int(payload["eval_full"]),
+        eval_incremental=int(payload["eval_incremental"]),
+        ports_resimulated=int(payload["ports_resimulated"]),
+        worker_restarts=int(payload["worker_restarts"]),
+        batches_retried=int(payload["batches_retried"]),
+        degraded_to_inline=bool(payload["degraded_to_inline"]),
+        verified=bool(payload.get("verified", False)),
+    )
+    return SynthesisResult(
+        netlist=netlist,
+        plan=plan,
+        cost=CircuitCost(**payload["cost"]),
+        initial=baseline,
+        evolution=evolution,
+        spec=spec_tables_from_payload(payload["spec"]),
+    )
+
+
+class Job:
+    """Handle to one scheduled job (live or served from the store)."""
+
+    def __init__(self, scheduler: "Scheduler", spec: JobSpec):
+        self._scheduler = scheduler
+        self.spec = spec
+        self.id = spec.job_id
+        self.name = spec.name
+        self._live_result: Optional[SynthesisResult] = None
+        # Cross-slice merge of this process's EvolutionResults; only
+        # trusted when every slice ran here (no foreign checkpoint).
+        self._live_evolution: Optional[EvolutionResult] = None
+        self._live_ok = True
+
+    @property
+    def record(self) -> Dict[str, object]:
+        return self._scheduler.store.load_record(self.id) or {}
+
+    @property
+    def state(self) -> str:
+        return str(self.record.get("state", PENDING))
+
+    @property
+    def generations_done(self) -> int:
+        checkpoint = self._scheduler.store.load_checkpoint(self.id)
+        return 0 if checkpoint is None else checkpoint[1]
+
+    @property
+    def from_store(self) -> bool:
+        """Whether this job was already complete when submitted."""
+        return self._live_result is None and self.state == DONE
+
+    def result(self) -> SynthesisResult:
+        """The finished artifact; raises if the job is not done."""
+        if self._live_result is not None:
+            return self._live_result
+        record = self.record
+        state = record.get("state", PENDING)
+        if state == FAILED:
+            raise ReproError(
+                f"job {self.name or self.id} failed: {record.get('error')}")
+        payload = self._scheduler.store.load_result(self.id)
+        if payload is None:
+            raise ReproError(
+                f"job {self.name or self.id} is not finished "
+                f"(state={state!r}); run the scheduler first")
+        return result_from_payload(payload)
+
+
+class Scheduler:
+    """Round-robin multi-job scheduler over one shared worker budget.
+
+    Parameters
+    ----------
+    store:
+        The persistent artifact store; ``None`` uses an in-memory store
+        (no resume across processes, results still served within the
+        session).
+    workers:
+        Global offspring-evaluation budget shared by *all* jobs.  ``0``
+        or ``1`` evaluates inline; ``N > 1`` routes every parallel-safe
+        job's batches through one :class:`SharedWorkerPool` of ``N``
+        processes.
+    quantum:
+        Generations per job per tick.  ``None`` runs each job's whole
+        remaining budget in one slice (legacy single-run semantics);
+        a finite quantum buys mid-job checkpoints and fair-share
+        interleaving at slice granularity.
+    """
+
+    def __init__(self, store: Optional[JobStore] = None, *,
+                 workers: int = 0, quantum: Optional[int] = None):
+        if quantum is not None and quantum < 1:
+            raise ValueError("quantum must be >= 1 (or None)")
+        self.store = store if store is not None else JobStore(None)
+        self.workers = workers
+        self.quantum = quantum
+        self._jobs: Dict[str, Job] = {}
+        self._pool: Optional[SharedWorkerPool] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _shared_pool(self) -> SharedWorkerPool:
+        if self._pool is None:
+            self._pool = SharedWorkerPool(self.workers)
+        return self._pool
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, spec: Sequence[TruthTable],
+               config: Optional[RcgpConfig] = None, *,
+               name: str = "",
+               initial: Optional[RqfpNetlist] = None) -> Job:
+        """Register one job; completed work is recognized immediately.
+
+        A ``config.seed`` of ``None`` is replaced by fresh OS entropy
+        (recorded in the store) so the job stays resumable.
+        """
+        config = config or RcgpConfig()
+        if config.seed is None:
+            config = config.replace(
+                seed=_random.SystemRandom().getrandbits(48))
+        jobspec = JobSpec(tuple(spec), config, name=name, initial=initial)
+        job_id = jobspec.job_id
+        existing = self._jobs.get(job_id)
+        if existing is not None:
+            return existing
+        job = Job(self, jobspec)
+        record = self.store.load_record(job_id)
+        if record is None or record.get("state") not in (DONE, FAILED,
+                                                         RUNNING):
+            record = self._fresh_record(jobspec)
+            self.store.save_record(job_id, record)
+        elif record.get("state") == FAILED:
+            # A failed job is retried from its last checkpoint.
+            record["state"] = RUNNING if self.store.load_checkpoint(job_id) \
+                else PENDING
+            record["error"] = None
+            self.store.save_record(job_id, record)
+        self._jobs[job_id] = job
+        return job
+
+    def _fresh_record(self, jobspec: JobSpec) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "job_id": jobspec.job_id,
+            "name": jobspec.name,
+            "state": PENDING,
+            "seed": jobspec.config.seed,
+            "spec": spec_tables_to_payload(jobspec.spec),
+            "config": jobspec.config.to_dict(),
+            "error": None,
+            "slices": 0,
+            "runtime": 0.0,
+            "backend": "inline",
+            "degraded": False,
+            "submitted_at": time.time(),
+        }
+        for field in _COUNTER_FIELDS:
+            record[field] = 0
+        return record
+
+    # -- the scheduling loop -------------------------------------------
+
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())
+
+    def pending(self) -> List[Job]:
+        return [job for job in self._jobs.values()
+                if job.state in (PENDING, RUNNING)]
+
+    def run(self, *, max_ticks: Optional[int] = None) -> List[Job]:
+        """Drive all submitted jobs to completion, round-robin.
+
+        ``max_ticks`` bounds the number of slices executed (testing /
+        kill-and-resume hooks); the default runs until every job is
+        done or failed.
+        """
+        ticks = 0
+        while True:
+            runnable = self.pending()
+            if not runnable:
+                break
+            for job in runnable:
+                if max_ticks is not None and ticks >= max_ticks:
+                    return self.jobs()
+                self._tick(job)
+                ticks += 1
+        return self.jobs()
+
+    def results(self) -> Dict[str, SynthesisResult]:
+        """``job_id -> SynthesisResult`` for every finished job."""
+        return {job.id: job.result() for job in self._jobs.values()
+                if job.state == DONE}
+
+    # -- one slice -----------------------------------------------------
+
+    def _tick(self, job: Job) -> None:
+        record = self.store.load_record(job.id) or \
+            self._fresh_record(job.spec)
+        config = job.spec.config
+        spec = list(job.spec.spec)
+        telemetry = None
+        try:
+            checkpoint = self.store.load_checkpoint(job.id)
+            resuming = checkpoint is not None \
+                and job._live_evolution is None
+            if checkpoint is not None:
+                incumbent, done = checkpoint
+            else:
+                incumbent, done = self._start_job(job, record), 0
+            if done > 0 and job._live_evolution is None:
+                # Resumed from another process's checkpoint: the live
+                # merge would miss earlier slices, so the finished job
+                # serves its result from the store instead.
+                job._live_ok = False
+            telemetry = self._telemetry_for(job, fresh=checkpoint is None)
+            if telemetry is not None:
+                if checkpoint is None:
+                    telemetry.emit("job_start", name=job.name,
+                                   seed=config.seed,
+                                   generations=config.generations,
+                                   quantum=self.quantum,
+                                   workers=self.workers)
+                elif resuming:
+                    telemetry.emit("job_resume", generations_done=done,
+                                   generations=config.generations)
+
+            remaining = config.generations - done
+            budget = remaining if self.quantum is None \
+                else min(self.quantum, remaining)
+            slice_config = config.replace(
+                generations=budget,
+                seed=config.seed + done,
+                workers=0, telemetry_path=None)
+            backend = None
+            if self.workers > 1 and budget > 0 and \
+                    parallel_safe_config(spec[0].num_vars, slice_config):
+                ctx = (f"{job.id}@{done}",
+                       tuple(t.bits for t in spec), spec[0].num_vars,
+                       slice_config.to_dict())
+                backend = JobBackend(self._shared_pool(), ctx, spec,
+                                     slice_config)
+            result = EvolutionRun(spec, slice_config, initial=incumbent,
+                                  name=job.name, telemetry=telemetry,
+                                  backend=backend).run()
+            done += result.generations
+            self.store.save_checkpoint(job.id, result.netlist, done, config)
+            self._accumulate(record, result, done)
+            job._live_evolution = self._merge_live(
+                job._live_evolution, result, done)
+            finished = done >= config.generations \
+                or result.generations < budget or result.interrupted
+            if telemetry is not None:
+                telemetry.emit("job_slice", slice=record["slices"],
+                               generations_done=done,
+                               budget=budget, backend=result.backend,
+                               best_key=list(result.fitness.key()))
+            if finished:
+                self._finalize(job, record, result, done, telemetry)
+            else:
+                record["state"] = RUNNING
+                self.store.save_record(job.id, record)
+        except ReproError as exc:
+            record["state"] = FAILED
+            record["error"] = str(exc)
+            self.store.save_record(job.id, record)
+            if telemetry is not None:
+                telemetry.emit("job_failed", error=str(exc))
+        finally:
+            if telemetry is not None:
+                telemetry.close()
+
+    def _start_job(self, job: Job, record: Dict[str, object]) \
+            -> RqfpNetlist:
+        """First slice: produce and persist the initialization baseline."""
+        spec = list(job.spec.spec)
+        if job.spec.initial is not None:
+            incumbent = job.spec.initial
+            plan = optimal_levels(incumbent)
+            baseline = BaselineResult(incumbent, plan,
+                                      circuit_cost(incumbent, plan))
+        else:
+            baseline = baseline_initialization(spec, job.name)
+            incumbent = baseline.netlist
+        self.store.save_baseline(job.id, {
+            "netlist": netlist_to_dict(baseline.netlist),
+            "cost": _cost_fields(baseline.cost),
+        })
+        return incumbent
+
+    def _accumulate(self, record: Dict[str, object],
+                    result: EvolutionResult, done: int) -> None:
+        for field in _COUNTER_FIELDS:
+            record[field] = int(record.get(field, 0)) + \
+                getattr(result, field)
+        record["runtime"] = float(record.get("runtime", 0.0)) + \
+            result.runtime
+        record["slices"] = int(record.get("slices", 0)) + 1
+        record["backend"] = result.backend
+        record["degraded"] = bool(record.get("degraded")) or \
+            result.degraded_to_inline
+        record["generations_done"] = done
+        record["fitness"] = _fitness_fields(result.fitness)
+        if "initial_fitness" not in record:
+            record["initial_fitness"] = \
+                _fitness_fields(result.initial_fitness)
+
+    def _merge_live(self, total: Optional[EvolutionResult],
+                    result: EvolutionResult,
+                    done: int) -> EvolutionResult:
+        """Keep a live, cross-slice EvolutionResult for this process.
+
+        The in-memory merge preserves everything the store drops
+        (improvement history, interrupt flags), so a job completed in
+        this session hands back exactly what a single monolithic run
+        would have.
+        """
+        if total is None:
+            return result
+        offset = done - result.generations
+        return EvolutionResult(
+            netlist=result.netlist,
+            fitness=result.fitness,
+            initial_fitness=total.initial_fitness,
+            generations=done,
+            evaluations=total.evaluations + result.evaluations,
+            runtime=total.runtime + result.runtime,
+            history=total.history + [(g + offset, f)
+                                     for g, f in result.history],
+            sat_calls=total.sat_calls + result.sat_calls,
+            cache_hits=total.cache_hits + result.cache_hits,
+            backend=result.backend,
+            eval_full=total.eval_full + result.eval_full,
+            eval_incremental=total.eval_incremental +
+            result.eval_incremental,
+            ports_resimulated=total.ports_resimulated +
+            result.ports_resimulated,
+            worker_restarts=total.worker_restarts + result.worker_restarts,
+            batches_retried=total.batches_retried + result.batches_retried,
+            degraded_to_inline=total.degraded_to_inline or
+            result.degraded_to_inline,
+            interrupted=result.interrupted,
+            verified=result.verified,
+        )
+
+    def _finalize(self, job: Job, record: Dict[str, object],
+                  result: EvolutionResult, done: int,
+                  telemetry: Optional[TelemetryWriter]) -> None:
+        final = result.netlist
+        plan = optimal_levels(final)
+        cost = circuit_cost(final, plan,
+                            runtime=float(record.get("runtime", 0.0)))
+        baseline = self.store.load_baseline(job.id) or {
+            "netlist": netlist_to_dict(final), "cost": _cost_fields(cost)}
+        payload: Dict[str, object] = {
+            "job_id": job.id,
+            "name": job.name,
+            "netlist": netlist_to_dict(final),
+            "baseline": baseline,
+            "cost": _cost_fields(cost),
+            "fitness": record["fitness"],
+            "initial_fitness": record["initial_fitness"],
+            "generations": done,
+            "spec": record.get("spec") or
+            spec_tables_to_payload(job.spec.spec),
+            "runtime": record["runtime"],
+            "backend": record["backend"],
+            "degraded_to_inline": record["degraded"],
+            "verified": result.verified,
+        }
+        for field in _COUNTER_FIELDS:
+            payload[field] = record[field]
+        self.store.save_result(job.id, payload)
+        live = job._live_evolution if job._live_ok else None
+        record["state"] = DONE
+        self.store.save_record(job.id, record)
+        if telemetry is not None:
+            telemetry.emit("job_end", generations=done,
+                           cost=cost.as_row(),
+                           fitness_key=list(Fitness(*record["fitness"])
+                                            .key()))
+        if live is not None:
+            baseline_net = netlist_from_dict(baseline["netlist"])
+            job._live_result = SynthesisResult(
+                netlist=final,
+                plan=plan,
+                cost=cost,
+                initial=BaselineResult(baseline_net,
+                                       optimal_levels(baseline_net),
+                                       CircuitCost(**baseline["cost"])),
+                evolution=live,
+                spec=list(job.spec.spec),
+            )
+
+    def _telemetry_for(self, job: Job,
+                       fresh: bool) -> Optional[TelemetryWriter]:
+        path = self.store.telemetry_path(job.id) \
+            or job.spec.config.telemetry_path
+        if path is None:
+            return None
+        return TelemetryWriter(path, mode="w" if fresh else "a",
+                               job_id=job.id)

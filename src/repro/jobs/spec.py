@@ -1,0 +1,97 @@
+"""Job specifications: what uniquely identifies one synthesis run.
+
+A :class:`JobSpec` is the unit of work the scheduler accepts: a
+truth-table specification, a complete :class:`~repro.core.config.RcgpConfig`
+(whose ``seed`` pins the stochastic search) and an optional starting
+netlist.  Its :attr:`~JobSpec.job_id` is a stable content hash over the
+*search-relevant* parts of that triple, so:
+
+* the same work submitted twice maps to the same store entry — a
+  completed job is served from the :class:`~repro.jobs.store.JobStore`
+  without re-running;
+* purely operational knobs (worker count, cache size, telemetry paths,
+  batch fault budgets) do not change the identity — a job finished on 8
+  workers is the same job when queried from a 2-worker session, because
+  results are bit-identical for a fixed seed regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import RcgpConfig
+from ..logic.truth_table import TruthTable
+from ..rqfp.netlist import RqfpNetlist
+
+#: Config fields that never change what a run computes — only how fast
+#: it runs, what it logs, or how it survives infrastructure faults.
+#: Excluded from the job identity hash.  (``generations`` and ``seed``
+#: are *included*: a bigger budget or another seed is a different job.)
+OPERATIONAL_CONFIG_FIELDS = frozenset({
+    "workers", "eval_cache_size", "telemetry_path",
+    "batch_timeout", "batch_retries", "track_history", "verify_result",
+})
+
+
+def identity_config_dict(config: RcgpConfig) -> Dict[str, Any]:
+    """The search-relevant slice of a config, for hashing/matching."""
+    return {name: value for name, value in config.to_dict().items()
+            if name not in OPERATIONAL_CONFIG_FIELDS}
+
+
+def spec_tables_to_payload(spec: Sequence[TruthTable]) -> Dict[str, Any]:
+    """Portable JSON form of a truth-table specification."""
+    spec = list(spec)
+    return {"num_vars": spec[0].num_vars, "bits": [t.bits for t in spec]}
+
+
+def spec_tables_from_payload(payload: Dict[str, Any]) -> List[TruthTable]:
+    num_vars = int(payload["num_vars"])
+    return [TruthTable(num_vars, bits) for bits in payload["bits"]]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable synthesis job: spec + config + optional seed netlist.
+
+    ``config.seed`` must be set — the scheduler assigns one at submit
+    time when the caller left it ``None``, because a resumable job needs
+    a reproducible search.
+    """
+
+    spec: Tuple[TruthTable, ...]
+    config: RcgpConfig
+    name: str = ""
+    initial: Optional[RqfpNetlist] = None
+    _job_id: str = field(default="", compare=False, repr=False)
+
+    def __post_init__(self):
+        if not self.spec:
+            raise ValueError("job specification needs at least one output")
+        if self.config.seed is None:
+            raise ValueError("a scheduled job needs config.seed set "
+                             "(the scheduler assigns one on submit)")
+
+    @property
+    def num_inputs(self) -> int:
+        return self.spec[0].num_vars
+
+    @property
+    def job_id(self) -> str:
+        """Stable content hash identifying this job in the store."""
+        if self._job_id:
+            return self._job_id
+        from ..io.rqfp_json import netlist_to_dict
+        material = {
+            "spec": spec_tables_to_payload(self.spec),
+            "config": identity_config_dict(self.config),
+            "initial": None if self.initial is None
+            else netlist_to_dict(self.initial),
+        }
+        blob = json.dumps(material, sort_keys=True).encode()
+        digest = hashlib.blake2b(blob, digest_size=12).hexdigest()
+        object.__setattr__(self, "_job_id", digest)
+        return digest

@@ -1,0 +1,193 @@
+"""Disk-backed, resumable persistence for scheduled synthesis jobs.
+
+One directory per job, keyed by the :attr:`JobSpec.job_id` content
+hash::
+
+    <store root>/
+        <job_id>/
+            job.json          # record: spec, config, state, counters
+            checkpoint.json   # rcgp-checkpoint v2 (incumbent + progress)
+            baseline.json     # initialization netlist + its cost
+            result.json       # final artifact once the job is done
+            telemetry.jsonl   # job_id-stamped engine events, appended
+
+Every write is atomic (``tmp`` + ``os.replace``), so a SIGKILL at any
+instant leaves either the previous or the next consistent state — a
+restarted :class:`~repro.jobs.scheduler.Scheduler` resumes from the
+last completed slice and, because slices are deterministic, converges
+to the identical final result.
+
+``JobStore(None)`` is a purely in-memory store with the same API — the
+transient backing used by one-shot :func:`repro.api.synthesize` calls
+that need scheduling but not persistence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.config import RcgpConfig
+from ..core.restart import CHECKPOINT_FORMAT, CHECKPOINT_VERSION
+from ..io.rqfp_json import netlist_from_dict, netlist_to_dict
+from ..rqfp.netlist import RqfpNetlist
+
+RECORD_FORMAT = "rcgp-job"
+RECORD_VERSION = 1
+RESULT_FORMAT = "rcgp-job-result"
+RESULT_VERSION = 1
+
+#: Job lifecycle states stored in the record.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+def _atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    os.replace(tmp, path)
+
+
+def _read_json(path: str) -> Optional[Dict[str, Any]]:
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+class JobStore:
+    """Spec-hash-keyed artifact store; disk-backed or in-memory.
+
+    The disk layout is documented in the module docstring.  All methods
+    take the ``job_id`` content hash; nothing here interprets configs or
+    netlists beyond (de)serializing them.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root
+        self._mem: Dict[str, Dict[str, Any]] = {}
+        if root is not None:
+            os.makedirs(root, exist_ok=True)
+
+    @property
+    def persistent(self) -> bool:
+        return self.root is not None
+
+    def job_dir(self, job_id: str) -> Optional[str]:
+        if self.root is None:
+            return None
+        return os.path.join(self.root, job_id)
+
+    def _ensure_dir(self, job_id: str) -> str:
+        path = self.job_dir(job_id)
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def _slot(self, job_id: str) -> Dict[str, Any]:
+        return self._mem.setdefault(job_id, {})
+
+    def jobs(self) -> List[str]:
+        """All job ids present in the store."""
+        if self.root is None:
+            return sorted(self._mem)
+        return sorted(
+            entry for entry in os.listdir(self.root)
+            if os.path.isfile(os.path.join(self.root, entry, "job.json")))
+
+    # -- records -------------------------------------------------------
+
+    def load_record(self, job_id: str) -> Optional[Dict[str, Any]]:
+        if self.root is None:
+            return self._slot(job_id).get("record")
+        return _read_json(os.path.join(self.job_dir(job_id), "job.json"))
+
+    def save_record(self, job_id: str, record: Dict[str, Any]) -> None:
+        record = dict(record)
+        record.setdefault("format", RECORD_FORMAT)
+        record.setdefault("version", RECORD_VERSION)
+        record["updated_at"] = time.time()
+        if self.root is None:
+            self._slot(job_id)["record"] = record
+            return
+        _atomic_write_json(os.path.join(self._ensure_dir(job_id),
+                                        "job.json"), record)
+
+    # -- checkpoints ---------------------------------------------------
+
+    def save_checkpoint(self, job_id: str, netlist: RqfpNetlist,
+                        generations_done: int, config: RcgpConfig) -> None:
+        """Persist the incumbent parent (the standard checkpoint v2
+        payload, so job checkpoints and
+        :func:`repro.core.restart.load_checkpoint` stay interchangeable)."""
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "generations_done": generations_done,
+            "config": config.to_dict(),
+            "netlist": netlist_to_dict(netlist),
+        }
+        if self.root is None:
+            self._slot(job_id)["checkpoint"] = payload
+            return
+        _atomic_write_json(os.path.join(self._ensure_dir(job_id),
+                                        "checkpoint.json"), payload)
+
+    def load_checkpoint(self, job_id: str) \
+            -> Optional[Tuple[RqfpNetlist, int]]:
+        """The incumbent netlist and generations completed, if any."""
+        if self.root is None:
+            payload = self._slot(job_id).get("checkpoint")
+        else:
+            payload = _read_json(os.path.join(self.job_dir(job_id),
+                                              "checkpoint.json"))
+        if payload is None:
+            return None
+        return (netlist_from_dict(payload["netlist"]),
+                int(payload["generations_done"]))
+
+    # -- baseline ------------------------------------------------------
+
+    def save_baseline(self, job_id: str,
+                      payload: Dict[str, Any]) -> None:
+        if self.root is None:
+            self._slot(job_id)["baseline"] = payload
+            return
+        _atomic_write_json(os.path.join(self._ensure_dir(job_id),
+                                        "baseline.json"), payload)
+
+    def load_baseline(self, job_id: str) -> Optional[Dict[str, Any]]:
+        if self.root is None:
+            return self._slot(job_id).get("baseline")
+        return _read_json(os.path.join(self.job_dir(job_id),
+                                       "baseline.json"))
+
+    # -- results -------------------------------------------------------
+
+    def save_result(self, job_id: str, payload: Dict[str, Any]) -> None:
+        payload = dict(payload)
+        payload.setdefault("format", RESULT_FORMAT)
+        payload.setdefault("version", RESULT_VERSION)
+        if self.root is None:
+            self._slot(job_id)["result"] = payload
+            return
+        _atomic_write_json(os.path.join(self._ensure_dir(job_id),
+                                        "result.json"), payload)
+
+    def load_result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        if self.root is None:
+            return self._slot(job_id).get("result")
+        return _read_json(os.path.join(self.job_dir(job_id),
+                                       "result.json"))
+
+    # -- telemetry -----------------------------------------------------
+
+    def telemetry_path(self, job_id: str) -> Optional[str]:
+        """Per-job JSONL telemetry file (None for in-memory stores)."""
+        if self.root is None:
+            return None
+        return os.path.join(self._ensure_dir(job_id), "telemetry.jsonl")

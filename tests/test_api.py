@@ -1,0 +1,134 @@
+"""Tests for the ``repro.api`` facade and the deprecation shims.
+
+The facade must be a drop-in for the legacy entry points: same results
+bit-for-bit, same argument shapes — plus sessions, stores and file
+paths.  The legacy names keep working but warn.
+"""
+
+import pytest
+
+import repro
+from repro.api import Session, synthesize
+from repro.core.config import RcgpConfig
+from repro.core.engine import EvolutionRun
+from repro.core.synthesis import (SynthesisResult, initialize_netlist,
+                                  rcgp_synthesize)
+from repro.flow import synthesize_file
+from repro.io.rqfp_json import netlist_to_dict
+from repro.logic.truth_table import TruthTable, tabulate_word
+
+TOFFOLI_REAL = (".numvars 3\n.variables a b c\n.begin\nt3 a b c\n.end\n")
+
+
+def _real_fixture(tmp_path) -> str:
+    path = tmp_path / "toffoli.real"
+    path.write_text(TOFFOLI_REAL)
+    return str(path)
+
+
+def _xor_spec():
+    return [TruthTable.from_function(lambda a, b: a ^ b, 2)]
+
+
+def _decoder_spec():
+    return tabulate_word(lambda x: 1 << x, 2, 4)
+
+
+class TestSynthesize:
+    def test_tables_in_result_out(self):
+        result = synthesize(_xor_spec(), RcgpConfig(generations=60, seed=3))
+        assert isinstance(result, SynthesisResult)
+        assert result.verify()
+        assert result.evolution.fitness.functional
+
+    def test_matches_direct_engine_run(self):
+        """The facade adds scheduling, not different results."""
+        spec = _decoder_spec()
+        config = RcgpConfig(generations=100, seed=4)
+        direct = EvolutionRun(spec, config,
+                              initial=initialize_netlist(spec)).run()
+        result = synthesize(spec, config)
+        assert netlist_to_dict(result.evolution.netlist) == \
+            netlist_to_dict(direct.netlist)
+        assert result.evolution.evaluations == direct.evaluations
+        assert result.evolution.fitness.key() == direct.fitness.key()
+
+    def test_accepts_design_file_path(self, tmp_path):
+        path = _real_fixture(tmp_path)
+        result = synthesize(path, RcgpConfig(generations=40, seed=1))
+        assert result.verify()
+
+    def test_session_reuses_completed_jobs(self, tmp_path):
+        spec = _xor_spec()
+        config = RcgpConfig(generations=60, seed=3)
+        with Session(str(tmp_path)) as session:
+            first = session.synthesize(spec, config)
+        with Session(str(tmp_path)) as session:
+            job = session.submit(spec, config)
+            assert job.from_store
+            second = synthesize(spec, config, session=session)
+        assert netlist_to_dict(first.evolution.netlist) == \
+            netlist_to_dict(second.evolution.netlist)
+
+    def test_session_many_jobs(self):
+        specs = {"xor": _xor_spec(), "decoder": _decoder_spec()}
+        with Session() as session:
+            jobs = {name: session.submit(spec,
+                                         RcgpConfig(generations=40, seed=2),
+                                         name=name)
+                    for name, spec in specs.items()}
+            session.run()
+            results = {name: job.result() for name, job in jobs.items()}
+        assert all(r.verify() for r in results.values())
+        assert set(session.results()) == {job.id for job in jobs.values()}
+
+    def test_track_history_survives_the_facade(self):
+        config = RcgpConfig(generations=60, seed=3, track_history=True)
+        result = synthesize(_xor_spec(), config)
+        assert result.evolution.history
+        assert result.evolution.history[0][0] == 0
+
+
+class TestDeprecatedShims:
+    def test_rcgp_synthesize_warns_and_matches(self):
+        spec = _xor_spec()
+        config = RcgpConfig(generations=60, seed=3)
+        new = synthesize(spec, config)
+        with pytest.warns(DeprecationWarning, match="rcgp_synthesize"):
+            old = rcgp_synthesize(spec, config)
+        assert netlist_to_dict(old.evolution.netlist) == \
+            netlist_to_dict(new.evolution.netlist)
+        assert old.evolution.fitness.key() == new.evolution.fitness.key()
+        assert old.cost.as_row()["n_r"] == new.cost.as_row()["n_r"]
+
+    def test_synthesize_file_warns_and_matches(self, tmp_path):
+        path = _real_fixture(tmp_path)
+        config = RcgpConfig(generations=40, seed=1)
+        new = synthesize(path, config)
+        with pytest.warns(DeprecationWarning, match="synthesize_file"):
+            old = synthesize_file(path, config)
+        assert netlist_to_dict(old.evolution.netlist) == \
+            netlist_to_dict(new.evolution.netlist)
+
+    def test_legacy_names_still_exported(self):
+        assert repro.rcgp_synthesize is rcgp_synthesize
+        assert repro.synthesize_file is synthesize_file
+        assert repro.synthesize is synthesize
+        assert repro.Session is Session
+        for name in ("synthesize", "Session", "Scheduler", "JobStore",
+                     "JobSpec", "Job"):
+            assert name in repro.__all__
+
+
+class TestSessionTelemetry:
+    def test_transient_session_honors_config_telemetry(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        config = RcgpConfig(generations=40, seed=2, telemetry_path=path)
+        synthesize(_xor_spec(), config)
+        lines = open(path).read().splitlines()
+        assert lines, "telemetry file should not be empty"
+        import json
+        events = [json.loads(line) for line in lines]
+        assert events[0]["event"] == "job_start"
+        assert all("job_id" in e for e in events)
+        assert any(e["event"] == "run_end" for e in events)

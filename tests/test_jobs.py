@@ -1,0 +1,320 @@
+"""Tests for the multi-job scheduler and persistent job store.
+
+The headline guarantees:
+
+* **fair-share determinism** — a job interleaved with any number of
+  others is bit-identical to the same job run alone;
+* **kill-and-resume** — a scheduler restarted over the same store
+  converges to the identical final result;
+* **store-served results** — finished jobs are recognized by content
+  hash and never re-evaluated.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import RcgpConfig
+from repro.core.restart import multi_start
+from repro.core.synthesis import SynthesisResult
+from repro.io.rqfp_json import netlist_to_dict
+from repro.jobs import (DONE, FAILED, JobSpec, JobStore, PENDING, RUNNING,
+                        Scheduler, identity_config_dict,
+                        parallel_safe_config)
+from repro.logic.truth_table import TruthTable, tabulate_word
+
+
+def _decoder_spec():
+    return tabulate_word(lambda x: 1 << x, 2, 4)
+
+
+def _xor_and_spec():
+    return [TruthTable.from_function(lambda a, b: a ^ b, 2),
+            TruthTable.from_function(lambda a, b: a & b, 2)]
+
+
+def _chromosome(result: SynthesisResult) -> dict:
+    return netlist_to_dict(result.evolution.netlist)
+
+
+class TestJobSpec:
+    def test_job_id_stable_and_operational_fields_ignored(self):
+        spec = tuple(_xor_and_spec())
+        a = JobSpec(spec, RcgpConfig(generations=100, seed=1))
+        b = JobSpec(spec, RcgpConfig(generations=100, seed=1, workers=8,
+                                     eval_cache_size=17,
+                                     telemetry_path="/tmp/x.jsonl",
+                                     batch_retries=9, track_history=True,
+                                     verify_result=True))
+        assert a.job_id == b.job_id
+
+    def test_search_relevant_fields_change_identity(self):
+        spec = tuple(_xor_and_spec())
+        base = JobSpec(spec, RcgpConfig(generations=100, seed=1))
+        assert base.job_id != JobSpec(
+            spec, RcgpConfig(generations=100, seed=2)).job_id
+        assert base.job_id != JobSpec(
+            spec, RcgpConfig(generations=200, seed=1)).job_id
+        assert base.job_id != JobSpec(
+            tuple(_decoder_spec()), RcgpConfig(generations=100,
+                                               seed=1)).job_id
+
+    def test_seed_required(self):
+        with pytest.raises(ValueError):
+            JobSpec(tuple(_xor_and_spec()), RcgpConfig(seed=None))
+
+    def test_identity_config_excludes_only_operational(self):
+        identity = identity_config_dict(RcgpConfig(seed=3))
+        assert "seed" in identity and "generations" in identity
+        assert "workers" not in identity
+        assert "telemetry_path" not in identity
+
+
+class TestJobStore:
+    def test_memory_round_trip(self):
+        store = JobStore(None)
+        assert not store.persistent
+        store.save_record("j1", {"state": PENDING})
+        assert store.load_record("j1")["state"] == PENDING
+        assert store.load_result("j1") is None
+        assert store.telemetry_path("j1") is None
+
+    def test_disk_round_trip_and_atomicity(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        assert store.persistent
+        store.save_record("j1", {"state": RUNNING, "slices": 2})
+        # no stray temp files after an atomic write
+        assert os.listdir(str(tmp_path / "j1")) == ["job.json"]
+        again = JobStore(str(tmp_path))
+        record = again.load_record("j1")
+        assert record["state"] == RUNNING and record["slices"] == 2
+        assert again.jobs() == ["j1"]
+
+    def test_checkpoint_round_trip(self, tmp_path):
+        from repro.core.synthesis import initialize_netlist
+        store = JobStore(str(tmp_path))
+        config = RcgpConfig(generations=50, seed=9)
+        netlist = initialize_netlist(_xor_and_spec())
+        store.save_checkpoint("j1", netlist, 30, config)
+        loaded, done = store.load_checkpoint("j1")
+        assert done == 30
+        assert netlist_to_dict(loaded) == netlist_to_dict(netlist)
+        assert store.load_checkpoint("absent") is None
+
+
+class TestSchedulerDeterminism:
+    def test_concurrent_jobs_bit_identical_to_solo(self):
+        """Two interleaved jobs each equal their run-alone twins."""
+        spec = _xor_and_spec()
+        configs = [RcgpConfig(generations=120, seed=s) for s in (11, 12)]
+        solo = {}
+        for config in configs:
+            with Scheduler(quantum=25) as scheduler:
+                job = scheduler.submit(spec, config)
+                scheduler.run()
+                solo[config.seed] = _chromosome(job.result())
+        with Scheduler(quantum=25) as scheduler:
+            jobs = [scheduler.submit(spec, c) for c in configs]
+            scheduler.run()
+            for config, job in zip(configs, jobs):
+                assert _chromosome(job.result()) == solo[config.seed]
+
+    def test_single_slice_matches_monolithic_run(self):
+        """quantum=None preserves the legacy single-run trajectory."""
+        from repro.core.engine import EvolutionRun
+        from repro.core.synthesis import initialize_netlist
+        spec = _xor_and_spec()
+        config = RcgpConfig(generations=100, seed=4)
+        initial = initialize_netlist(spec)
+        direct = EvolutionRun(spec, config, initial=initial).run()
+        with Scheduler() as scheduler:
+            job = scheduler.submit(spec, config)
+            scheduler.run()
+            result = job.result()
+        assert netlist_to_dict(result.evolution.netlist) == \
+            netlist_to_dict(direct.netlist)
+        assert result.evolution.fitness.key() == direct.fitness.key()
+        assert result.evolution.evaluations == direct.evaluations
+
+    def test_duplicate_submission_is_same_job(self):
+        spec = _xor_and_spec()
+        config = RcgpConfig(generations=60, seed=2)
+        with Scheduler() as scheduler:
+            first = scheduler.submit(spec, config)
+            second = scheduler.submit(spec, config)
+            assert first is second
+            scheduler.run()
+            assert len(scheduler.jobs()) == 1
+
+    def test_unseeded_submission_gets_a_recorded_seed(self):
+        with Scheduler() as scheduler:
+            job = scheduler.submit(_xor_and_spec(),
+                                   RcgpConfig(generations=10))
+            assert job.spec.config.seed is not None
+            assert job.record["seed"] == job.spec.config.seed
+
+
+class TestSchedulerPersistence:
+    def test_kill_and_resume_identical_result(self, tmp_path):
+        """A run cut off mid-flight resumes to the bit-identical end."""
+        spec = _xor_and_spec()
+        config = RcgpConfig(generations=120, seed=11)
+        with Scheduler(quantum=25) as scheduler:
+            job = scheduler.submit(spec, config)
+            scheduler.run()
+            uninterrupted = _chromosome(job.result())
+
+        store = JobStore(str(tmp_path))
+        with Scheduler(store, quantum=25) as scheduler:
+            job = scheduler.submit(spec, config)
+            scheduler.run(max_ticks=2)
+            assert job.state == RUNNING
+            assert 0 < job.generations_done < config.generations
+        # simulate the process dying here: fresh store + scheduler
+        with Scheduler(JobStore(str(tmp_path)), quantum=25) as scheduler:
+            job = scheduler.submit(spec, config)
+            scheduler.run()
+            assert job.state == DONE
+            assert _chromosome(job.result()) == uninterrupted
+
+    def test_finished_job_served_without_rerun(self, tmp_path):
+        spec = _xor_and_spec()
+        config = RcgpConfig(generations=80, seed=5)
+        with Scheduler(JobStore(str(tmp_path))) as scheduler:
+            job = scheduler.submit(spec, config)
+            scheduler.run()
+            first = _chromosome(job.result())
+            evaluations = job.record["evaluations"]
+
+        with Scheduler(JobStore(str(tmp_path))) as scheduler:
+            job = scheduler.submit(spec, config)
+            assert job.state == DONE and job.from_store
+            scheduler.run()  # nothing to do
+            served = job.result()
+            assert _chromosome(served) == first
+            # the record still shows only the original run's work
+            assert job.record["evaluations"] == evaluations
+        assert served.verify()
+        assert served.cost.n_r == served.evolution.fitness.n_r
+
+    def test_served_result_reconstructs_full_synthesis_result(
+            self, tmp_path):
+        spec = _decoder_spec()
+        config = RcgpConfig(generations=60, seed=3)
+        with Scheduler(JobStore(str(tmp_path))) as scheduler:
+            live = scheduler.submit(spec, config)
+            scheduler.run()
+            live_result = live.result()
+        with Scheduler(JobStore(str(tmp_path))) as scheduler:
+            served = scheduler.submit(spec, config).result()
+        assert isinstance(served, SynthesisResult)
+        assert _chromosome(served) == _chromosome(live_result)
+        assert served.cost.as_row() == live_result.cost.as_row()
+        assert served.initial.cost.as_row() == \
+            live_result.initial.cost.as_row()
+        assert served.evolution.generations == \
+            live_result.evolution.generations
+        assert [t.bits for t in served.spec] == [t.bits for t in spec]
+
+    def test_telemetry_is_job_stamped_and_continuous(self, tmp_path):
+        spec = _xor_and_spec()
+        config = RcgpConfig(generations=100, seed=7)
+        store = JobStore(str(tmp_path))
+        with Scheduler(store, quantum=25) as scheduler:
+            job = scheduler.submit(spec, config)
+            scheduler.run(max_ticks=2)
+        with Scheduler(JobStore(str(tmp_path)), quantum=25) as scheduler:
+            job = scheduler.submit(spec, config)
+            scheduler.run()
+        events = [json.loads(line) for line in
+                  open(store.telemetry_path(job.id))]
+        assert all(e["job_id"] == job.id for e in events)
+        tags = [e["event"] for e in events]
+        assert tags[0] == "job_start"
+        assert "job_resume" in tags   # the second process appended
+        assert "job_slice" in tags and "job_end" in tags
+        assert "run_end" in tags      # engine events share the stream
+
+    def test_failed_job_reports_and_other_jobs_continue(
+            self, monkeypatch, tmp_path):
+        import repro.jobs.scheduler as scheduler_module
+        from repro.errors import SynthesisError
+
+        spec = _xor_and_spec()
+        good = RcgpConfig(generations=40, seed=1)
+        bad = RcgpConfig(generations=40, seed=1000)
+        real_run = scheduler_module.EvolutionRun
+
+        class Boom(real_run):
+            def run(self):
+                if self.config.seed >= 1000:   # only the bad job's slices
+                    raise SynthesisError("injected failure")
+                return super().run()
+
+        monkeypatch.setattr(scheduler_module, "EvolutionRun", Boom)
+        with Scheduler(JobStore(str(tmp_path)), quantum=20) as scheduler:
+            bad_job = scheduler.submit(spec, bad)
+            good_job = scheduler.submit(spec, good)
+            scheduler.run()
+            assert bad_job.state == FAILED
+            assert "injected failure" in bad_job.record["error"]
+            assert good_job.state == DONE
+            with pytest.raises(Exception, match="failed"):
+                bad_job.result()
+            assert good_job.result().verify()
+
+
+class TestSharedWorkerPool:
+    def test_pooled_jobs_bit_identical_to_inline(self):
+        spec = _decoder_spec()
+        configs = [RcgpConfig(generations=80, seed=s, offspring=8)
+                   for s in (7, 8)]
+        inline = {}
+        for config in configs:
+            with Scheduler(quantum=40) as scheduler:
+                job = scheduler.submit(spec, config)
+                scheduler.run()
+                inline[config.seed] = job.result()
+        with Scheduler(workers=2, quantum=40) as scheduler:
+            jobs = [scheduler.submit(spec, c) for c in configs]
+            scheduler.run()
+            for config, job in zip(configs, jobs):
+                pooled = job.result()
+                twin = inline[config.seed]
+                assert _chromosome(pooled) == _chromosome(twin)
+                assert pooled.evolution.evaluations == \
+                    twin.evolution.evaluations
+                assert pooled.evolution.backend == "shared-pool"
+
+    def test_parallel_safe_config(self):
+        safe = RcgpConfig(seed=1)
+        assert parallel_safe_config(3, safe)                 # exhaustive
+        sampled = RcgpConfig(seed=1, exhaustive_input_limit=2,
+                             verify_with_sat=False)
+        assert parallel_safe_config(3, sampled)              # seeded
+        sat = RcgpConfig(seed=1, exhaustive_input_limit=2,
+                         verify_with_sat=True)
+        assert not parallel_safe_config(3, sat)              # SAT feedback
+
+
+class TestMultiStartClient:
+    def test_multi_start_keys_and_duplicates(self):
+        spec = _xor_and_spec()
+        config = RcgpConfig(generations=60)
+        best, keys = multi_start(spec, [1, 2, 2], config, name="ms")
+        assert len(keys) == 3
+        assert keys[1] == keys[2]          # duplicate seed, one job
+        best_key = max(keys)
+        assert best is not None and best_key in keys
+
+    def test_multi_start_resumable_via_store(self, tmp_path):
+        spec = _xor_and_spec()
+        config = RcgpConfig(generations=60)
+        store = JobStore(str(tmp_path))
+        best1, keys1 = multi_start(spec, [4, 5], config,
+                                   store=store)
+        best2, keys2 = multi_start(spec, [4, 5], config,
+                                   store=JobStore(str(tmp_path)))
+        assert keys1 == keys2
+        assert netlist_to_dict(best1) == netlist_to_dict(best2)
