@@ -30,6 +30,7 @@ Subpackages
 ``repro.io``         BLIF / AIGER / Verilog / PLA / .real / JSON
 ``repro.reversible`` MCT/MCF reversible-circuit substrate
 ``repro.jobs``       multi-job scheduler with persistent job store
+``repro.service``    the scheduler over HTTP (``rcgp serve`` + client)
 ``repro.bench``      every Table-1/2 benchmark as executable spec
 ``repro.harness``    experiment harness regenerating the tables
 """
@@ -67,7 +68,7 @@ from .logic.truth_table import TruthTable, tabulate_word
 from .rqfp.metrics import CircuitCost
 from .rqfp.netlist import RqfpNetlist
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -15,7 +15,11 @@ Everything user-facing funnels through two names:
 The legacy entry points (:func:`repro.core.synthesis.rcgp_synthesize`,
 :func:`repro.flow.synthesize_file`) are deprecated shims over this
 module; ``multi_start``, the benchmark harness and the CLI are thin
-clients of the same scheduler underneath.
+clients of the same scheduler underneath.  For remote access, the
+:mod:`repro.service` package serves a ``Session`` over HTTP
+(``rcgp serve``); its scheduling loop drives the session one
+:meth:`Session.step` at a time so it can interleave slices with
+submissions and shutdown checks.
 """
 
 from __future__ import annotations
@@ -104,6 +108,14 @@ class Session:
     def run(self, *, max_ticks: Optional[int] = None) -> List[Job]:
         """Drive all pending jobs to completion (fair-share)."""
         return self.scheduler.run(max_ticks=max_ticks)
+
+    def step(self) -> Optional[Job]:
+        """Advance the next pending job by one checkpointed slice.
+
+        Returns the job ticked, or ``None`` when the session is idle.
+        This is the granularity the HTTP service loop runs at.
+        """
+        return self.scheduler.step()
 
     def synthesize(self, spec_or_path: SpecLike,
                    config: Optional[RcgpConfig] = None, *,

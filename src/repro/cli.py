@@ -5,6 +5,7 @@ Subcommands::
     rcgp synth  design.{v,blif,aag,pla,real}  [-o out.json] [options]
     rcgp bench  <testcase> [options]          # one registry benchmark
     rcgp batch  <target> [...] --store DIR    # scheduled, resumable jobs
+    rcgp serve  --store DIR --port N          # the scheduler over HTTP
     rcgp exact  <testcase> [options]          # exact baseline
     rcgp table  {1,2} [testcase ...]          # paper table harness
     rcgp list                                 # registry contents
@@ -29,20 +30,28 @@ from .io.rqfp_json import write_rqfp_json
 
 def _add_engine_options(parser: argparse.ArgumentParser, *,
                         telemetry_help: str = "write per-generation JSONL "
-                        "telemetry events to this file") -> None:
-    """The option group every evolution-running subcommand shares."""
+                        "telemetry events to this file",
+                        pool_only: bool = False) -> None:
+    """The option group every evolution-running subcommand shares.
+
+    ``pool_only`` keeps just the worker-pool knobs — for subcommands
+    (``serve``) where the per-job search config arrives from elsewhere
+    and only the shared evaluation machinery is configured locally.
+    """
     group = parser.add_argument_group("engine options")
     group.add_argument("--workers", type=int, default=0,
                        help="offspring-evaluation processes (0/1 inline; "
                             "N>1 uses a persistent pool, bit-identical "
                             "results for a fixed seed)")
-    group.add_argument("--kernel", choices=("flat", "object"),
-                       default="flat",
-                       help="inner-loop genome representation: flat "
-                            "structure-of-arrays kernel (default) or the "
-                            "object netlist; results are bit-identical")
-    group.add_argument("--telemetry", metavar="PATH", default=None,
-                       help=telemetry_help)
+    if not pool_only:
+        group.add_argument("--kernel", choices=("flat", "object"),
+                           default="flat",
+                           help="inner-loop genome representation: flat "
+                                "structure-of-arrays kernel (default) or "
+                                "the object netlist; results are "
+                                "bit-identical")
+        group.add_argument("--telemetry", metavar="PATH", default=None,
+                           help=telemetry_help)
     group.add_argument("--batch-timeout", type=float, default=None,
                        help="seconds before a pool offspring batch is "
                             "declared hung and re-dispatched to a fresh "
@@ -224,6 +233,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 3 if unfinished else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the synthesis scheduler as an HTTP service.
+
+    Submissions arrive as truth-table specs + full configs over
+    ``POST /v1/jobs`` (see ``docs/service.md``); the server shares one
+    worker pool and one job store across all of them, and SIGTERM
+    drains gracefully — the slice in flight finishes and checkpoints,
+    so a restarted ``rcgp serve`` over the same ``--store`` resumes
+    every unfinished job bit-identically.
+    """
+    from .service import serve
+    operational = {"batch_retries": args.batch_retries}
+    if args.batch_timeout is not None:
+        operational["batch_timeout"] = args.batch_timeout
+    return serve(args.store, host=args.host, port=args.port,
+                 workers=args.workers, quantum=args.quantum,
+                 max_queue=args.max_queue,
+                 request_timeout=args.request_timeout,
+                 operational=operational, resume=not args.no_resume)
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     config = HarnessConfig.from_env()
     if args.generations is not None:
@@ -376,6 +406,36 @@ def build_parser() -> argparse.ArgumentParser:
                       "job identity hash includes the seed, so a stable "
                       "default is what makes re-invocations resume "
                       "instead of starting over.")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the synthesis scheduler as an HTTP service")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1; use "
+                              "0.0.0.0 behind a trusted network only — "
+                              "the service has no authentication)")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="TCP port (default 8787; 0 picks a free "
+                              "one and prints it)")
+    p_serve.add_argument("--store", metavar="DIR", default=None,
+                         help="job store directory; REQUIRED for the "
+                              "restart-resume guarantee (default: "
+                              "in-memory, results die with the process)")
+    p_serve.add_argument("--quantum", type=int, default=500,
+                         help="generations per job per scheduler slice "
+                              "(checkpoint granularity + drain latency, "
+                              "default 500)")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="bound on accepted-but-unscheduled "
+                              "submissions; a full queue answers HTTP "
+                              "429 (default 64)")
+    p_serve.add_argument("--request-timeout", type=float, default=30.0,
+                         help="per-request socket read timeout in "
+                              "seconds (default 30)")
+    p_serve.add_argument("--no-resume", action="store_true",
+                         help="do not re-submit the store's unfinished "
+                              "jobs on startup")
+    _add_engine_options(p_serve, pool_only=True)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_exact = sub.add_parser("exact", help="exact baseline on a benchmark")
     p_exact.add_argument("testcase")

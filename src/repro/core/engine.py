@@ -156,7 +156,12 @@ def child_seed(base_seed: int, generation: int, index: int) -> int:
 
     Derived by hashing rather than arithmetic so neighbouring
     ``(generation, index)`` pairs give unrelated streams, and fixed
-    independently of evaluation order or worker count.
+    independently of evaluation order or worker count.  Callers that
+    run a budget in slices (the scheduler, checkpointed runs) pass
+    *absolute* generation numbers via
+    :class:`EvolutionRun`'s ``generation_offset`` so the trajectory is
+    a function of ``(seed, total budget)`` alone — independent of how
+    the budget is sliced.
     """
     data = f"{base_seed}:{generation}:{index}".encode()
     return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(),
@@ -795,6 +800,14 @@ class EvolutionRun:
         Pre-built :class:`EvaluationBackend`; overrides
         ``config.workers``.  The caller keeps ownership (it is not
         closed by :meth:`run`).
+    generation_offset:
+        Number of generations a *previous* slice of the same logical
+        run already executed.  Offspring RNG streams are keyed by the
+        absolute generation (``offset + local generation``), so a run
+        sliced into checkpointed chunks follows the exact trajectory of
+        the equivalent monolithic run, whatever the chunk size.  The
+        returned :attr:`EvolutionResult.generations` stays local to
+        this slice.
     """
 
     def __init__(self, spec: Sequence[TruthTable],
@@ -803,7 +816,8 @@ class EvolutionRun:
                  name: str = "",
                  progress: Optional[ProgressCallback] = None,
                  telemetry: Optional[TelemetryWriter] = None,
-                 backend: Optional[EvaluationBackend] = None):
+                 backend: Optional[EvaluationBackend] = None,
+                 generation_offset: int = 0):
         self.spec = list(spec)
         self.config = config or RcgpConfig()
         self.initial = initial
@@ -811,6 +825,7 @@ class EvolutionRun:
         self.progress = progress
         self._telemetry = telemetry
         self._backend = backend
+        self.generation_offset = generation_offset
 
     # -- internals -----------------------------------------------------
 
@@ -930,14 +945,17 @@ class EvolutionRun:
                         generation -= 1
                         break
 
-                    # Mutation: one private RNG stream per offspring, so the
-                    # mutant set is a function of (seed, generation) alone.
+                    # Mutation: one private RNG stream per offspring, keyed
+                    # by the absolute generation so the mutant set is a
+                    # function of (seed, generation) alone — even when the
+                    # budget is run in checkpointed slices.
                     children = []
                     if parent_consumers is None:
                         parent_consumers = parent.consumers()
                     for i in range(config.offspring):
-                        rng = random.Random(
-                            child_seed(base_seed, generation, i))
+                        rng = random.Random(child_seed(
+                            base_seed,
+                            self.generation_offset + generation, i))
                         child, delta = mutate_with_delta(
                             parent, rng, config,
                             consumers=parent_consumers, rollback=True)

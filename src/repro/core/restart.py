@@ -155,11 +155,12 @@ def evolve_with_checkpoints(spec: Sequence[TruthTable],
     total_result: Optional[EvolutionResult] = None
     while done < config.generations:
         budget = min(slice_generations, config.generations - done)
-        slice_config = config.replace(
-            generations=budget,
-            seed=None if config.seed is None else config.seed + done)
+        # Same seed every slice; the engine keys offspring RNG streams
+        # by the absolute generation (offset + local), so the sliced
+        # run follows the monolithic trajectory for any slice size.
+        slice_config = config.replace(generations=budget)
         result = EvolutionRun(spec, slice_config, initial=incumbent,
-                              name=name).run()
+                              name=name, generation_offset=done).run()
         incumbent = result.netlist
         done += result.generations
         save_checkpoint(checkpoint_path, incumbent, done, config)

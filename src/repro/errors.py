@@ -92,3 +92,38 @@ class WorkerPoolError(ReproError):
     raising this; it only escapes when even the inline fallback is
     unavailable.
     """
+
+
+class ServiceError(ReproError):
+    """A request to the rcgp HTTP service failed.
+
+    Every subclass carries the HTTP status the server answers with (and
+    the client raises from); anything else surfacing from a handler maps
+    to 400 (malformed request) or 500 (internal failure) — see
+    :func:`repro.service.server.status_for`.
+    """
+
+    http_status = 500
+
+
+class JobNotFound(ServiceError):
+    """No job with the requested id exists in the store or the queue."""
+
+    http_status = 404
+
+
+class JobNotReady(ServiceError):
+    """The job exists but has no result yet (still pending/running/
+    interrupted) — poll ``GET /v1/jobs/{id}`` and retry."""
+
+    http_status = 409
+
+
+class QueueFull(ServiceError):
+    """The service's bounded submission queue is full (backpressure).
+
+    Clients should retry with exponential backoff; the queue drains as
+    the scheduler finishes slices.
+    """
+
+    http_status = 429

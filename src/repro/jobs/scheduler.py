@@ -9,11 +9,14 @@ a persistent :class:`~repro.jobs.store.JobStore`:
   most ``quantum`` generations) per scheduler tick, round-robin, so no
   job starves and every job's offspring batches flow through the same
   :class:`~repro.jobs.pool.SharedWorkerPool` instead of spawning a pool
-  per job.  Slices are seeded ``config.seed + generations_done`` —
-  exactly the :func:`repro.core.restart.evolve_with_checkpoints`
-  contract — so a job's trajectory is a function of its own spec,
-  config and seed alone: results are bit-identical whether the job runs
-  alone or interleaved with any number of others.
+  per job.  Slices keep the job's own seed and pass the engine a
+  ``generation_offset`` so offspring RNG streams are keyed by the
+  *absolute* generation — exactly the
+  :func:`repro.core.restart.evolve_with_checkpoints` contract.  A
+  job's trajectory is therefore a function of its own spec, config and
+  seed alone: results are bit-identical whether the job runs alone,
+  interleaved with any number of others, or under any slice quantum
+  (including ``quantum=None``, one monolithic run).
 * **Persistence & resume.**  After every slice the incumbent is
   checkpointed to the store (atomically).  A killed process loses at
   most one slice; a new scheduler over the same store re-runs that
@@ -187,6 +190,7 @@ class Scheduler:
         self.quantum = quantum
         self._jobs: Dict[str, Job] = {}
         self._pool: Optional[SharedWorkerPool] = None
+        self._rr_next = 0  # round-robin cursor for step()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -269,6 +273,24 @@ class Scheduler:
         return [job for job in self._jobs.values()
                 if job.state in (PENDING, RUNNING)]
 
+    def step(self) -> Optional[Job]:
+        """Advance the next pending job by one slice (round-robin).
+
+        Returns the job that was ticked, or ``None`` when every
+        submitted job is already done or failed.  This is the unit the
+        HTTP service's scheduling loop runs between checking for new
+        submissions and a shutdown request — a finished slice is always
+        checkpointed, so stopping between ``step()`` calls never loses
+        work.
+        """
+        runnable = self.pending()
+        if not runnable:
+            return None
+        job = runnable[self._rr_next % len(runnable)]
+        self._rr_next += 1
+        self._tick(job)
+        return job
+
     def run(self, *, max_ticks: Optional[int] = None) -> List[Job]:
         """Drive all submitted jobs to completion, round-robin.
 
@@ -277,15 +299,10 @@ class Scheduler:
         done or failed.
         """
         ticks = 0
-        while True:
-            runnable = self.pending()
-            if not runnable:
+        while max_ticks is None or ticks < max_ticks:
+            if self.step() is None:
                 break
-            for job in runnable:
-                if max_ticks is not None and ticks >= max_ticks:
-                    return self.jobs()
-                self._tick(job)
-                ticks += 1
+            ticks += 1
         return self.jobs()
 
     def results(self) -> Dict[str, SynthesisResult]:
@@ -331,19 +348,22 @@ class Scheduler:
                 else min(self.quantum, remaining)
             slice_config = config.replace(
                 generations=budget,
-                seed=config.seed + done,
                 workers=0, telemetry_path=None)
             backend = None
             if self.workers > 1 and budget > 0 and \
                     parallel_safe_config(spec[0].num_vars, slice_config):
-                ctx = (f"{job.id}@{done}",
+                # Keyed by the bare job id: slices share one seed and
+                # pattern set now, so workers keep their evaluator (and
+                # resident decoded parent) warm across slice boundaries.
+                ctx = (job.id,
                        tuple(t.bits for t in spec), spec[0].num_vars,
                        slice_config.to_dict())
                 backend = JobBackend(self._shared_pool(), ctx, spec,
                                      slice_config)
             result = EvolutionRun(spec, slice_config, initial=incumbent,
                                   name=job.name, telemetry=telemetry,
-                                  backend=backend).run()
+                                  backend=backend, generation_offset=done
+                                  ).run()
             done += result.generations
             self.store.save_checkpoint(job.id, result.netlist, done, config)
             self._accumulate(record, result, done)

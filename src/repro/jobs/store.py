@@ -132,7 +132,9 @@ class JobStore:
             "netlist": netlist_to_dict(netlist),
         }
         if self.root is None:
-            self._slot(job_id)["checkpoint"] = payload
+            slot = self._slot(job_id)
+            slot["checkpoint"] = payload
+            slot["checkpoint_at"] = time.time()
             return
         _atomic_write_json(os.path.join(self._ensure_dir(job_id),
                                         "checkpoint.json"), payload)
@@ -149,6 +151,24 @@ class JobStore:
             return None
         return (netlist_from_dict(payload["netlist"]),
                 int(payload["generations_done"]))
+
+    def checkpoint_mtime(self, job_id: str) -> Optional[float]:
+        """When the job's checkpoint was last written (epoch seconds).
+
+        ``None`` when no checkpoint exists.  This is how liveness
+        observers (the HTTP service's status endpoint) distinguish a job
+        that is genuinely advancing from one whose process died
+        mid-slice: a ``running`` record whose checkpoint has stopped
+        moving and which no live scheduler owns is *interrupted*, not
+        running.
+        """
+        if self.root is None:
+            return self._slot(job_id).get("checkpoint_at")
+        path = os.path.join(self.job_dir(job_id), "checkpoint.json")
+        try:
+            return os.path.getmtime(path)
+        except OSError:
+            return None
 
     # -- baseline ------------------------------------------------------
 

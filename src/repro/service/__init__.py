@@ -1,0 +1,29 @@
+"""The synthesis scheduler as an HTTP service (stdlib only).
+
+* :class:`ServiceServer` — embeddable server: one
+  :class:`~repro.api.Session` (store + scheduler + shared pool) on a
+  background scheduling thread behind a ``ThreadingHTTPServer``.
+* :func:`serve` — blocking entry point with SIGTERM/SIGINT graceful
+  drain; what ``rcgp serve`` runs.
+* :class:`ServiceClient` — stdlib client mirroring the in-process API;
+  results come back as full ``SynthesisResult`` objects, bit-identical
+  to :func:`repro.api.synthesize` for the same job spec.
+
+Endpoint reference, request/response schemas and the operations runbook
+live in ``docs/service.md``.
+"""
+
+from .client import ServiceClient
+from .server import (INTERRUPTED, QUEUED, ROUTES, ServiceServer,
+                     route_exists, serve, status_for)
+
+__all__ = [
+    "INTERRUPTED",
+    "QUEUED",
+    "ROUTES",
+    "ServiceClient",
+    "ServiceServer",
+    "route_exists",
+    "serve",
+    "status_for",
+]

@@ -1,9 +1,13 @@
-"""Docs freshness: every ```python block in the docs compiles and runs.
+"""Docs freshness: every code block in the docs compiles, runs or lints.
 
 Thin pytest wrapper over ``tools/docs_smoke.py`` so a stale doc fails
-the tier-1 suite with the offending file:line in the test id.  Blocks
-whose first line is ``# doc: no-run`` only have their imports executed
-(dead names still fail); all other blocks run in full.
+the tier-1 suite with the offending file:line in the test id.  Python
+blocks whose first line is ``# doc: no-run`` only have their imports
+executed (dead names still fail); all other python blocks run in full.
+Shell blocks (```bash / ```sh / ```console) are linted: ``rcgp``
+subcommands and flags must exist on the real CLI surface, ``python -m``
+modules must import, and ``curl`` examples must hit real service
+routes.
 """
 
 import os
@@ -15,9 +19,12 @@ TOOLS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file_
 if TOOLS_DIR not in sys.path:
     sys.path.insert(0, TOOLS_DIR)
 
-from docs_smoke import DocBlock, extract_blocks, iter_blocks, run_block  # noqa: E402
+from docs_smoke import (DocBlock, ShellBlock, check_shell_block,  # noqa: E402
+                        check_shell_command, extract_blocks, iter_blocks,
+                        iter_shell_blocks, run_block, shell_commands)
 
 BLOCKS = iter_blocks()
+SHELL_BLOCKS = iter_shell_blocks()
 
 
 def test_docs_have_python_blocks():
@@ -67,3 +74,92 @@ def test_unterminated_fence_is_an_error(tmp_path):
             list(extract_blocks("bad.md"))
     finally:
         docs_smoke.REPO_ROOT = original
+
+
+# ----------------------------------------------------------------------
+# Shell-block linting
+
+
+def test_docs_have_shell_blocks():
+    # The CLI/service docs ship curl + rcgp examples; if the scanner
+    # finds none, it (or the docs) broke.
+    assert len(SHELL_BLOCKS) >= 3
+
+
+@pytest.mark.parametrize(
+    "block", SHELL_BLOCKS,
+    ids=[f"{b.path}:{b.lineno}" for b in SHELL_BLOCKS]
+)
+def test_shell_block(block):
+    assert check_shell_block(block) == []
+
+
+def test_unknown_rcgp_subcommand_is_caught():
+    assert any("unknown subcommand" in p
+               for p in check_shell_command("rcgp fly --fast"))
+
+
+def test_unknown_rcgp_flag_is_caught():
+    problems = check_shell_command("rcgp serve --no-such-flag 1")
+    assert any("unknown flag '--no-such-flag'" in p for p in problems)
+
+
+def test_real_rcgp_command_passes():
+    assert check_shell_command(
+        "rcgp serve --store runs/ --port 8787 --workers 4") == []
+    assert check_shell_command(
+        "rcgp bench decoder_2_4 --generations 1000 --seed 7") == []
+
+
+def test_rcgp_checked_behind_keywords_env_and_pipes(tmp_path):
+    assert check_shell_command(
+        "PYTHONPATH=src rcgp list | head -5") == []
+    problems = check_shell_command(
+        "if true; then rcgp serve --bogus; fi")
+    assert any("unknown flag '--bogus'" in p for p in problems)
+
+
+def test_python_module_existence_is_checked():
+    assert check_shell_command("python -m repro.cli list") == []
+    assert any("not importable" in p for p in
+               check_shell_command("python -m repro.no_such_module"))
+    assert any("no such file" in p for p in
+               check_shell_command("python tools/not_there.py"))
+
+
+def test_curl_routes_are_checked():
+    assert check_shell_command(
+        "curl http://127.0.0.1:8787/healthz") == []
+    assert check_shell_command(
+        "curl -X POST -d @job.json http://127.0.0.1:8787/v1/jobs") == []
+    assert check_shell_command(
+        "curl http://127.0.0.1:8787/v1/jobs/$JOB_ID/result") == []
+    assert any("not a service endpoint" in p for p in
+               check_shell_command("curl http://127.0.0.1:8787/v1/nope"))
+    # -d implies POST: GET /v1/jobs/{id} exists but POST does not.
+    assert any("not a service endpoint" in p for p in check_shell_command(
+        "curl -d '{}' http://127.0.0.1:8787/v1/jobs/$JOB_ID"))
+
+
+def test_unknown_command_word_is_caught():
+    assert any("unknown command" in p
+               for p in check_shell_command("frobnicate --now"))
+
+
+def test_console_blocks_lint_only_prompt_lines():
+    block = ShellBlock("synthetic.md", 1, "console",
+                       "$ rcgp list\nsome output: frobnicate --now\n")
+    assert shell_commands(block) == [(2, "rcgp list")]
+    assert check_shell_block(block) == []
+
+
+def test_heredoc_bodies_are_not_linted():
+    block = ShellBlock("synthetic.md", 1, "bash",
+                       "python - <<EOF\nnot shell at all\nEOF\n")
+    assert check_shell_block(block) == []
+
+
+def test_no_lint_marker_skips_block():
+    block = ShellBlock("synthetic.md", 1, "bash",
+                       "# doc: no-lint\nfrobnicate --now\n")
+    assert check_shell_block(block) == []

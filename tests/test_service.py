@@ -1,0 +1,289 @@
+"""Tests for the HTTP service layer (`repro.service`).
+
+The headline guarantees, mirroring the in-process scheduler suite:
+
+* **wire-identical results** — a job submitted over HTTP returns the
+  bit-identical ``SynthesisResult`` that :func:`repro.api.synthesize`
+  produces for the same spec + config, for any slice quantum;
+* **kill-and-resume over the wire** — a server killed mid-run reports
+  the job ``interrupted``/resumable, and a restarted server over the
+  same store converges to the identical final result;
+* **operability** — content-hash dedup, 429 backpressure on a full
+  queue, typed error → HTTP status mapping, and ``/metrics`` totals
+  that agree with the per-job result counters.
+"""
+
+import json
+
+import pytest
+
+from repro.api import synthesize
+from repro.core.config import RcgpConfig
+from repro.errors import (JobNotFound, JobNotReady, QueueFull, ReproError,
+                          ServiceError)
+from repro.io.rqfp_json import netlist_to_dict
+from repro.jobs import JobStore, Scheduler
+from repro.logic.truth_table import TruthTable, tabulate_word
+from repro.service import (INTERRUPTED, QUEUED, ServiceClient,
+                           ServiceServer, route_exists, status_for)
+
+
+def _decoder_spec():
+    return tabulate_word(lambda x: 1 << x, 2, 4)
+
+
+def _xor_and_spec():
+    return [TruthTable.from_function(lambda a, b: a ^ b, 2),
+            TruthTable.from_function(lambda a, b: a & b, 2)]
+
+
+def _config(**overrides):
+    base = dict(generations=150, seed=9, shrink="always",
+                mutation_rate=0.08, max_mutated_genes=8)
+    base.update(overrides)
+    return RcgpConfig(**base)
+
+
+@pytest.fixture
+def server():
+    with ServiceServer(None, port=0, quantum=25).start() as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url, timeout=10.0)
+
+
+class TestRoutingTable:
+    def test_known_routes_match(self):
+        job = "a" * 16
+        assert route_exists("POST", "/v1/jobs")
+        assert route_exists("GET", "/v1/jobs")
+        assert route_exists("GET", f"/v1/jobs/{job}")
+        assert route_exists("GET", f"/v1/jobs/{job}/result")
+        assert route_exists("GET", f"/v1/jobs/{job}/telemetry")
+        assert route_exists("GET", "/healthz")
+        assert route_exists("GET", "/metrics")
+
+    def test_unknown_routes_do_not(self):
+        assert not route_exists("GET", "/v2/jobs")
+        assert not route_exists("DELETE", "/v1/jobs")
+        assert not route_exists("GET", "/v1/jobs/NOT-HEX")
+        assert not route_exists("GET", "/v1/jobs/abcdef12/logs")
+
+    def test_status_mapping(self):
+        assert status_for(JobNotFound("x")) == 404
+        assert status_for(JobNotReady("x")) == 409
+        assert status_for(QueueFull("x")) == 429
+        assert status_for(KeyError("spec")) == 400
+        assert status_for(ValueError("x")) == 400
+        assert status_for(ReproError("x")) == 500
+        assert status_for(RuntimeError("x")) == 500
+
+
+class TestRoundTrip:
+    def test_bit_identical_to_in_process_synthesize(self, client):
+        spec, config = _decoder_spec(), _config()
+        baseline = synthesize(spec, config)
+
+        info = client.submit(spec, config)
+        assert info["state"] in (QUEUED, "pending", "running", "done")
+        final = client.wait(info["job_id"], timeout=120)
+        assert final["state"] == "done"
+        result = client.result(info["job_id"])
+        assert netlist_to_dict(result.netlist) == \
+            netlist_to_dict(baseline.netlist)
+        assert result.evolution.fitness.key() == \
+            baseline.evolution.fitness.key()
+        assert result.verify()
+
+    def test_resubmit_served_from_store(self, client):
+        spec, config = _xor_and_spec(), _config(generations=60)
+        info = client.submit(spec, config)
+        client.wait(info["job_id"], timeout=60)
+
+        again = client.submit(spec, config)
+        assert again["job_id"] == info["job_id"]
+        assert again["from_store"] is True
+        assert again["state"] == "done"
+        assert info["job_id"] in client.jobs()
+
+    def test_status_document_fields(self, client):
+        spec, config = _xor_and_spec(), _config(generations=60)
+        job_id = client.submit(spec, config)["job_id"]
+        view = client.wait(job_id, timeout=60)
+        assert view["generations"] == 60
+        assert view["generations_done"] == 60
+        assert view["seed"] == config.seed
+        assert view["slices"] >= 1
+        assert view["resumable"] is False
+        assert view["error"] is None
+
+    def test_metrics_agree_with_result_counters(self, client):
+        spec, config = _decoder_spec(), _config(generations=100)
+        job_id = client.submit(spec, config)["job_id"]
+        client.wait(job_id, timeout=60)
+        result = client.result(job_id)
+
+        metrics = client.metrics()
+        assert metrics["rcgp_evaluations_total"] == \
+            result.evolution.evaluations
+        assert metrics["rcgp_cache_hits_total"] == \
+            result.evolution.cache_hits
+        assert metrics['rcgp_jobs{state="done"}'] == 1
+        assert metrics["rcgp_queue_depth"] == 0
+
+    def test_health(self, client):
+        from repro import __version__
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["version"] == __version__
+
+    def test_telemetry_empty_for_memory_store(self, client):
+        spec, config = _xor_and_spec(), _config(generations=60)
+        job_id = client.submit(spec, config)["job_id"]
+        client.wait(job_id, timeout=60)
+        assert client.telemetry(job_id) == []
+
+
+class TestErrorMapping:
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(JobNotFound):
+            client.status("d" * 16)
+        with pytest.raises(JobNotFound):
+            client.telemetry("d" * 16)
+
+    def test_result_before_done_is_409(self, server, client):
+        # loop never runs on this server, so the job can't finish.
+        server2 = ServiceServer(None, port=0).start(loop=False)
+        try:
+            c2 = ServiceClient(server2.url, timeout=10.0)
+            job_id = c2.submit(_xor_and_spec(),
+                               _config(generations=60))["job_id"]
+            with pytest.raises(JobNotReady):
+                c2.raw_result(job_id)
+        finally:
+            server2.close()
+
+    def test_malformed_body_is_400(self, client):
+        import urllib.error
+        import urllib.request
+        request = urllib.request.Request(
+            client.base_url + "/v1/jobs", data=b'{"nope": 1}',
+            method="POST", headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert body["error"]["type"] == "KeyError"
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/v2/nothing")
+        assert err.value.http_status == 404
+
+    def test_unreachable_server(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServiceError):
+            client.health()
+
+
+class TestBackpressure:
+    def test_full_queue_answers_429(self):
+        server = ServiceServer(None, port=0, max_queue=1).start(loop=False)
+        try:
+            client = ServiceClient(server.url, timeout=10.0)
+            first = client.submit(_xor_and_spec(), _config(seed=1))
+            assert first["state"] == QUEUED
+            with pytest.raises(QueueFull):
+                client.submit(_xor_and_spec(), _config(seed=2))
+        finally:
+            server.close()
+
+    def test_duplicate_of_queued_job_is_idempotent(self):
+        server = ServiceServer(None, port=0, max_queue=1).start(loop=False)
+        try:
+            client = ServiceClient(server.url, timeout=10.0)
+            first = client.submit(_xor_and_spec(), _config(seed=1))
+            again = client.submit(_xor_and_spec(), _config(seed=1))
+            assert again["job_id"] == first["job_id"]
+            assert again["state"] == QUEUED
+            assert client.status(first["job_id"])["state"] == QUEUED
+        finally:
+            server.close()
+
+
+class TestInterruptedAndResume:
+    """Regression: a record left ``running`` by a dead process must be
+    reported ``interrupted`` + resumable, not ``running`` forever."""
+
+    def _strand_job(self, tmp_path, spec, config):
+        """Advance a job two slices and abandon it mid-run, exactly as
+        a SIGKILLed server would: record says ``running``, checkpoint
+        exists, no live scheduler owns it."""
+        store = str(tmp_path / "store")
+        with Scheduler(JobStore(store), quantum=25) as scheduler:
+            job = scheduler.submit(spec, config)
+            scheduler.run(max_ticks=2)
+            assert job.state == "running"
+        return store, job.id
+
+    def test_stranded_job_reports_interrupted(self, tmp_path):
+        spec, config = _decoder_spec(), _config(generations=400)
+        store, job_id = self._strand_job(tmp_path, spec, config)
+
+        server = ServiceServer(store, port=0, resume=False)
+        server.start(loop=False)
+        try:
+            view = ServiceClient(server.url, timeout=10.0).status(job_id)
+            assert view["state"] == INTERRUPTED
+            assert view["resumable"] is True
+            assert view["generations_done"] == 50
+            assert view["checkpoint_age_seconds"] >= 0.0
+        finally:
+            server.close()
+
+    def test_restarted_server_resumes_bit_identically(self, tmp_path):
+        spec, config = _decoder_spec(), _config(generations=400)
+        baseline = synthesize(spec, config)
+        store, job_id = self._strand_job(tmp_path, spec, config)
+
+        with ServiceServer(store, port=0, quantum=25).start() as server:
+            client = ServiceClient(server.url, timeout=10.0)
+            final = client.wait(job_id, timeout=120)
+            assert final["state"] == "done"
+            result = client.result(job_id)
+            assert netlist_to_dict(result.netlist) == \
+                netlist_to_dict(baseline.netlist)
+
+            # Dedup across the kill: resubmitting the same content hash
+            # is answered from the store, no re-evaluation.
+            again = client.submit(spec, config)
+            assert again["job_id"] == job_id
+            assert again["from_store"] is True
+
+            # Disk-backed jobs stream telemetry; the events carry the id.
+            events = client.telemetry(job_id)
+            assert events and all(e["job_id"] == job_id for e in events)
+
+    def test_graceful_drain_leaves_store_resumable(self, tmp_path):
+        spec, config = _decoder_spec(), _config(generations=400)
+        baseline = synthesize(spec, config)
+        store = str(tmp_path / "store")
+
+        server = ServiceServer(store, port=0, quantum=25).start()
+        client = ServiceClient(server.url, timeout=10.0)
+        job_id = client.submit(spec, config)["job_id"]
+        # Close immediately: the drain finishes (and checkpoints) at
+        # most the slice in flight, leaving the rest for a successor.
+        server.close()
+
+        with ServiceServer(store, port=0, quantum=25).start() as successor:
+            c2 = ServiceClient(successor.url, timeout=10.0)
+            final = c2.wait(job_id, timeout=120)
+            assert final["state"] == "done"
+            result = c2.result(job_id)
+            assert netlist_to_dict(result.netlist) == \
+                netlist_to_dict(baseline.netlist)
+            assert result.verify()
