@@ -114,7 +114,9 @@ def bench_run_serial(circuit: str, kernel: str, generations: int) -> float:
 
 def bench_run_workers2(circuit: str, kernel: str, generations: int) -> float:
     """End-to-end evolution with a 2-worker pool, evaluations per
-    second (includes pool startup — a smoke-level parallel number)."""
+    second (includes pool startup).  Same generation budget as
+    ``run_serial`` so ``run_workers2_speedup`` compares like with
+    like."""
     return _bench_run(circuit, kernel, generations, workers=2)
 
 
@@ -124,8 +126,8 @@ BENCHES: Dict[str, Tuple[Callable[[str, str, int], float], int, int]] = {
     "incremental_eval": (bench_incremental_eval, 2000, 300),
     "mutation_copy": (bench_mutation_copy, 5000, 800),
     "shrink": (bench_shrink, 2000, 300),
-    "run_serial": (bench_run_serial, 600, 60),
-    "run_workers2": (bench_run_workers2, 120, 40),
+    "run_serial": (bench_run_serial, 1200, 60),
+    "run_workers2": (bench_run_workers2, 1200, 60),
 }
 
 
@@ -134,13 +136,21 @@ def run_benches(circuit: str = "intdiv9", kernel: str = "flat",
                 skip_workers: bool = False) -> Dict[str, Dict[str, float]]:
     """Run every microbenchmark, best rate of ``repeats`` repetitions.
 
+    Repetitions are *interleaved* across benchmarks (all benches once,
+    then all benches again, ...) rather than run back-to-back per
+    bench: machine-throughput drift over a multi-minute suite then
+    lands on every bench roughly equally instead of contaminating
+    cross-bench ratios such as ``run_workers2_speedup``.
+
     Returns ``{bench: {"rate": evals_per_sec, "iterations": n}}``.
     """
     results: Dict[str, Dict[str, float]] = {}
-    for name, (func, full_n, quick_n) in BENCHES.items():
-        if skip_workers and name == "run_workers2":
-            continue
-        n = quick_n if quick else full_n
-        rate = max(func(circuit, kernel, n) for _ in range(repeats))
-        results[name] = {"rate": round(rate, 2), "iterations": n}
+    for _ in range(repeats):
+        for name, (func, full_n, quick_n) in BENCHES.items():
+            if skip_workers and name == "run_workers2":
+                continue
+            n = quick_n if quick else full_n
+            rate = func(circuit, kernel, n)
+            entry = results.setdefault(name, {"rate": 0.0, "iterations": n})
+            entry["rate"] = round(max(entry["rate"], rate), 2)
     return results

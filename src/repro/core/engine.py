@@ -53,7 +53,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import random
+import struct
 import time
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor as BrokenExecutorError
@@ -72,6 +74,9 @@ from .fitness import Evaluator, Fitness
 from .kernel import NetlistKernel
 from .mutation import MutationDelta, mutate_with_delta
 from .simstate import SimulationState
+from . import wire
+from .transport import (HANDLERS, OP_EVAL_DELTAS, OP_EVAL_GENOMES,
+                        OP_RESULT, OP_SPAN, PipeWorkerPool)
 
 ProgressCallback = Callable[[int, Fitness], None]
 
@@ -149,6 +154,24 @@ def _decode_candidate(genome: Genome, evaluator: Evaluator):
     if evaluator.kernel_mode:
         return NetlistKernel.from_genome(genome)
     return decode_genome(genome)
+
+
+def _adopt_names(candidate, template):
+    """Restore the names a genome round-trip drops.
+
+    :func:`encode_genome` keeps only port indices; a candidate decoded
+    from a replay span's genome must re-adopt the run's names (stable
+    through copy/shrink on both representations) so ``finalize()`` /
+    ``describe()`` output stays bit-identical to the serial loop's.
+    """
+    candidate.name = template.name
+    if isinstance(candidate, NetlistKernel):
+        candidate.input_names = tuple(template.input_names)
+        candidate.output_names = tuple(template.output_names)
+    else:
+        candidate.input_names = list(template.input_names)
+        candidate.output_names = list(template.output_names)
+    return candidate
 
 
 def child_seed(base_seed: int, generation: int, index: int) -> int:
@@ -304,6 +327,7 @@ class InlineBackend:
 # deltas) and get back plain fitness tuples with counter deltas.
 _WORKER_EVALUATOR: Optional[Evaluator] = None
 _WORKER_PARENT = None  # (Genome, candidate, SimulationState)
+_WORKER_SPAN = None  # (Genome, candidate, SimulationState, consumer map)
 
 # Fault injection for the fault-tolerance test suite: when the
 # environment sets RCGP_TEST_CRASH_AFTER_EVALS / RCGP_TEST_HANG_AFTER_EVALS
@@ -422,6 +446,157 @@ def _pool_evaluate_deltas(parent_genome: Genome,
                  after[2] - before[2])
 
 
+def replay_span(evaluator: Evaluator, resident,
+                request: wire.SpanRequest):
+    """Run the ``(1+λ)`` loop worker-side for one replay span.
+
+    Instead of receiving per-offspring :class:`MutationDelta` batches,
+    the worker re-derives every mutation from the deterministic RNG
+    keys ``(seed, absolute generation, index)`` — bit-identical to the
+    coordinator's by construction — and runs mutation, incremental
+    evaluation, selection and neutral-drift acceptance locally.  The
+    span ends at the first *strict* improvement (the coordinator owns
+    the shrink/simplify/history accept block) or after
+    ``request.count`` generations.
+
+    ``resident`` caches ``(genome, parent, state, consumers)`` across
+    spans; like :class:`InlineBackend`, the memoized state is rebuilt
+    only when the chromosome *value* changes (neutral accepts that
+    cancel out keep the warm state) or the pattern epoch moves.
+    Returns ``(SpanResult, resident)``.
+    """
+    config = evaluator.config
+
+    def span_state(candidate):
+        # Span-resident states amortize the parent's fan-out index over
+        # the whole span: cone evaluation goes worklist-driven
+        # (O(cone)) instead of scanning the netlist tail per offspring.
+        prepared = evaluator.prepare_parent(candidate)
+        prepared.enable_fanout_index()
+        return prepared
+
+    genome = request.parent_genome
+    if resident is None or resident[0] != genome:
+        parent = _decode_candidate(genome, evaluator)
+        resident = (genome, parent, span_state(parent),
+                    parent.consumers())
+    genome, parent, state, consumers = resident
+    if state.epoch != evaluator.pattern_epoch:
+        state = span_state(parent)
+    parent_fitness = Fitness(*request.parent_fitness)
+    rng = random.Random()
+    offspring = config.offspring
+    shrink_always = config.shrink == "always"
+    check = request.check_deltas
+    check_at = 0
+    records: List[wire.SpanRecord] = []
+    improved = False
+    child_genome: Optional[Genome] = None
+    for k in range(request.count):
+        generation = request.start_gen + k
+        before = _counters(evaluator)
+        best_fit: Optional[Fitness] = None
+        best_child = None
+        for i in range(offspring):
+            _maybe_inject_fault()
+            rng.seed(child_seed(request.base_seed, generation, i))
+            child, delta = mutate_with_delta(parent, rng, config,
+                                             consumers=consumers,
+                                             rollback=True)
+            if check is not None:
+                if delta.flatten() != check[check_at].flatten():
+                    raise WorkerPoolError(
+                        "worker-side mutation replay diverged from the "
+                        f"shipped-delta path at generation {generation}, "
+                        f"offspring {i}")
+                check_at += 1
+            if state.epoch != evaluator.pattern_epoch:
+                state = span_state(parent)
+            fit = evaluator.evaluate_incremental(child, delta, state)
+            if best_fit is None or fit.key() >= best_fit.key():
+                best_fit = fit
+                best_child = child
+        after = _counters(evaluator)
+        accepted = best_fit.key() >= parent_fitness.key()
+        records.append((accepted,
+                        (best_fit.success, best_fit.n_r, best_fit.n_g,
+                         best_fit.n_b),
+                        (after[0] - before[0], after[1] - before[1],
+                         after[2] - before[2])))
+        if accepted:
+            if best_fit.key() > parent_fitness.key():
+                improved = True
+                child_genome = encode_genome(best_child)
+                break
+            # Neutral drift: advance the resident parent exactly as the
+            # serial engine would (shrink policy included), rebuilding
+            # state/consumers only when the chromosome value changed.
+            parent_fitness = best_fit
+            new_parent = best_child.shrink() if shrink_always else best_child
+            new_genome = encode_genome(new_parent)
+            if new_genome != genome:
+                genome = new_genome
+                parent = new_parent
+                state = span_state(parent)
+                consumers = parent.consumers()
+    resident = (genome, parent, state, consumers)
+    final_genome = genome \
+        if not improved and genome != request.parent_genome else None
+    return wire.SpanResult(records=tuple(records), improved=improved,
+                           child_genome=child_genome,
+                           final_genome=final_genome), resident
+
+
+# -- wire frames and worker-side handlers ------------------------------
+
+_RESULT_PREFIX = bytes([OP_RESULT])
+_U32 = struct.Struct("<I")
+
+
+def _frame_eval_genomes(genomes: Sequence[Genome]) -> bytes:
+    return bytes([OP_EVAL_GENOMES]) + wire.pack_genomes(genomes)
+
+
+def _frame_eval_deltas(parent_genome: Genome,
+                       deltas: Sequence[MutationDelta]) -> bytes:
+    blob = wire.pack_genome(parent_genome)
+    return b"".join((bytes([OP_EVAL_DELTAS]), _U32.pack(len(blob)), blob,
+                     wire.pack_deltas(deltas)))
+
+
+def _frame_span(request: wire.SpanRequest) -> bytes:
+    return bytes([OP_SPAN]) + wire.pack_span_request(request)
+
+
+def _handle_eval_genomes(payload: memoryview) -> bytes:
+    values, counters = _pool_evaluate(wire.unpack_genomes(payload))
+    return _RESULT_PREFIX + wire.pack_fitness_chunk(values, counters)
+
+
+def _handle_eval_deltas(payload: memoryview) -> bytes:
+    (size,) = _U32.unpack_from(payload, 0)
+    at = _U32.size
+    genome = wire.unpack_genome(payload[at:at + size])
+    deltas = wire.unpack_deltas(payload[at + size:])
+    values, counters = _pool_evaluate_deltas(genome, deltas)
+    return _RESULT_PREFIX + wire.pack_fitness_chunk(values, counters)
+
+
+def _handle_span(payload: memoryview) -> bytes:
+    global _WORKER_SPAN
+    evaluator = _WORKER_EVALUATOR
+    if evaluator is None:
+        raise WorkerPoolError("pool worker used before initialization")
+    request = wire.unpack_span_request(payload)
+    result, _WORKER_SPAN = replay_span(evaluator, _WORKER_SPAN, request)
+    return _RESULT_PREFIX + wire.pack_span_result(result)
+
+
+HANDLERS[OP_EVAL_GENOMES] = _handle_eval_genomes
+HANDLERS[OP_EVAL_DELTAS] = _handle_eval_deltas
+HANDLERS[OP_SPAN] = _handle_span
+
+
 def kill_executor(pool) -> None:
     """Tear a ProcessPoolExecutor down *now*, hung workers included.
 
@@ -479,6 +654,83 @@ def collect_chunk_results(futures, timeout: Optional[float]) \
     return results, (totals[0], totals[1], totals[2])
 
 
+class AdaptiveChunker:
+    """Latency-driven chunk planner for per-generation batches.
+
+    ``chunk_evenly``'s fixed ``workers``-way split pays one dispatch
+    round trip per worker per batch even when the whole batch is
+    microseconds of work — on small broods that overhead *is* the
+    batch.  This planner sizes the split from the observed per-item
+    evaluation time instead: split across workers only when every
+    chunk's useful work amortizes the dispatch cost
+    (``AMORTIZE × DISPATCH_COST``), otherwise ship the whole batch to a
+    single worker.  The first batch probes with a full split so the
+    estimate starts from real data.
+    """
+
+    #: Assumed fixed cost of one chunk dispatch+collect round trip (s).
+    DISPATCH_COST = 5e-4
+    #: Minimum useful-work multiple of DISPATCH_COST per chunk.
+    AMORTIZE = 4.0
+    #: EWMA weight of the newest per-item observation.
+    BLEND = 0.3
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self._per_item: Optional[float] = None
+
+    def plan(self, items: int) -> int:
+        """How many chunks to split ``items`` into (>= 1)."""
+        if items <= 1:
+            return 1
+        if self._per_item is None:
+            return min(self.workers, items)
+        budget = items * self._per_item
+        chunks = int(budget / (self.AMORTIZE * self.DISPATCH_COST))
+        return max(1, min(self.workers, items, chunks))
+
+    def observe(self, items: int, chunks: int, elapsed: float) -> None:
+        """Fold one batch's wall time into the per-item estimate."""
+        if items <= 0 or elapsed <= 0:
+            return
+        per = max(0.0, elapsed - chunks * self.DISPATCH_COST) / items
+        if self._per_item is None:
+            self._per_item = per
+        else:
+            self._per_item += self.BLEND * (per - self._per_item)
+
+
+class SpanPlanner:
+    """Adaptive sizing for worker-side replay spans.
+
+    Spans grow geometrically while round trips come back well under the
+    latency target and shrink when they overrun it, so long plateaus
+    amortize the per-span round trip while hang detection
+    (``batch_timeout``) and interrupts stay responsive.
+    """
+
+    START = 8
+    MAX = 512
+    #: Default wall-latency target per span (seconds).
+    TARGET = 0.25
+
+    def __init__(self, batch_timeout: Optional[float]):
+        self._span = self.START
+        self._target = self.TARGET if batch_timeout is None \
+            else min(self.TARGET, batch_timeout / 4.0)
+
+    def plan(self, headroom: int) -> int:
+        """Generations for the next span, capped by the caller's room."""
+        return max(1, min(self._span, headroom))
+
+    def observe(self, planned: int, executed: int,
+                elapsed: float) -> None:
+        if executed >= planned and elapsed < self._target / 2:
+            self._span = min(self.MAX, self._span * 2)
+        elif elapsed > self._target and self._span > self.START:
+            self._span = max(self.START, self._span // 2)
+
+
 class ProcessPoolBackend:
     """Persistent process pool; workers hold a pre-built evaluator.
 
@@ -524,7 +776,14 @@ class ProcessPoolBackend:
         self.worker_restarts = 0
         self.batches_retried = 0
         self.degraded = False
-        self._pool = None
+        # Transport counters (telemetry / EvolutionResult).
+        self.bytes_shipped = 0
+        self.chunks_dispatched = 0
+        self.pipeline_stalls = 0
+        self._chunker = AdaptiveChunker(workers)
+        self._pool: Optional[PipeWorkerPool] = None
+        self._inflight_span: Optional[wire.SpanRequest] = None
+        self._span_live = False
         self._inline: Optional[InlineBackend] = None
         self._fallback_evaluator: Optional[Evaluator] = None
         self._spawn()
@@ -532,19 +791,18 @@ class ProcessPoolBackend:
     # -- pool lifecycle ------------------------------------------------
 
     def _spawn(self) -> None:
-        from concurrent.futures import ProcessPoolExecutor
-        self._pool = ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_pool_initializer,
-            initargs=([t.bits for t in self._spec],
-                      self._spec[0].num_vars,
-                      self._config.to_dict()),
+        self._pool = PipeWorkerPool(
+            self.workers,
+            init_payload=([t.bits for t in self._spec],
+                          self._spec[0].num_vars,
+                          self._config.to_dict()),
         )
 
     def _kill_pool(self) -> None:
         """Tear the pool down *now*, hung workers included."""
         pool, self._pool = self._pool, None
-        kill_executor(pool)
+        if pool is not None:
+            pool.kill()
 
     def terminate(self) -> None:
         """Immediate shutdown (SIGINT path): kill workers, cancel work."""
@@ -552,8 +810,13 @@ class ProcessPoolBackend:
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.close()
             self._pool = None
+
+    def _send(self, index: int, frame: bytes) -> None:
+        self._pool.send(index, frame)
+        self.bytes_shipped += len(frame)
+        self.chunks_dispatched += 1
 
     # -- inline degradation --------------------------------------------
 
@@ -580,22 +843,49 @@ class ProcessPoolBackend:
 
     # -- batch dispatch with recovery ----------------------------------
 
-    def _run_batch(self, submit) -> Optional[List[Fitness]]:
+    def _deadline(self) -> Optional[float]:
+        timeout = self._config.batch_timeout
+        return None if timeout is None else time.monotonic() + timeout
+
+    def _collect(self, count: int) -> Tuple[List[Fitness],
+                                            Tuple[int, int, int]]:
+        """Gather ``count`` chunk replies in submission order."""
+        deadline = self._deadline()
+        results: List[Fitness] = []
+        totals = [0, 0, 0]
+        for index in range(count):
+            frame = self._pool.recv(index, deadline)
+            values, counters = wire.unpack_fitness_chunk(
+                memoryview(frame)[1:])
+            results.extend(Fitness(*value) for value in values)
+            for k in range(3):
+                totals[k] += counters[k]
+        return results, (totals[0], totals[1], totals[2])
+
+    def _run_batch(self, items: List,
+                   make_frame) -> Optional[List[Fitness]]:
         """Dispatch one batch with bounded fault recovery.
 
-        ``submit`` is ``(pool) -> futures`` for the batch's chunks.
-        Returns None when recovery is exhausted and the backend has
-        degraded — the caller then evaluates inline.
+        ``make_frame`` is ``(chunk) -> request frame`` for one chunk of
+        ``items``.  Returns None when recovery is exhausted and the
+        backend has degraded — the caller then evaluates inline.
         """
         if self.degraded:
             return None
         retries = self._config.batch_retries
-        timeout = self._config.batch_timeout
         attempt = 0
+        plan = self._chunker.plan(len(items))
         while True:
             try:
-                futures = submit(self._pool)
-                results, counters = collect_chunk_results(futures, timeout)
+                if self._pool is None:
+                    self._spawn()
+                chunks = chunk_evenly(items, plan)
+                started = time.monotonic()
+                for index, chunk in enumerate(chunks):
+                    self._send(index, make_frame(chunk))
+                results, counters = self._collect(len(chunks))
+                self._chunker.observe(len(items), len(chunks),
+                                      time.monotonic() - started)
             except (KeyboardInterrupt, SystemExit):
                 self._kill_pool()
                 raise
@@ -629,9 +919,7 @@ class ProcessPoolBackend:
         genomes = list(genomes)
         if not genomes:
             return []
-        chunks = self._chunk(genomes)
-        results = self._run_batch(lambda pool: [
-            pool.submit(_pool_evaluate, chunk) for chunk in chunks])
+        results = self._run_batch(genomes, _frame_eval_genomes)
         if results is None:
             return self._run_inline(lambda b: b.evaluate(genomes))
         return results
@@ -650,18 +938,98 @@ class ProcessPoolBackend:
         deltas = list(deltas)
         if not deltas:
             return []
-        chunks = self._chunk(deltas)
-        results = self._run_batch(lambda pool: [
-            pool.submit(_pool_evaluate_deltas, parent_genome, chunk)
-            for chunk in chunks])
+        results = self._run_batch(
+            deltas,
+            lambda chunk: _frame_eval_deltas(parent_genome, chunk))
         if results is None:
             return self._run_inline(
                 lambda b: b.evaluate_deltas(parent_genome, deltas,
                                             children))
         return results
 
-    def _chunk(self, items: List) -> List[List]:
-        return chunk_evenly(items, self.workers)
+    # -- replay spans (worker-side mutation replay) --------------------
+
+    @property
+    def supports_spans(self) -> bool:
+        return not self.degraded
+
+    def dispatch_span(self, request: "wire.SpanRequest") -> bool:
+        """Ship one replay span to worker 0 without waiting for it.
+
+        Returns False when the backend has degraded (the engine then
+        falls back to the classic per-generation loop).  Dispatch
+        failures are not retried here — :meth:`collect_span` owns the
+        retry loop and re-dispatches from the stored request, so a
+        frame lost to a dying pipe is simply sent again.
+        """
+        if self.degraded:
+            return False
+        self._inflight_span = request
+        self._span_live = False
+        try:
+            if self._pool is None:
+                self._spawn()
+            self._send(0, _frame_span(request))
+            self._span_live = True
+        except (KeyboardInterrupt, SystemExit):
+            self._kill_pool()
+            raise
+        except RECOVERABLE_POOL_ERRORS:
+            self._kill_pool()
+        return True
+
+    def collect_span(self) -> Optional["wire.SpanResult"]:
+        """Block for the in-flight span's result, with fault recovery.
+
+        Returns None when recovery is exhausted (backend degraded) —
+        the engine replays the span's generations inline.  Worker
+        evaluation-counter deltas are committed here, once per record,
+        exactly as chunk results commit theirs.
+        """
+        request = self._inflight_span
+        if request is None:
+            raise RuntimeError("collect_span without a dispatched span")
+        if self.degraded:
+            self._inflight_span = None
+            self._span_live = False
+            return None
+        if self._span_live and self._pool is not None \
+                and not self._pool.ready(0):
+            # The coordinator caught up with the worker: the overlap
+            # window was shorter than the span's compute time.
+            self.pipeline_stalls += 1
+        retries = self._config.batch_retries
+        attempt = 0
+        while True:
+            try:
+                if self._pool is None:
+                    self._spawn()
+                if not self._span_live:
+                    self._send(0, _frame_span(request))
+                    self._span_live = True
+                frame = self._pool.recv(0, self._deadline())
+            except (KeyboardInterrupt, SystemExit):
+                self._kill_pool()
+                raise
+            except RECOVERABLE_POOL_ERRORS:
+                self._kill_pool()
+                self._span_live = False
+                if attempt >= retries:
+                    self.degraded = True
+                    self._inflight_span = None
+                    return None
+                attempt += 1
+                self.batches_retried += 1
+                self.worker_restarts += 1
+                continue
+            result = wire.unpack_span_result(memoryview(frame)[1:])
+            for _accepted, _fit, deltas in result.records:
+                self.eval_full += deltas[0]
+                self.eval_incremental += deltas[1]
+                self.ports_resimulated += deltas[2]
+            self._inflight_span = None
+            self._span_live = False
+            return result
 
 
 def parallel_safe(evaluator: Evaluator, config: RcgpConfig) -> bool:
@@ -753,6 +1121,9 @@ class EvolutionResult:
     ports_resimulated: int = 0
     worker_restarts: int = 0
     batches_retried: int = 0
+    bytes_shipped: int = 0
+    chunks_dispatched: int = 0
+    pipeline_stalls: int = 0
     degraded_to_inline: bool = False
     interrupted: bool = False
     verified: bool = False
@@ -937,9 +1308,222 @@ class EvolutionRun:
         last_faults = (0, 0, False) \
             if telemetry is not None and remote else None
 
+        # Worker-side mutation replay: when offspring cross a process
+        # boundary anyway and the memo cache is off (every child is
+        # evaluated, so nothing coordinator-side needs per-child
+        # genomes), whole plateau stretches run on the worker — the
+        # coordinator ships one genome per span instead of λ deltas per
+        # generation.  RCGP_REPLAY=0 restores per-generation dispatch;
+        # RCGP_CHECK_INCREMENTAL=1 keeps replay but ships the
+        # coordinator's own deltas alongside for worker-side
+        # verification (span length 1).
+        stop = False
+        name_template = parent
+        check_mode = os.environ.get(
+            "RCGP_CHECK_INCREMENTAL", "") not in ("", "0")
+        use_replay = (
+            incremental and remote and not cache.enabled
+            and config.time_budget is None
+            and getattr(backend, "supports_spans", False)
+            and os.environ.get("RCGP_REPLAY", "1") != "0"
+            and -2**63 <= base_seed < 2**63
+            and parallel_safe(evaluator, config))
+        planner = SpanPlanner(config.batch_timeout) if use_replay else None
+
+        def span_headroom(gen: int, stag: int) -> int:
+            # How many generations the worker may run before the serial
+            # loop would have stopped anyway (budget end or stagnation
+            # break) — spans never overshoot either.
+            room = config.generations - gen
+            if config.stagnation_limit is not None:
+                room = min(room, config.stagnation_limit - stag)
+            return room
+
+        def make_span(first: int, count: int) -> wire.SpanRequest:
+            nonlocal parent_consumers
+            check = None
+            if check_mode:
+                if parent_consumers is None:
+                    parent_consumers = parent.consumers()
+                check = []
+                for g in range(count):
+                    for i in range(config.offspring):
+                        rng = random.Random(child_seed(
+                            base_seed,
+                            self.generation_offset + first + g, i))
+                        _, delta = mutate_with_delta(
+                            parent, rng, config,
+                            consumers=parent_consumers, rollback=True)
+                        check.append(delta)
+            return wire.SpanRequest(
+                base_seed=base_seed,
+                start_gen=self.generation_offset + first,
+                count=count,
+                parent_fitness=(parent_fitness.success, parent_fitness.n_r,
+                                parent_fitness.n_g, parent_fitness.n_b),
+                parent_genome=parent_genome,
+                check_deltas=check)
+
         try:
             try:
-                for generation in range(1, config.generations + 1):
+                inflight = None
+                while use_replay and not stop \
+                        and generation < config.generations:
+                    if inflight is None:
+                        planned = 1 if check_mode \
+                            else planner.plan(
+                                span_headroom(generation, stagnation))
+                        request = make_span(generation + 1, planned)
+                        dispatched_at = time.monotonic()
+                        if not backend.dispatch_span(request):
+                            break  # degraded: classic loop runs inline
+                        inflight = (planned, dispatched_at)
+                    planned, dispatched_at = inflight
+                    inflight = None
+                    result = backend.collect_span()
+                    if result is None:
+                        break  # degraded: classic loop runs inline
+                    planner.observe(planned, len(result.records),
+                                    time.monotonic() - dispatched_at)
+                    records = result.records
+                    executed = len(records)
+                    span_start_fitness = parent_fitness
+                    # Per-record cumulative counter values: collect_span
+                    # committed every record's worker deltas, so record
+                    # j's telemetry value is the live counter minus the
+                    # deltas of the records after j.  (The improving
+                    # last record instead reads live counters after the
+                    # accept block, catching the master-side simplify
+                    # re-evaluation exactly like the serial loop.)
+                    prefixes: List[Tuple[int, int, int]] = []
+                    if telemetry is not None:
+                        live = (counter("eval_full"),
+                                counter("eval_incremental"),
+                                counter("ports_resimulated"))
+                        prefixes = [live] * executed
+                        behind = (0, 0, 0)
+                        for j in range(executed - 1, -1, -1):
+                            prefixes[j] = (live[0] - behind[0],
+                                           live[1] - behind[1],
+                                           live[2] - behind[2])
+                            deltas = records[j][2]
+                            behind = (behind[0] + deltas[0],
+                                      behind[1] + deltas[1],
+                                      behind[2] + deltas[2])
+                    if not result.improved:
+                        # Advance the incumbent *first* so the next span
+                        # can be dispatched before the per-record
+                        # bookkeeping below — the worker computes span
+                        # k+1 while the coordinator narrates span k.
+                        last_fit = None
+                        for accepted, fit, _deltas in records:
+                            if accepted:
+                                last_fit = fit
+                        if last_fit is not None:
+                            parent_fitness = Fitness(*last_fit)
+                        if result.final_genome is not None:
+                            parent_genome = result.final_genome
+                            parent = _adopt_names(
+                                _decode_candidate(parent_genome, evaluator),
+                                name_template)
+                            parent_consumers = None
+                        end_generation = generation + executed
+                        end_stagnation = stagnation + executed
+                        if not check_mode and \
+                                span_headroom(end_generation,
+                                              end_stagnation) >= 1:
+                            planned = planner.plan(
+                                span_headroom(end_generation,
+                                              end_stagnation))
+                            request = make_span(end_generation + 1,
+                                                planned)
+                            dispatched_at = time.monotonic()
+                            if backend.dispatch_span(request):
+                                inflight = (planned, dispatched_at)
+                    cur_fitness = span_start_fitness
+                    for j, (accepted, fit, _deltas) in enumerate(records):
+                        generation += 1
+                        pool_evaluations += config.offspring
+                        improved = result.improved and j == executed - 1
+                        if accepted and not improved \
+                                and telemetry is not None:
+                            # cur_fitness only feeds the telemetry
+                            # stream; skip the per-record construction
+                            # when nothing is listening.
+                            cur_fitness = Fitness(*fit)
+                        if improved:
+                            # The coordinator owns the accept block for
+                            # strict improvements — identical to the
+                            # serial loop's, incumbent decoded from the
+                            # span's winning offspring.
+                            parent = _adopt_names(
+                                _decode_candidate(result.child_genome,
+                                                  evaluator),
+                                name_template)
+                            parent_fitness = Fitness(*fit)
+                            if config.shrink in ("always",
+                                                 "on_improvement"):
+                                parent = parent.shrink()
+                            if config.simplify_wires:
+                                flat = isinstance(parent, NetlistKernel)
+                                view = parent.to_netlist() if flat \
+                                    else parent
+                                simplified = bypass_wire_gates(view)
+                                if simplified.num_gates < view.num_gates:
+                                    parent = NetlistKernel.from_netlist(
+                                        simplified) if flat else simplified
+                                    parent_fitness = self._fitness_of(
+                                        encode_genome(parent), parent,
+                                        evaluator, cache)
+                            parent_genome = encode_genome(parent)
+                            parent_consumers = None
+                            cur_fitness = parent_fitness
+                            stagnation = 0
+                            if config.track_history:
+                                history.append((generation,
+                                                parent_fitness))
+                            if self.progress is not None:
+                                self.progress(generation, parent_fitness)
+                        if telemetry is not None:
+                            ef, ei, pr = (
+                                (counter("eval_full"),
+                                 counter("eval_incremental"),
+                                 counter("ports_resimulated"))
+                                if j == executed - 1 else prefixes[j])
+                            telemetry.emit(
+                                "generation", generation=generation,
+                                best_key=list(cur_fitness.key()),
+                                improved=improved, accepted=accepted,
+                                evaluations=evaluator.evaluations
+                                + pool_evaluations,
+                                cache_hits=cache.hits,
+                                sat_calls=evaluator.sat_calls,
+                                eval_full=ef, eval_incremental=ei,
+                                ports_resimulated=pr,
+                                wall_time=round(
+                                    time.monotonic() - start, 6),
+                            )
+                        if not improved:
+                            stagnation += 1
+                            if config.stagnation_limit is not None and \
+                                    stagnation >= config.stagnation_limit:
+                                stop = True
+                    if last_faults is not None:
+                        faults = (backend.worker_restarts,
+                                  backend.batches_retried,
+                                  backend.degraded)
+                        if faults != last_faults:
+                            last_faults = faults
+                            telemetry.emit(
+                                "worker_fault", generation=generation,
+                                worker_restarts=faults[0],
+                                batches_retried=faults[1],
+                                degraded=faults[2])
+
+                classic_start = config.generations + 1 if stop \
+                    else generation + 1
+                for generation in range(classic_start,
+                                        config.generations + 1):
                     if config.time_budget is not None and \
                             time.monotonic() - start >= config.time_budget:
                         generation -= 1
@@ -1139,6 +1723,9 @@ class EvolutionRun:
                 ports_resimulated=counter("ports_resimulated"),
                 worker_restarts=getattr(backend, "worker_restarts", 0),
                 batches_retried=getattr(backend, "batches_retried", 0),
+                bytes_shipped=getattr(backend, "bytes_shipped", 0),
+                chunks_dispatched=getattr(backend, "chunks_dispatched", 0),
+                pipeline_stalls=getattr(backend, "pipeline_stalls", 0),
                 degraded_to_inline=getattr(backend, "degraded", False),
                 interrupted=interrupted,
                 verified=verified,
@@ -1154,6 +1741,9 @@ class EvolutionRun:
                     ports_resimulated=result.ports_resimulated,
                     worker_restarts=result.worker_restarts,
                     batches_retried=result.batches_retried,
+                    bytes_shipped=result.bytes_shipped,
+                    chunks_dispatched=result.chunks_dispatched,
+                    pipeline_stalls=result.pipeline_stalls,
                     degraded_to_inline=result.degraded_to_inline,
                     interrupted=result.interrupted,
                     verified=result.verified,

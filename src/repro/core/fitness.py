@@ -322,14 +322,26 @@ class Evaluator:
                                   & mask).bit_count() - terms[i]
                 flags = state.out_flags
                 out_map = state.out_map
-                for port, _ in undo:
-                    if flags[port]:
-                        word = values[port]
-                        for i in out_map[port]:
-                            if rewired is not None and i in rewired:
-                                continue
-                            wrong += ((word ^ expected[i])
-                                      & mask).bit_count() - terms[i]
+                # The scan logs (port, old word) tuples; span mode logs
+                # bare ports (restore comes from the pristine copy).
+                if state.plain_undo:
+                    for port in undo:
+                        if flags[port]:
+                            word = values[port]
+                            for i in out_map[port]:
+                                if rewired is not None and i in rewired:
+                                    continue
+                                wrong += ((word ^ expected[i])
+                                          & mask).bit_count() - terms[i]
+                else:
+                    for port, _ in undo:
+                        if flags[port]:
+                            word = values[port]
+                            for i in out_map[port]:
+                                if rewired is not None and i in rewired:
+                                    continue
+                                wrong += ((word ^ expected[i])
+                                          & mask).bit_count() - terms[i]
             else:
                 wrong = 0
                 for port, expected in zip(child.outputs, self._expected):

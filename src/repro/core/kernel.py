@@ -43,6 +43,7 @@ exhaustive), far beyond any fixed-width array element.  Only the genome
 from __future__ import annotations
 
 from array import array
+from heapq import heappop, heappush
 from itertools import chain
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -514,6 +515,86 @@ class NetlistKernel:
                     dirty[index] = 1
                 index += 1
         return 3 * recomputed, undo
+
+    def resimulate_cone_scheduled(self, values: List[int], mask: int,
+                                  touched_gates: Sequence[int],
+                                  gates: List[Tuple[int, int, int, int]],
+                                  fans: List[Sequence[int]]) \
+            -> Tuple[int, List[Tuple[int, int]]]:
+        """Worklist-driven variant of :meth:`resimulate_cone_tracked`.
+
+        Instead of scanning every gate between the first touched index
+        and the end of the netlist (paying a gene unpack plus a
+        three-flag test per *untouched* gate), the sweep pops gate
+        indices off a min-heap seeded with the touched gates and extends
+        it through ``fans`` — the **parent's** port -> consumer-gate
+        index, built once per resident parent.  The parent's fan-out
+        index is sufficient for the child: a child differs from the
+        parent only in the touched gates' input edges, and touched gates
+        are scheduled unconditionally, so the edges the index is missing
+        never decide a schedule.
+
+        Gates are topological (a consumer's index is strictly greater
+        than its producer's), so the heap pops in ascending index order
+        — the recomputed gate set, the recompute order, and therefore
+        the changed-port log and the ports-resimulated counter are
+        bit-identical to the scan.  The scan stays the right choice for
+        one-shot (batch) evaluation where no per-parent fan-out index is
+        warm; this variant is what makes the span-resident replay loop
+        cheaper than the serial engine loop.
+
+        Unlike :meth:`resimulate_cone_tracked`, the undo log holds bare
+        changed-port indices — no ``(port, old word)`` tuple per change.
+        The caller restores from a pristine copy of the parent vector
+        (:meth:`SimulationState.restore` with a fan-out index enabled),
+        which a span-resident state keeps warm anyway.
+        """
+        changed: List[int] = []
+        if not touched_gates:
+            return 0, changed
+        scheduled = bytearray(len(gates))
+        heap: List[int] = []
+        for g in touched_gates:
+            if not scheduled[g]:
+                scheduled[g] = 1
+                heappush(heap, g)
+        record = changed.append
+        funcs = _MAJ_FUNCS
+        recomputed = 0
+        base = self.num_inputs + 1
+        while heap:
+            g = heappop(heap)
+            ia, ib, ic, config = gates[g]
+            recomputed += 1
+            f = funcs.get(config)
+            if f is None:
+                f = funcs[config] = _compile_maj(config)
+            w0, w1, w2 = f(values[ia], values[ib], values[ic], mask)
+            index = base + 3 * g
+            if values[index] != w0:
+                record(index)
+                values[index] = w0
+                for h in fans[index]:
+                    if not scheduled[h]:
+                        scheduled[h] = 1
+                        heappush(heap, h)
+            index += 1
+            if values[index] != w1:
+                record(index)
+                values[index] = w1
+                for h in fans[index]:
+                    if not scheduled[h]:
+                        scheduled[h] = 1
+                        heappush(heap, h)
+            index += 1
+            if values[index] != w2:
+                record(index)
+                values[index] = w2
+                for h in fans[index]:
+                    if not scheduled[h]:
+                        scheduled[h] = 1
+                        heappush(heap, h)
+        return 3 * recomputed, changed
 
     def _resimulate(self, values, mask, touched_gates):
         if not touched_gates:

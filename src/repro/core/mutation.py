@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..rqfp.netlist import CONST_PORT, RqfpNetlist
 from .config import RcgpConfig
@@ -77,6 +77,40 @@ class MutationDelta:
     @property
     def is_empty(self) -> bool:
         return not self.gates and not self.outputs
+
+    def flatten(self) -> List[int]:
+        """The delta as a flat int run, for the pool's wire codec.
+
+        Layout: ``n_gates, n_outputs`` then ``(g, in0, in1, in2, config)``
+        per gate and ``(index, port)`` per output.  ``touched_gates`` is
+        derived from ``gates`` and never serialized.  Inverse of
+        :meth:`consume`.
+        """
+        flat = [len(self.gates), len(self.outputs)]
+        for g, (in0, in1, in2, config) in self.gates:
+            flat.extend((g, in0, in1, in2, config))
+        for index, port in self.outputs:
+            flat.extend((index, port))
+        return flat
+
+    @classmethod
+    def consume(cls, flat: Sequence[int], at: int) \
+            -> Tuple["MutationDelta", int]:
+        """Rebuild one delta from ``flat[at:]``; returns it and the new
+        cursor, so a packed stream of deltas parses in one pass."""
+        n_gates, n_outputs = flat[at], flat[at + 1]
+        at += 2
+        gates = []
+        for _ in range(n_gates):
+            gates.append((flat[at],
+                          (flat[at + 1], flat[at + 2], flat[at + 3],
+                           flat[at + 4])))
+            at += 5
+        outputs = []
+        for _ in range(n_outputs):
+            outputs.append((flat[at], flat[at + 1]))
+            at += 2
+        return cls(gates=tuple(gates), outputs=tuple(outputs)), at
 
     def apply_to(self, parent: Candidate) -> Candidate:
         """Reconstruct the offspring this delta was recorded against.

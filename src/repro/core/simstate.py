@@ -51,8 +51,8 @@ class SimulationState:
     """
 
     __slots__ = ("num_gates", "num_ports", "values", "mask", "epoch",
-                 "_parent", "_zipped", "out_terms", "out_total",
-                 "out_flags", "out_map")
+                 "_parent", "_zipped", "_fans", "_pristine", "out_terms",
+                 "out_total", "out_flags", "out_map")
 
     def __init__(self, parent, words: Sequence[int], mask: int,
                  epoch: int = 0):
@@ -63,7 +63,42 @@ class SimulationState:
         self.epoch = epoch
         self._parent = parent
         self._zipped = None  # parent genes zipped per gate, on demand
+        self._fans = None  # port -> consumer gates, see enable_fanout_index
+        self._pristine = None  # untouched copy of values, span mode only
         self.out_terms = None  # see init_output_terms
+
+    def enable_fanout_index(self) -> None:
+        """Opt in to worklist-driven cone resimulation (kernel parents).
+
+        Builds the parent's port -> consumer-gate-index fan-out lists so
+        :meth:`child_values_tracked` can dispatch to
+        :meth:`~repro.core.kernel.NetlistKernel.
+        resimulate_cone_scheduled` instead of the index-ordered scan —
+        bit-identical, but O(cone) rather than O(netlist) per offspring
+        — and keeps a pristine copy of the parent vector so undo logs
+        hold bare port indices instead of ``(port, old word)`` tuples.
+        Worth the build cost only for a *resident* parent that will be
+        evaluated against for many generations (the worker-side replay
+        loop); one-shot batch states skip it and keep the scan.
+        """
+        parent = self._parent
+        if self._fans is not None \
+                or not hasattr(parent, "resimulate_cone_scheduled"):
+            return
+        fans: List[List[int]] = [[] for _ in range(self.num_ports)]
+        for g, port in enumerate(parent.in0):
+            fans[port].append(g)
+        for g, port in enumerate(parent.in1):
+            fans[port].append(g)
+        for g, port in enumerate(parent.in2):
+            fans[port].append(g)
+        self._fans = fans
+        self._pristine = self.values.copy()
+
+    @property
+    def plain_undo(self) -> bool:
+        """Whether undo logs are bare port indices (span mode)."""
+        return self._pristine is not None
 
     def init_output_terms(self, expected: Sequence[int]) -> None:
         """Memoize the parent's per-output wrong-bit counts.
@@ -134,15 +169,30 @@ class SimulationState:
             patches.append((g, zipped[g]))
             zipped[g] = (in0[g], in1[g], in2[g], cfg[g])
         try:
-            resimulated, undo = child.resimulate_cone_tracked(
-                self.values, self.mask, touched_gates, zipped)
+            if self._fans is not None:
+                resimulated, undo = child.resimulate_cone_scheduled(
+                    self.values, self.mask, touched_gates, zipped,
+                    self._fans)
+            else:
+                resimulated, undo = child.resimulate_cone_tracked(
+                    self.values, self.mask, touched_gates, zipped)
         finally:
             for g, entry in patches:
                 zipped[g] = entry
         return self.values, resimulated, undo
 
-    def restore(self, undo: List[Tuple[int, int]]) -> None:
-        """Rewind a :meth:`child_values_tracked` patch."""
+    def restore(self, undo) -> None:
+        """Rewind a :meth:`child_values_tracked` patch.
+
+        In span mode (:meth:`enable_fanout_index`) the log holds bare
+        port indices and the old words come from the pristine copy;
+        otherwise it holds ``(port, old word)`` tuples.
+        """
         values = self.values
-        for port, word in undo:
-            values[port] = word
+        pristine = self._pristine
+        if pristine is not None:
+            for port in undo:
+                values[port] = pristine[port]
+        else:
+            for port, word in undo:
+                values[port] = word

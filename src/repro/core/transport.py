@@ -1,0 +1,205 @@
+"""Pipe-based worker pool transport for offspring evaluation.
+
+``concurrent.futures.ProcessPoolExecutor`` costs a surprising amount
+per dispatch — a call queue with a management thread, per-task pickling
+of the callable and its arguments, and a result queue on the way back.
+On the engine's hot path (one small batch per generation, hundreds of
+thousands of generations) that fixed overhead dominates the useful
+work.  This module replaces it with the thinnest thing that still
+satisfies the pool contract:
+
+* one ``multiprocessing.Pipe`` + long-lived ``Process`` per worker;
+* one length-prefixed **frame** per request/reply (``send_bytes`` /
+  ``recv_bytes``), first byte = opcode, payload packed by
+  :mod:`repro.core.wire` (no pickle on the per-batch path);
+* worker exceptions pickled into an ``ERROR`` frame and re-raised
+  coordinator-side, so typed errors (``WorkerPoolError``) propagate
+  exactly as futures propagated them;
+* crash/hang/pipe-death surfaces as ``EOFError`` / ``OSError`` /
+  ``TimeoutError`` — the same :data:`repro.core.engine.
+  RECOVERABLE_POOL_ERRORS` the batch-retry machinery already handles.
+
+Handlers are registered per opcode in :data:`HANDLERS` by the modules
+that own them (:mod:`repro.core.engine` for single-run evaluation and
+replay spans, :mod:`repro.jobs.pool` for the scheduler's job-keyed
+variants); the worker main loop resolves unknown job opcodes by
+importing :mod:`repro.jobs.pool` lazily, so a spawned (non-fork) worker
+still finds them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+# Frame opcodes.  Requests: single-run evaluation + replay; the 0x1*
+# block is the scheduler's job-keyed variants (handlers registered by
+# repro.jobs.pool).  Replies: one RESULT or ERROR frame per request.
+OP_EVAL_GENOMES = 0x02
+OP_EVAL_DELTAS = 0x03
+OP_SPAN = 0x04
+OP_JOB_EVAL_GENOMES = 0x12
+OP_JOB_EVAL_DELTAS = 0x13
+OP_JOB_SPAN = 0x14
+OP_RESULT = 0x20
+OP_ERROR = 0x2E
+
+_JOB_OPS = frozenset((OP_JOB_EVAL_GENOMES, OP_JOB_EVAL_DELTAS,
+                      OP_JOB_SPAN))
+
+#: Opcode -> ``(payload: memoryview) -> reply frame bytes``.  Populated
+#: at import time by the owning modules; forked workers inherit it,
+#: spawned workers rebuild it by importing the owners.
+HANDLERS: Dict[int, Callable[[memoryview], bytes]] = {}
+
+
+def _resolve_handler(op: int) -> Callable[[memoryview], bytes]:
+    handler = HANDLERS.get(op)
+    if handler is None and op in _JOB_OPS:
+        import repro.jobs.pool  # noqa: F401  (registers job handlers)
+        handler = HANDLERS.get(op)
+    if handler is None:
+        raise ValueError(f"unknown pool frame opcode 0x{op:02x}")
+    return handler
+
+
+def _worker_main(conn, stale, init_payload) -> None:
+    """One worker process: a frame-dispatch loop until the pipe dies."""
+    # A forked worker inherits the coordinator-side handles of its own
+    # pipe and of every pipe created before it.  Holding them open would
+    # break EOF semantics both ways: the coordinator could never signal
+    # shutdown by closing its end, and an earlier worker's crash would
+    # go undetected.  Drop them first.
+    for inherited in stale:
+        try:
+            inherited.close()
+        except OSError:
+            pass
+    from . import engine as _engine
+    # A forked worker inherits the coordinator's module state (tests
+    # drive the worker functions in-process); start from a clean slate.
+    _engine._WORKER_EVALUATOR = None
+    _engine._WORKER_PARENT = None
+    _engine._WORKER_SPAN = None
+    jobs_pool = sys.modules.get("repro.jobs.pool")
+    if jobs_pool is not None:
+        jobs_pool._shared_initializer()
+    _engine.install_fault_injection()
+    if init_payload is not None:
+        _engine._pool_initializer(*init_payload)
+    while True:
+        try:
+            frame = conn.recv_bytes()
+        except (EOFError, OSError):
+            return
+        except KeyboardInterrupt:
+            return
+        try:
+            reply = _resolve_handler(frame[0])(memoryview(frame)[1:])
+        except (KeyboardInterrupt, SystemExit):
+            return
+        except BaseException as exc:  # ship it back, typed
+            try:
+                payload = pickle.dumps(exc)
+            except Exception:
+                payload = pickle.dumps(RuntimeError(repr(exc)))
+            reply = bytes([OP_ERROR]) + payload
+        try:
+            conn.send_bytes(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _PipeWorker:
+    __slots__ = ("conn", "process")
+
+    def __init__(self, conn, process):
+        self.conn = conn
+        self.process = process
+
+
+class PipeWorkerPool:
+    """A fixed set of pipe-connected worker processes.
+
+    Pure transport: ``send`` ships one request frame to one worker,
+    ``recv`` blocks (under an optional deadline) for that worker's
+    reply, unwrapping ``ERROR`` frames into re-raised exceptions.
+    Retry/degradation policy lives with the owners
+    (:class:`~repro.core.engine.ProcessPoolBackend`,
+    :class:`~repro.jobs.pool.SharedWorkerPool`).
+    """
+
+    def __init__(self, workers: int, init_payload=None):
+        self.workers = workers
+        ctx = multiprocessing.get_context()
+        self._members: List[_PipeWorker] = []
+        for _ in range(workers):
+            ours, theirs = ctx.Pipe(duplex=True)
+            # Coordinator-side handles the child must not keep: earlier
+            # workers' (their `theirs` is already closed here, so the
+            # child only inherits the `ours` side) and its own.
+            stale = [member.conn for member in self._members] + [ours]
+            process = ctx.Process(target=_worker_main,
+                                  args=(theirs, stale, init_payload),
+                                  daemon=True)
+            process.start()
+            # The child holds its own handle; keeping ours open too
+            # would mask worker death (recv would never EOF).
+            theirs.close()
+            self._members.append(_PipeWorker(ours, process))
+
+    def send(self, index: int, frame: bytes) -> None:
+        """Ship one frame; pipe death raises OSError (recoverable)."""
+        self._members[index].conn.send_bytes(frame)
+
+    def ready(self, index: int) -> bool:
+        """Whether a reply frame is already buffered (non-blocking)."""
+        return self._members[index].conn.poll(0)
+
+    def recv(self, index: int, deadline: Optional[float]) -> bytes:
+        """One reply frame, ERROR frames re-raised, deadline enforced."""
+        conn = self._members[index].conn
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not conn.poll(remaining):
+                raise TimeoutError(
+                    f"pool worker {index} overran the batch deadline")
+        frame = conn.recv_bytes()
+        if frame and frame[0] == OP_ERROR:
+            raise pickle.loads(memoryview(frame)[1:])
+        return frame
+
+    def kill(self) -> None:
+        """Tear the pool down *now*, hung workers included."""
+        for member in self._members:
+            try:
+                member.process.kill()
+            except Exception:
+                pass
+            try:
+                member.conn.close()
+            except Exception:
+                pass
+        for member in self._members:
+            try:
+                member.process.join(timeout=1.0)
+            except Exception:
+                pass
+        self._members = []
+
+    def close(self) -> None:
+        """Graceful shutdown: close pipes (workers exit on EOF), join."""
+        for member in self._members:
+            try:
+                member.conn.close()
+            except Exception:
+                pass
+        for member in self._members:
+            member.process.join(timeout=5.0)
+            if member.process.is_alive():
+                member.process.kill()
+                member.process.join(timeout=1.0)
+        self._members = []

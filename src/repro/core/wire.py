@@ -1,0 +1,259 @@
+"""Compact wire codec for the worker-pool transport.
+
+Everything that crosses a worker pipe per batch is packed here as raw
+``struct``/``array('q')`` bytes instead of pickled tuple-of-tuples:
+
+* **genomes** — a flat port-index genome is an ``array('q')`` memory
+  dump (:func:`pack_genome`), eight bytes per gene with zero per-element
+  object overhead;
+* **mutation deltas** — length-prefixed flat int runs via
+  :meth:`~repro.core.mutation.MutationDelta.flatten`;
+* **fitness chunks** — one ``<dqqq`` record per offspring plus the
+  worker's evaluation-counter deltas (:func:`pack_fitness_chunk`);
+* **replay spans** — the request ("replay generations ``[start,
+  start+count)`` from this parent") and the result (per-generation
+  accept records plus at most one genome back) for worker-side mutation
+  replay (:class:`SpanRequest` / :class:`SpanResult`).
+
+The codec is deliberately dependency-light (``struct``, ``array``, the
+:class:`~repro.core.mutation.MutationDelta` dataclass) and symmetric:
+every ``pack_*`` has an ``unpack_*`` inverse, property-tested in
+``tests/test_wire.py``.  Fitness values travel as raw ``(success, n_r,
+n_g, n_b)`` tuples — rebuilding :class:`~repro.core.fitness.Fitness`
+objects is the caller's business.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .mutation import MutationDelta
+
+Fit4 = Tuple[float, int, int, int]
+"""Raw fitness fields ``(success, n_r, n_g, n_b)``."""
+
+_LEN = struct.Struct("<I")
+_FIT = struct.Struct("<dqqq")
+_COUNTERS = struct.Struct("<qqq")
+#: Per-generation replay record: accepted flag, best fitness, and the
+#: generation's (eval_full, eval_incremental, ports_resimulated) deltas.
+_RECORD = struct.Struct("<Bdqqqqqq")
+_SPAN_REQ = struct.Struct("<qqIB")
+_SPAN_RES = struct.Struct("<IB")
+
+
+# ----------------------------------------------------------------------
+# Genomes
+
+
+def pack_genome(genome: Sequence[int]) -> bytes:
+    """Flat genome tuple -> raw little-endian int64 dump."""
+    return array("q", genome).tobytes()
+
+
+def unpack_genome(data: bytes) -> Tuple[int, ...]:
+    """Inverse of :func:`pack_genome`."""
+    values = array("q")
+    values.frombytes(data)
+    return tuple(values)
+
+
+def pack_genomes(genomes: Sequence[Sequence[int]]) -> bytes:
+    """Length-prefixed genome list (genomes may differ in shape)."""
+    parts = [_LEN.pack(len(genomes))]
+    for genome in genomes:
+        blob = pack_genome(genome)
+        parts.append(_LEN.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def unpack_genomes(data: bytes) -> List[Tuple[int, ...]]:
+    """Inverse of :func:`pack_genomes`."""
+    (count,) = _LEN.unpack_from(data, 0)
+    at = _LEN.size
+    out = []
+    for _ in range(count):
+        (size,) = _LEN.unpack_from(data, at)
+        at += _LEN.size
+        out.append(unpack_genome(data[at:at + size]))
+        at += size
+    return out
+
+
+# ----------------------------------------------------------------------
+# Mutation deltas
+
+
+def pack_deltas(deltas: Sequence[MutationDelta]) -> bytes:
+    """Delta batch -> one flat ``array('q')`` run."""
+    flat: List[int] = [len(deltas)]
+    for delta in deltas:
+        flat.extend(delta.flatten())
+    return array("q", flat).tobytes()
+
+
+def unpack_deltas(data: bytes) -> List[MutationDelta]:
+    """Inverse of :func:`pack_deltas`."""
+    flat = array("q")
+    flat.frombytes(data)
+    count = flat[0]
+    at = 1
+    out = []
+    for _ in range(count):
+        delta, at = MutationDelta.consume(flat, at)
+        out.append(delta)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fitness chunks
+
+
+def pack_fitness_chunk(values: Sequence[Fit4],
+                       counters: Tuple[int, int, int]) -> bytes:
+    """One chunk's results: fitness records + worker counter deltas."""
+    parts = [_LEN.pack(len(values))]
+    parts.extend(_FIT.pack(*value) for value in values)
+    parts.append(_COUNTERS.pack(*counters))
+    return b"".join(parts)
+
+
+def unpack_fitness_chunk(data: bytes) \
+        -> Tuple[List[Fit4], Tuple[int, int, int]]:
+    """Inverse of :func:`pack_fitness_chunk`."""
+    (count,) = _LEN.unpack_from(data, 0)
+    at = _LEN.size
+    values: List[Fit4] = []
+    for _ in range(count):
+        success, n_r, n_g, n_b = _FIT.unpack_from(data, at)
+        values.append((success, n_r, n_g, n_b))
+        at += _FIT.size
+    counters = _COUNTERS.unpack_from(data, at)
+    return values, counters
+
+
+# ----------------------------------------------------------------------
+# Replay spans
+
+
+@dataclass(frozen=True)
+class SpanRequest:
+    """One replay work order: run the ``(1+λ)`` loop worker-side.
+
+    The worker re-derives every offspring from the RNG keys ``(seed,
+    absolute generation, index)`` — no deltas cross the wire — and runs
+    mutation, incremental evaluation, selection and neutral-drift
+    acceptance locally for up to ``count`` generations starting at the
+    absolute generation ``start_gen``, stopping early at the first
+    strict improvement.  ``check_deltas`` (the ``RCGP_CHECK_INCREMENTAL``
+    path) carries the coordinator's own mutation deltas so the worker
+    can verify its replay is bit-identical to the shipped-delta path.
+    """
+
+    base_seed: int
+    start_gen: int
+    count: int
+    parent_fitness: Fit4
+    parent_genome: Tuple[int, ...]
+    check_deltas: Optional[Sequence[MutationDelta]] = None
+
+
+SpanRecord = Tuple[bool, Fit4, Tuple[int, int, int]]
+"""Per-generation replay outcome: ``(accepted, best fitness, counter
+deltas)``."""
+
+
+@dataclass(frozen=True)
+class SpanResult:
+    """What comes back from one :class:`SpanRequest`.
+
+    ``records`` holds one entry per executed generation.  On a strict
+    improvement the span stops and ``child_genome`` carries the winning
+    offspring (pre-shrink) for the coordinator's accept block; otherwise
+    ``final_genome`` carries the worker's advanced parent whenever
+    neutral drift changed it during the span.
+    """
+
+    records: Tuple[SpanRecord, ...]
+    improved: bool
+    child_genome: Optional[Tuple[int, ...]] = None
+    final_genome: Optional[Tuple[int, ...]] = None
+
+
+def pack_span_request(request: SpanRequest) -> bytes:
+    flags = 1 if request.check_deltas is not None else 0
+    genome_blob = pack_genome(request.parent_genome)
+    parts = [
+        _SPAN_REQ.pack(request.base_seed, request.start_gen,
+                       request.count, flags),
+        _FIT.pack(*request.parent_fitness),
+        _LEN.pack(len(genome_blob)),
+        genome_blob,
+    ]
+    if request.check_deltas is not None:
+        check_blob = pack_deltas(request.check_deltas)
+        parts.append(_LEN.pack(len(check_blob)))
+        parts.append(check_blob)
+    return b"".join(parts)
+
+
+def unpack_span_request(data: bytes) -> SpanRequest:
+    base_seed, start_gen, count, flags = _SPAN_REQ.unpack_from(data, 0)
+    at = _SPAN_REQ.size
+    fitness = _FIT.unpack_from(data, at)
+    at += _FIT.size
+    (size,) = _LEN.unpack_from(data, at)
+    at += _LEN.size
+    genome = unpack_genome(data[at:at + size])
+    at += size
+    check_deltas = None
+    if flags & 1:
+        (size,) = _LEN.unpack_from(data, at)
+        at += _LEN.size
+        check_deltas = unpack_deltas(data[at:at + size])
+    return SpanRequest(base_seed=base_seed, start_gen=start_gen,
+                       count=count,
+                       parent_fitness=(fitness[0], fitness[1],
+                                       fitness[2], fitness[3]),
+                       parent_genome=genome, check_deltas=check_deltas)
+
+
+def pack_span_result(result: SpanResult) -> bytes:
+    flags = (1 if result.improved else 0) \
+        | (2 if result.child_genome is not None else 0) \
+        | (4 if result.final_genome is not None else 0)
+    parts = [_SPAN_RES.pack(len(result.records), flags)]
+    for accepted, fit, counters in result.records:
+        parts.append(_RECORD.pack(1 if accepted else 0, fit[0], fit[1],
+                                  fit[2], fit[3], counters[0],
+                                  counters[1], counters[2]))
+    for genome in (result.child_genome, result.final_genome):
+        if genome is not None:
+            blob = pack_genome(genome)
+            parts.append(_LEN.pack(len(blob)))
+            parts.append(blob)
+    return b"".join(parts)
+
+
+def unpack_span_result(data: bytes) -> SpanResult:
+    count, flags = _SPAN_RES.unpack_from(data, 0)
+    at = _SPAN_RES.size
+    records: List[SpanRecord] = []
+    for _ in range(count):
+        rec = _RECORD.unpack_from(data, at)
+        at += _RECORD.size
+        records.append((bool(rec[0]), (rec[1], rec[2], rec[3], rec[4]),
+                        (rec[5], rec[6], rec[7])))
+    genomes: List[Optional[Tuple[int, ...]]] = [None, None]
+    for slot, bit in ((0, 2), (1, 4)):
+        if flags & bit:
+            (size,) = _LEN.unpack_from(data, at)
+            at += _LEN.size
+            genomes[slot] = unpack_genome(data[at:at + size])
+            at += size
+    return SpanResult(records=tuple(records), improved=bool(flags & 1),
+                      child_genome=genomes[0], final_genome=genomes[1])

@@ -26,16 +26,22 @@ bit-identical to the lost one.
 
 from __future__ import annotations
 
+import pickle
+import struct
+import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core import engine as _engine
+from ..core import wire
 from ..core.config import RcgpConfig
-from ..core.engine import (Genome, InlineBackend, chunk_evenly,
-                           collect_chunk_results, kill_executor,
-                           RECOVERABLE_POOL_ERRORS)
+from ..core.engine import (AdaptiveChunker, Genome, InlineBackend,
+                           chunk_evenly, RECOVERABLE_POOL_ERRORS)
 from ..core.fitness import Evaluator, Fitness
 from ..core.mutation import MutationDelta
+from ..core.transport import (HANDLERS, OP_JOB_EVAL_DELTAS,
+                              OP_JOB_EVAL_GENOMES, OP_JOB_SPAN, OP_RESULT,
+                              PipeWorkerPool)
 from ..logic.truth_table import TruthTable
 
 #: Portable per-chunk job context: (job_id, spec bits, num_vars, config
@@ -48,15 +54,18 @@ JobContext = Tuple[str, Tuple[int, ...], int, Dict[str, object]]
 #: evicted jobs just rebuild on their next chunk.
 _WORKER_JOB_CACHE = 8
 
-# Worker-side state: per-job evaluators and resident parents, keyed by
-# job id.  Mirrors the single-job globals in repro.core.engine.
+# Worker-side state: per-job evaluators, resident parents and replay
+# residents, keyed by job id.  Mirrors the single-job globals in
+# repro.core.engine.
 _JOB_EVALUATORS: "OrderedDict[str, Evaluator]" = OrderedDict()
 _JOB_PARENTS: Dict[str, tuple] = {}
+_JOB_SPANS: Dict[str, tuple] = {}
 
 
 def _shared_initializer() -> None:
     _JOB_EVALUATORS.clear()
     _JOB_PARENTS.clear()
+    _JOB_SPANS.clear()
     _engine.install_fault_injection()
 
 
@@ -70,6 +79,7 @@ def _evaluator_for(ctx: JobContext) -> Evaluator:
         while len(_JOB_EVALUATORS) > _WORKER_JOB_CACHE:
             evicted, _ = _JOB_EVALUATORS.popitem(last=False)
             _JOB_PARENTS.pop(evicted, None)
+            _JOB_SPANS.pop(evicted, None)
     _JOB_EVALUATORS.move_to_end(job_id)
     return evaluator
 
@@ -119,6 +129,65 @@ def _job_evaluate_deltas(ctx: JobContext, parent_genome: Genome,
                  after[2] - before[2])
 
 
+def _job_replay_span(ctx: JobContext, request: wire.SpanRequest) \
+        -> wire.SpanResult:
+    """One replay span against this job's resident evaluator/parent."""
+    job_id = ctx[0]
+    evaluator = _evaluator_for(ctx)
+    result, resident = _engine.replay_span(evaluator,
+                                           _JOB_SPANS.get(job_id), request)
+    _JOB_SPANS[job_id] = resident
+    return result
+
+
+# -- wire frames and worker-side handlers ------------------------------
+#
+# Job frames are the single-run frames with a pickled JobContext
+# prefixed (length-delimited).  The context is tiny next to a batch of
+# deltas and only *decoded* into an evaluator on a job's first chunk.
+
+_RESULT_PREFIX = bytes([OP_RESULT])
+_U32 = struct.Struct("<I")
+
+
+def _frame_job(opcode: int, ctx_blob: bytes, payload: bytes) -> bytes:
+    return b"".join((bytes([opcode]), _U32.pack(len(ctx_blob)), ctx_blob,
+                     payload))
+
+
+def _split_ctx(payload: memoryview) -> Tuple[JobContext, memoryview]:
+    (size,) = _U32.unpack_from(payload, 0)
+    at = _U32.size
+    return pickle.loads(payload[at:at + size]), payload[at + size:]
+
+
+def _handle_job_eval_genomes(payload: memoryview) -> bytes:
+    ctx, rest = _split_ctx(payload)
+    values, counters = _job_evaluate(ctx, wire.unpack_genomes(rest))
+    return _RESULT_PREFIX + wire.pack_fitness_chunk(values, counters)
+
+
+def _handle_job_eval_deltas(payload: memoryview) -> bytes:
+    ctx, rest = _split_ctx(payload)
+    (size,) = _U32.unpack_from(rest, 0)
+    at = _U32.size
+    genome = wire.unpack_genome(rest[at:at + size])
+    deltas = wire.unpack_deltas(rest[at + size:])
+    values, counters = _job_evaluate_deltas(ctx, genome, deltas)
+    return _RESULT_PREFIX + wire.pack_fitness_chunk(values, counters)
+
+
+def _handle_job_span(payload: memoryview) -> bytes:
+    ctx, rest = _split_ctx(payload)
+    result = _job_replay_span(ctx, wire.unpack_span_request(rest))
+    return _RESULT_PREFIX + wire.pack_span_result(result)
+
+
+HANDLERS[OP_JOB_EVAL_GENOMES] = _handle_job_eval_genomes
+HANDLERS[OP_JOB_EVAL_DELTAS] = _handle_job_eval_deltas
+HANDLERS[OP_JOB_SPAN] = _handle_job_span
+
+
 class SharedWorkerPool:
     """A lazily spawned process pool shared by every scheduled job.
 
@@ -139,21 +208,29 @@ class SharedWorkerPool:
         self.worker_restarts = 0
         self.batches_retried = 0
         self.degraded = False
-        self._pool = None
+        # Transport counters, cumulative across jobs and slices; each
+        # JobBackend exposes slice-local views.
+        self.bytes_shipped = 0
+        self.chunks_dispatched = 0
+        self.pipeline_stalls = 0
+        # Per-item latency blends across jobs — acceptable: it only
+        # steers chunk counts, never results.
+        self._chunker = AdaptiveChunker(workers)
+        self._pool: Optional[PipeWorkerPool] = None
+        self._span_frame: Optional[bytes] = None
+        self._span_live = False
 
     # -- lifecycle -----------------------------------------------------
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> PipeWorkerPool:
         if self._pool is None:
-            from concurrent.futures import ProcessPoolExecutor
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_shared_initializer)
+            self._pool = PipeWorkerPool(self.workers)
         return self._pool
 
     def _kill_pool(self) -> None:
         pool, self._pool = self._pool, None
-        kill_executor(pool)
+        if pool is not None:
+            pool.kill()
 
     def terminate(self) -> None:
         """Immediate shutdown: kill workers, cancel queued work."""
@@ -161,26 +238,49 @@ class SharedWorkerPool:
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.close()
             self._pool = None
+
+    def _send(self, index: int, frame: bytes) -> None:
+        self._pool.send(index, frame)
+        self.bytes_shipped += len(frame)
+        self.chunks_dispatched += 1
 
     # -- batch dispatch with recovery ----------------------------------
 
-    def run_batch(self, submit, timeout: Optional[float],
-                  retries: int):
+    def run_batch(self, items: List, make_frame,
+                  timeout: Optional[float], retries: int):
         """Dispatch one batch with bounded fault recovery.
 
-        ``submit`` is ``(pool) -> futures``.  Returns ``(fitnesses,
-        counters)`` or ``None`` once the pool has degraded — the caller
-        then evaluates inline.
+        ``make_frame`` is ``(chunk) -> request frame`` for one chunk of
+        ``items``.  Returns ``(fitnesses, counters)`` or ``None`` once
+        the pool has degraded — the caller then evaluates inline.
         """
         if self.degraded:
             return None
         attempt = 0
+        plan = self._chunker.plan(len(items))
         while True:
             try:
-                futures = submit(self._ensure_pool())
-                return collect_chunk_results(futures, timeout)
+                pool = self._ensure_pool()
+                chunks = chunk_evenly(items, plan)
+                started = time.monotonic()
+                for index, chunk in enumerate(chunks):
+                    self._send(index, make_frame(chunk))
+                deadline = None if timeout is None \
+                    else started + timeout
+                results: List[Fitness] = []
+                totals = [0, 0, 0]
+                for index in range(len(chunks)):
+                    frame = pool.recv(index, deadline)
+                    values, counters = wire.unpack_fitness_chunk(
+                        memoryview(frame)[1:])
+                    results.extend(Fitness(*value) for value in values)
+                    for k in range(3):
+                        totals[k] += counters[k]
+                self._chunker.observe(len(items), len(chunks),
+                                      time.monotonic() - started)
+                return results, (totals[0], totals[1], totals[2])
             except (KeyboardInterrupt, SystemExit):
                 self._kill_pool()
                 raise
@@ -197,6 +297,72 @@ class SharedWorkerPool:
                 except OSError:
                     self.degraded = True
                     return None
+
+    # -- replay spans --------------------------------------------------
+
+    def dispatch_span(self, frame: bytes) -> bool:
+        """Ship one replay-span frame to worker 0 without waiting.
+
+        Mirrors :meth:`~repro.core.engine.ProcessPoolBackend.
+        dispatch_span`: send failures are left for
+        :meth:`collect_span`'s retry loop, which re-dispatches from the
+        stored frame.
+        """
+        if self.degraded:
+            return False
+        self._span_frame = frame
+        self._span_live = False
+        try:
+            self._ensure_pool()
+            self._send(0, frame)
+            self._span_live = True
+        except (KeyboardInterrupt, SystemExit):
+            self._kill_pool()
+            raise
+        except RECOVERABLE_POOL_ERRORS:
+            self._kill_pool()
+        return True
+
+    def collect_span(self, timeout: Optional[float],
+                     retries: int) -> Optional[wire.SpanResult]:
+        """Block for the in-flight span, with bounded fault recovery."""
+        frame = self._span_frame
+        if frame is None:
+            raise RuntimeError("collect_span without a dispatched span")
+        if self.degraded:
+            self._span_frame = None
+            self._span_live = False
+            return None
+        if self._span_live and self._pool is not None \
+                and not self._pool.ready(0):
+            self.pipeline_stalls += 1
+        attempt = 0
+        while True:
+            try:
+                pool = self._ensure_pool()
+                if not self._span_live:
+                    self._send(0, frame)
+                    self._span_live = True
+                deadline = None if timeout is None \
+                    else time.monotonic() + timeout
+                reply = pool.recv(0, deadline)
+            except (KeyboardInterrupt, SystemExit):
+                self._kill_pool()
+                raise
+            except RECOVERABLE_POOL_ERRORS:
+                self._kill_pool()
+                self._span_live = False
+                if attempt >= retries:
+                    self.degraded = True
+                    self._span_frame = None
+                    return None
+                attempt += 1
+                self.batches_retried += 1
+                self.worker_restarts += 1
+                continue
+            self._span_frame = None
+            self._span_live = False
+            return wire.unpack_span_result(memoryview(reply)[1:])
 
 
 class JobBackend:
@@ -216,6 +382,7 @@ class JobBackend:
                  spec: Sequence[TruthTable], config: RcgpConfig):
         self._sp = pool
         self._ctx = ctx
+        self._ctx_blob = pickle.dumps(ctx)
         self._spec = list(spec)
         self._config = config
         self.eval_full = 0
@@ -223,10 +390,13 @@ class JobBackend:
         self.ports_resimulated = 0
         self._restarts_at = pool.worker_restarts
         self._retried_at = pool.batches_retried
+        self._bytes_at = pool.bytes_shipped
+        self._chunks_at = pool.chunks_dispatched
+        self._stalls_at = pool.pipeline_stalls
         self._inline: Optional[InlineBackend] = None
         self._fallback_evaluator: Optional[Evaluator] = None
 
-    # Slice-local views of the shared recovery counters.
+    # Slice-local views of the shared recovery/transport counters.
     @property
     def worker_restarts(self) -> int:
         return self._sp.worker_restarts - self._restarts_at
@@ -234,6 +404,18 @@ class JobBackend:
     @property
     def batches_retried(self) -> int:
         return self._sp.batches_retried - self._retried_at
+
+    @property
+    def bytes_shipped(self) -> int:
+        return self._sp.bytes_shipped - self._bytes_at
+
+    @property
+    def chunks_dispatched(self) -> int:
+        return self._sp.chunks_dispatched - self._chunks_at
+
+    @property
+    def pipeline_stalls(self) -> int:
+        return self._sp.pipeline_stalls - self._stalls_at
 
     @property
     def degraded(self) -> bool:
@@ -270,11 +452,11 @@ class JobBackend:
         genomes = list(genomes)
         if not genomes:
             return []
-        ctx = self._ctx
-        chunks = chunk_evenly(genomes, self._sp.workers)
+        blob = self._ctx_blob
         out = self._sp.run_batch(
-            lambda pool: [pool.submit(_job_evaluate, ctx, chunk)
-                          for chunk in chunks],
+            genomes,
+            lambda chunk: _frame_job(OP_JOB_EVAL_GENOMES, blob,
+                                     wire.pack_genomes(chunk)),
             self._config.batch_timeout, self._config.batch_retries)
         if out is None:
             return self._run_inline(lambda b: b.evaluate(genomes))
@@ -289,12 +471,13 @@ class JobBackend:
         deltas = list(deltas)
         if not deltas:
             return []
-        ctx = self._ctx
-        chunks = chunk_evenly(deltas, self._sp.workers)
+        blob = self._ctx_blob
+        genome_blob = wire.pack_genome(parent_genome)
+        head = _U32.pack(len(genome_blob)) + genome_blob
         out = self._sp.run_batch(
-            lambda pool: [pool.submit(_job_evaluate_deltas, ctx,
-                                      parent_genome, chunk)
-                          for chunk in chunks],
+            deltas,
+            lambda chunk: _frame_job(OP_JOB_EVAL_DELTAS, blob,
+                                     head + wire.pack_deltas(chunk)),
             self._config.batch_timeout, self._config.batch_retries)
         if out is None:
             return self._run_inline(
@@ -303,6 +486,25 @@ class JobBackend:
         results, counters = out
         self._commit(counters)
         return results
+
+    # -- replay spans --------------------------------------------------
+
+    @property
+    def supports_spans(self) -> bool:
+        return not self._sp.degraded
+
+    def dispatch_span(self, request: wire.SpanRequest) -> bool:
+        return self._sp.dispatch_span(
+            _frame_job(OP_JOB_SPAN, self._ctx_blob,
+                       wire.pack_span_request(request)))
+
+    def collect_span(self) -> Optional[wire.SpanResult]:
+        result = self._sp.collect_span(self._config.batch_timeout,
+                                       self._config.batch_retries)
+        if result is not None:
+            for _accepted, _fit, deltas in result.records:
+                self._commit(deltas)
+        return result
 
     def close(self) -> None:
         # The shared pool outlives the slice; nothing to release here.

@@ -58,7 +58,8 @@ from .store import DONE, FAILED, JobStore, PENDING, RUNNING
 
 _COUNTER_FIELDS = ("evaluations", "sat_calls", "cache_hits", "eval_full",
                    "eval_incremental", "ports_resimulated",
-                   "worker_restarts", "batches_retried")
+                   "worker_restarts", "batches_retried", "bytes_shipped",
+                   "chunks_dispatched", "pipeline_stalls")
 
 
 def _fitness_fields(fitness: Fitness) -> List[float]:
@@ -98,6 +99,11 @@ def result_from_payload(payload: Dict[str, object]) -> SynthesisResult:
         ports_resimulated=int(payload["ports_resimulated"]),
         worker_restarts=int(payload["worker_restarts"]),
         batches_retried=int(payload["batches_retried"]),
+        # Transport counters postdate the store schema; absent in
+        # artifacts written by older sessions.
+        bytes_shipped=int(payload.get("bytes_shipped", 0)),
+        chunks_dispatched=int(payload.get("chunks_dispatched", 0)),
+        pipeline_stalls=int(payload.get("pipeline_stalls", 0)),
         degraded_to_inline=bool(payload["degraded_to_inline"]),
         verified=bool(payload.get("verified", False)),
     )
@@ -458,6 +464,10 @@ class Scheduler:
             result.ports_resimulated,
             worker_restarts=total.worker_restarts + result.worker_restarts,
             batches_retried=total.batches_retried + result.batches_retried,
+            bytes_shipped=total.bytes_shipped + result.bytes_shipped,
+            chunks_dispatched=total.chunks_dispatched +
+            result.chunks_dispatched,
+            pipeline_stalls=total.pipeline_stalls + result.pipeline_stalls,
             degraded_to_inline=total.degraded_to_inline or
             result.degraded_to_inline,
             interrupted=result.interrupted,

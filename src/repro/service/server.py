@@ -96,7 +96,8 @@ ROUTES: Tuple[Tuple[str, "re.Pattern[str]"], ...] = (
 #: Record counters summed across jobs into ``/metrics`` totals.
 _METRIC_COUNTERS = ("evaluations", "eval_full", "eval_incremental",
                     "ports_resimulated", "sat_calls", "cache_hits",
-                    "worker_restarts", "batches_retried")
+                    "worker_restarts", "batches_retried", "bytes_shipped",
+                    "chunks_dispatched", "pipeline_stalls")
 
 _JOB_STATES = (PENDING, RUNNING, DONE, FAILED)
 

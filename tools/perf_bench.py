@@ -33,8 +33,24 @@ sys.path.insert(0, REPO_ROOT)
 from benchmarks.perf.microbench import run_benches  # noqa: E402
 
 
+def derive(benches: dict) -> dict:
+    """Cross-bench derived metrics (currently the parallel speedup)."""
+    derived = {}
+    serial = benches.get("run_serial", {}).get("rate")
+    workers2 = benches.get("run_workers2", {}).get("rate")
+    if serial and workers2:
+        derived["run_workers2_speedup"] = round(workers2 / serial, 4)
+    return derived
+
+
 def compare(baseline: dict, fresh: dict, threshold: float):
-    """Yield (bench, baseline rate, fresh rate, ratio) for regressions."""
+    """Yield (bench, baseline rate, fresh rate, ratio) for regressions.
+
+    Derived metrics are gated exactly like raw rates, so the parallel
+    path silently regressing relative to serial (the failure mode that
+    motivated ``run_workers2_speedup``) fails the same way a slow
+    kernel does.
+    """
     base_benches = baseline.get("benches", {})
     for name, entry in fresh["benches"].items():
         base = base_benches.get(name)
@@ -43,6 +59,14 @@ def compare(baseline: dict, fresh: dict, threshold: float):
         ratio = entry["rate"] / base["rate"]
         if ratio < 1.0 - threshold:
             yield name, base["rate"], entry["rate"], ratio
+    base_derived = baseline.get("derived", {})
+    for name, value in fresh.get("derived", {}).items():
+        base = base_derived.get(name)
+        if not base:
+            continue
+        ratio = value / base
+        if ratio < 1.0 - threshold:
+            yield name, base, value, ratio
 
 
 def main(argv=None) -> int:
@@ -66,6 +90,10 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed fractional regression (default "
                              "0.15 = 15%%)")
+    parser.add_argument("--min-workers2-speedup", type=float, default=None,
+                        help="fail unless run_workers2 achieves at least "
+                             "this fraction of the serial rate (absolute "
+                             "bound, independent of the baseline file)")
     parser.add_argument("--output",
                         default=os.path.join(REPO_ROOT, "BENCH_perf.json"),
                         help="result path (default BENCH_perf.json at "
@@ -83,11 +111,27 @@ def main(argv=None) -> int:
                                quick=args.quick, repeats=args.repeats,
                                skip_workers=args.skip_workers),
     }
+    results["derived"] = derive(results["benches"])
 
     width = max(len(name) for name in results["benches"])
     for name, entry in results["benches"].items():
         print(f"{name:<{width}}  {entry['rate']:>10.0f} /s  "
               f"({entry['iterations']} iterations)")
+    for name, value in results["derived"].items():
+        print(f"{name}: {value:.2f}x")
+
+    speedup = results["derived"].get("run_workers2_speedup")
+    if args.min_workers2_speedup is not None:
+        if speedup is None:
+            print("--min-workers2-speedup: need both run_serial and "
+                  "run_workers2 (don't pass --skip-workers)",
+                  file=sys.stderr)
+            return 2
+        if speedup < args.min_workers2_speedup:
+            print(f"FAIL: run_workers2_speedup {speedup:.2f}x below "
+                  f"the required {args.min_workers2_speedup:.2f}x",
+                  file=sys.stderr)
+            return 2
 
     if args.compare:
         if not os.path.exists(args.output):
