@@ -65,6 +65,12 @@ class Session:
         Generations per job per scheduler tick; ``None`` (default) runs
         each job to completion in one slice — bit-identical to the
         legacy single-run API.
+    lease_ttl:
+        Seconds without a lease heartbeat before another session over
+        the same store directory may take one of this session's jobs
+        over (see :meth:`JobStore.acquire_lease`).  Size it well above
+        one slice's wall-clock; ignored when ``store`` is a prebuilt
+        :class:`JobStore` (which already carries its own TTL).
 
     >>> with Session(store="runs/", workers=8, quantum=1000) as session:
     ...     jobs = [session.submit(path) for path in designs]
@@ -74,11 +80,16 @@ class Session:
 
     def __init__(self, store: Union[None, str, "os.PathLike[str]",
                                     JobStore] = None, *,
-                 workers: int = 0, quantum: Optional[int] = None):
+                 workers: int = 0, quantum: Optional[int] = None,
+                 lease_ttl: Optional[float] = None):
         if store is None or isinstance(store, JobStore):
             self.store = store if store is not None else JobStore(None)
+            if lease_ttl is not None:
+                self.store.lease_ttl = float(lease_ttl)
         else:
-            self.store = JobStore(os.fspath(store))
+            self.store = JobStore(
+                os.fspath(store),
+                **({} if lease_ttl is None else {"lease_ttl": lease_ttl}))
         self.scheduler = Scheduler(self.store, workers=workers,
                                    quantum=quantum)
 

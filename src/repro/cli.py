@@ -202,7 +202,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     """
     config = _config_from(args)
     with Session(args.store, workers=args.workers,
-                 quantum=args.quantum) as session:
+                 quantum=args.quantum,
+                 lease_ttl=args.lease_ttl) as session:
         jobs = []
         for target in args.targets:
             if os.path.exists(target):
@@ -251,7 +252,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                  workers=args.workers, quantum=args.quantum,
                  max_queue=args.max_queue,
                  request_timeout=args.request_timeout,
-                 operational=operational, resume=not args.no_resume)
+                 operational=operational, resume=not args.no_resume,
+                 lease_ttl=args.lease_ttl)
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -400,6 +402,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stop after this many scheduler ticks "
                               "(exit 3 if work remains; for testing "
                               "and incremental draining)")
+    p_batch.add_argument("--lease-ttl", type=float, default=None,
+                         metavar="SECONDS",
+                         help="seconds without a lease heartbeat before "
+                              "another process over the same --store may "
+                              "take a job over (default 60; size well "
+                              "above one slice's wall-clock)")
     _add_rcgp_options(p_batch)
     p_batch.set_defaults(func=_cmd_batch, seed=2024)
     p_batch.epilog = ("--seed defaults to 2024 here (not random): the "
@@ -434,6 +442,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-resume", action="store_true",
                          help="do not re-submit the store's unfinished "
                               "jobs on startup")
+    p_serve.add_argument("--lease-ttl", type=float, default=None,
+                         metavar="SECONDS",
+                         help="seconds without a lease heartbeat before "
+                              "another server over the same --store may "
+                              "take a job over (default 60; lets N "
+                              "servers split one store's queue)")
     _add_engine_options(p_serve, pool_only=True)
     p_serve.set_defaults(func=_cmd_serve)
 

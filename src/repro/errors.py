@@ -94,6 +94,53 @@ class WorkerPoolError(ReproError):
     """
 
 
+class StoreCorruption(ReproError):
+    """A job-store artifact on disk is torn, truncated or unparseable.
+
+    Raised instead of a bare ``json.JSONDecodeError`` whenever the
+    :class:`~repro.jobs.store.JobStore` cannot parse one of its own
+    artifacts (``job.json``, ``checkpoint.json``, ``baseline.json``,
+    ``result.json``).  The store's recovery sweep quarantines such
+    files to ``<name>.corrupt-<ts>`` on open; corruption appearing
+    *after* open (operator edits, shared-filesystem faults) surfaces as
+    this typed error so the scheduler loop and the HTTP service can
+    fail one job instead of dying.
+
+    ``path`` is the offending artifact; ``quarantined`` the path it was
+    moved to, when the sweep already put it aside.
+    """
+
+    def __init__(self, message: str, path: "str | None" = None,
+                 quarantined: "str | None" = None):
+        self.path = path
+        self.quarantined = quarantined
+        if path:
+            message = f"{path}: {message}"
+        super().__init__(message)
+
+
+class LeaseHeld(ReproError):
+    """The job is leased by another live scheduler process.
+
+    Schedulers acquire a per-job lease (an ``O_EXCL`` lock file with
+    owner id, pid and a heartbeat mtime) before adopting a job; a held,
+    non-stale lease means some other process is actively running it.
+    :meth:`~repro.jobs.store.JobStore.acquire_lease` with
+    ``required=True`` raises this; the cooperative scheduling path just
+    skips the job and the HTTP service maps it to 409.
+    """
+
+    http_status = 409
+
+    def __init__(self, message: str, owner: "str | None" = None,
+                 pid: "int | None" = None,
+                 age_seconds: "float | None" = None):
+        self.owner = owner
+        self.pid = pid
+        self.age_seconds = age_seconds
+        super().__init__(message)
+
+
 class ServiceError(ReproError):
     """A request to the rcgp HTTP service failed.
 

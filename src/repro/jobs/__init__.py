@@ -19,9 +19,11 @@ from .scheduler import Job, Scheduler, result_from_payload
 from .spec import (OPERATIONAL_CONFIG_FIELDS, JobSpec,
                    identity_config_dict, spec_tables_from_payload,
                    spec_tables_to_payload)
-from .store import DONE, FAILED, JobStore, PENDING, RUNNING
+from .store import (DEFAULT_LEASE_TTL, DONE, FAILED, JobStore, PENDING,
+                    RUNNING, TELEMETRY_TRUNCATED, set_fault_hook)
 
 __all__ = [
+    "DEFAULT_LEASE_TTL",
     "DONE",
     "FAILED",
     "Job",
@@ -33,7 +35,9 @@ __all__ = [
     "RUNNING",
     "Scheduler",
     "SharedWorkerPool",
+    "TELEMETRY_TRUNCATED",
     "identity_config_dict",
+    "set_fault_hook",
     "parallel_safe_config",
     "result_from_payload",
     "spec_tables_from_payload",

@@ -27,6 +27,14 @@ a persistent :class:`~repro.jobs.store.JobStore`:
 * **Fault tolerance.**  Worker crashes and hangs inside a slice are
   recovered by the engine's batch retry machinery through the shared
   pool; recovery counters are accumulated per job in the store.
+* **Per-job leases.**  A scheduler acquires the store's lease for a job
+  before adopting it and heartbeats it every slice, so N processes
+  pointed at one store directory split the queue instead of all
+  running every job: jobs leased by another live scheduler are skipped
+  (and waited on in :meth:`Scheduler.run`), stale leases — owner dead
+  or heartbeat older than the store's TTL — are taken over, and a
+  scheduler that discovers its own lease was lost abandons the slice
+  without writing, so two processes never clobber one job's artifacts.
 
 ``quantum=None`` (the default) runs each job's whole remaining budget
 in a single slice — no mid-job checkpoint granularity, but byte-for-byte
@@ -45,7 +53,7 @@ from ..core.engine import (EvolutionResult, EvolutionRun, TelemetryWriter)
 from ..core.fitness import Fitness
 from ..core.synthesis import (BaselineResult, SynthesisResult,
                               baseline_initialization)
-from ..errors import ReproError
+from ..errors import ReproError, StoreCorruption
 from ..logic.truth_table import TruthTable
 from ..rqfp.buffer_opt import optimal_levels
 from ..rqfp.metrics import CircuitCost, circuit_cost
@@ -133,7 +141,16 @@ class Job:
 
     @property
     def record(self) -> Dict[str, object]:
-        return self._scheduler.store.load_record(self.id) or {}
+        try:
+            return self._scheduler.store.load_record(self.id) or {}
+        except StoreCorruption as exc:
+            # Self-healing read: quarantine the torn record and report
+            # the job pending — the next tick rebuilds it from scratch
+            # (or from its surviving checkpoint) instead of the
+            # corruption killing whoever polled the state.
+            if exc.path:
+                self._scheduler.store.quarantine(exc.path)
+            return {}
 
     @property
     def state(self) -> str:
@@ -141,7 +158,12 @@ class Job:
 
     @property
     def generations_done(self) -> int:
-        checkpoint = self._scheduler.store.load_checkpoint(self.id)
+        try:
+            checkpoint = self._scheduler.store.load_checkpoint(self.id)
+        except StoreCorruption as exc:
+            if exc.path:
+                self._scheduler.store.quarantine(exc.path)
+            return 0
         return 0 if checkpoint is None else checkpoint[1]
 
     @property
@@ -197,10 +219,12 @@ class Scheduler:
         self._jobs: Dict[str, Job] = {}
         self._pool: Optional[SharedWorkerPool] = None
         self._rr_next = 0  # round-robin cursor for step()
+        self._blocked: List[str] = []  # foreign-leased, last step()
 
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:
+        self.store.release_all_leases()
         if self._pool is not None:
             self._pool.close()
             self._pool = None
@@ -237,7 +261,12 @@ class Scheduler:
         if existing is not None:
             return existing
         job = Job(self, jobspec)
-        record = self.store.load_record(job_id)
+        try:
+            record = self.store.load_record(job_id)
+        except StoreCorruption as exc:
+            if exc.path:
+                self.store.quarantine(exc.path)
+            record = None
         if record is None or record.get("state") not in (DONE, FAILED,
                                                          RUNNING):
             record = self._fresh_record(jobspec)
@@ -260,6 +289,7 @@ class Scheduler:
             "spec": spec_tables_to_payload(jobspec.spec),
             "config": jobspec.config.to_dict(),
             "error": None,
+            "owner": None,
             "slices": 0,
             "runtime": 0.0,
             "backend": "inline",
@@ -279,36 +309,60 @@ class Scheduler:
         return [job for job in self._jobs.values()
                 if job.state in (PENDING, RUNNING)]
 
-    def step(self) -> Optional[Job]:
-        """Advance the next pending job by one slice (round-robin).
+    def blocked_on(self) -> List[str]:
+        """Job ids the last :meth:`step` skipped because another live
+        scheduler holds their lease."""
+        return list(self._blocked)
 
+    def step(self) -> Optional[Job]:
+        """Advance the next adoptable pending job by one slice.
+
+        Round-robin over the pending jobs, skipping any whose lease is
+        held by another live scheduler (their ids land in
+        :meth:`blocked_on`; they will be retried — and adopted, once
+        the foreign lease is released or goes stale — on a later call).
         Returns the job that was ticked, or ``None`` when every
-        submitted job is already done or failed.  This is the unit the
-        HTTP service's scheduling loop runs between checking for new
-        submissions and a shutdown request — a finished slice is always
-        checkpointed, so stopping between ``step()`` calls never loses
-        work.
+        submitted job is done, failed or leased elsewhere.  This is the
+        unit the HTTP service's scheduling loop runs between checking
+        for new submissions and a shutdown request — a finished slice
+        is always checkpointed, so stopping between ``step()`` calls
+        never loses work.
         """
         runnable = self.pending()
+        self._blocked = []
         if not runnable:
             return None
-        job = runnable[self._rr_next % len(runnable)]
-        self._rr_next += 1
-        self._tick(job)
-        return job
+        for offset in range(len(runnable)):
+            job = runnable[(self._rr_next + offset) % len(runnable)]
+            if self.store.acquire_lease(job.id):
+                self._rr_next += offset + 1
+                self._tick(job)
+                return job
+            self._blocked.append(job.id)
+        return None
 
-    def run(self, *, max_ticks: Optional[int] = None) -> List[Job]:
+    def run(self, *, max_ticks: Optional[int] = None,
+            lease_poll: float = 0.2) -> List[Job]:
         """Drive all submitted jobs to completion, round-robin.
 
         ``max_ticks`` bounds the number of slices executed (testing /
         kill-and-resume hooks); the default runs until every job is
-        done or failed.
+        done or failed.  Jobs leased by another live scheduler are
+        waited on (polling every ``lease_poll`` seconds): they either
+        finish there — we then serve their stored result — or their
+        lease goes stale and we adopt them.  With ``max_ticks`` set
+        there is no waiting; foreign-leased jobs simply don't consume
+        ticks.
         """
         ticks = 0
         while max_ticks is None or ticks < max_ticks:
-            if self.step() is None:
-                break
-            ticks += 1
+            if self.step() is not None:
+                ticks += 1
+                continue
+            if self._blocked and max_ticks is None:
+                time.sleep(lease_poll)
+                continue
+            break
         return self.jobs()
 
     def results(self) -> Dict[str, SynthesisResult]:
@@ -319,13 +373,30 @@ class Scheduler:
     # -- one slice -----------------------------------------------------
 
     def _tick(self, job: Job) -> None:
-        record = self.store.load_record(job.id) or \
-            self._fresh_record(job.spec)
         config = job.spec.config
         spec = list(job.spec.spec)
         telemetry = None
         try:
-            checkpoint = self.store.load_checkpoint(job.id)
+            # Fresh corruption (after the store's open-time recovery
+            # sweep — operator edits, shared-filesystem faults) is
+            # quarantined here so one torn artifact costs at most this
+            # job's progress, never the scheduling loop.
+            try:
+                record = self.store.load_record(job.id)
+            except StoreCorruption as exc:
+                if exc.path:
+                    self.store.quarantine(exc.path)
+                record = None
+            if record is None:
+                record = self._fresh_record(job.spec)
+            try:
+                checkpoint = self.store.load_checkpoint(job.id)
+            except StoreCorruption as exc:
+                # A torn checkpoint is recoverable: quarantine it and
+                # deterministically re-run from the baseline.
+                if exc.path:
+                    self.store.quarantine(exc.path)
+                checkpoint = None
             resuming = checkpoint is not None \
                 and job._live_evolution is None
             if checkpoint is not None:
@@ -337,6 +408,7 @@ class Scheduler:
                 # merge would miss earlier slices, so the finished job
                 # serves its result from the store instead.
                 job._live_ok = False
+            record["owner"] = self.store.owner
             telemetry = self._telemetry_for(job, fresh=checkpoint is None)
             if telemetry is not None:
                 if checkpoint is None:
@@ -344,10 +416,12 @@ class Scheduler:
                                    seed=config.seed,
                                    generations=config.generations,
                                    quantum=self.quantum,
-                                   workers=self.workers)
+                                   workers=self.workers,
+                                   owner=self.store.owner)
                 elif resuming:
                     telemetry.emit("job_resume", generations_done=done,
-                                   generations=config.generations)
+                                   generations=config.generations,
+                                   owner=self.store.owner)
 
             remaining = config.generations - done
             budget = remaining if self.quantum is None \
@@ -370,6 +444,16 @@ class Scheduler:
                                   name=job.name, telemetry=telemetry,
                                   backend=backend, generation_offset=done
                                   ).run()
+            if not self.store.refresh_lease(job.id):
+                # Our lease is gone: this process stalled past the TTL
+                # and another scheduler adopted the job.  Its
+                # deterministic re-run supersedes ours — write nothing,
+                # the finished result is served from the store later.
+                job._live_ok = False
+                if telemetry is not None:
+                    telemetry.emit("lease_lost", owner=self.store.owner,
+                                   generations_done=done)
+                return
             done += result.generations
             self.store.save_checkpoint(job.id, result.netlist, done, config)
             self._accumulate(record, result, done)
@@ -381,9 +465,11 @@ class Scheduler:
                 telemetry.emit("job_slice", slice=record["slices"],
                                generations_done=done,
                                budget=budget, backend=result.backend,
+                               owner=self.store.owner,
                                best_key=list(result.fitness.key()))
             if finished:
                 self._finalize(job, record, result, done, telemetry)
+                self.store.release_lease(job.id)
             else:
                 record["state"] = RUNNING
                 self.store.save_record(job.id, record)
@@ -391,6 +477,7 @@ class Scheduler:
             record["state"] = FAILED
             record["error"] = str(exc)
             self.store.save_record(job.id, record)
+            self.store.release_lease(job.id)
             if telemetry is not None:
                 telemetry.emit("job_failed", error=str(exc))
         finally:
@@ -525,8 +612,19 @@ class Scheduler:
 
     def _telemetry_for(self, job: Job,
                        fresh: bool) -> Optional[TelemetryWriter]:
-        path = self.store.telemetry_path(job.id) \
-            or job.spec.config.telemetry_path
+        store_path = self.store.telemetry_path(job.id)
+        if store_path is not None:
+            # Store-backed streams are rotated atomically (a fresh run
+            # never leaves a torn truncation) and repaired before
+            # appending (a tail torn by a crash mid-append is replaced
+            # with a `telemetry_truncated` marker), so the file on disk
+            # is valid JSONL at every instant a writer owns it.
+            if fresh:
+                self.store.rotate_telemetry(job.id)
+            else:
+                self.store.repair_telemetry(job.id)
+            return TelemetryWriter(store_path, mode="a", job_id=job.id)
+        path = job.spec.config.telemetry_path
         if path is None:
             return None
         return TelemetryWriter(path, mode="w" if fresh else "a",

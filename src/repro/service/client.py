@@ -7,8 +7,9 @@ spec + config, poll status, fetch the finished artifact back as a full
 results in-process).  Non-2xx responses raise the same typed
 :mod:`repro.errors` exceptions the server mapped outward: 404 →
 :class:`~repro.errors.JobNotFound`, 409 →
-:class:`~repro.errors.JobNotReady`, 429 →
-:class:`~repro.errors.QueueFull`, anything else →
+:class:`~repro.errors.JobNotReady` (or
+:class:`~repro.errors.LeaseHeld` when another scheduler holds the
+job's lease), 429 → :class:`~repro.errors.QueueFull`, anything else →
 :class:`~repro.errors.ServiceError`.
 
 >>> client = ServiceClient("http://127.0.0.1:8787")   # doctest: +SKIP
@@ -26,7 +27,8 @@ from typing import Any, Dict, List, Optional
 
 from ..core.config import RcgpConfig
 from ..core.synthesis import SynthesisResult
-from ..errors import JobNotFound, JobNotReady, QueueFull, ServiceError
+from ..errors import (JobNotFound, JobNotReady, LeaseHeld, QueueFull,
+                      ServiceError)
 from ..jobs import result_from_payload
 from ..jobs.spec import spec_tables_to_payload
 
@@ -35,13 +37,17 @@ _TERMINAL = ("done", "failed", "interrupted")
 
 
 def _error_from(status: int, body: bytes) -> ServiceError:
+    error_type = ""
     try:
         info = json.loads(body.decode("utf-8"))["error"]
+        error_type = str(info.get("type", ""))
         message = f"{info['type']}: {info['message']}"
     except Exception:  # noqa: BLE001 - non-JSON error body
         message = body.decode("utf-8", "replace")[:200] or f"HTTP {status}"
     cls = {404: JobNotFound, 409: JobNotReady, 429: QueueFull}.get(
         status, ServiceError)
+    if status == 409 and error_type == "LeaseHeld":
+        cls = LeaseHeld
     exc = cls(message)
     exc.http_status = status
     return exc

@@ -61,8 +61,8 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..api import Session
 from ..core.config import RcgpConfig
-from ..errors import (EncodingError, JobNotFound, JobNotReady, ParseError,
-                      QueueFull, ReproError)
+from ..errors import (EncodingError, JobNotFound, JobNotReady, LeaseHeld,
+                      ParseError, QueueFull, ReproError, StoreCorruption)
 from ..jobs import (DONE, FAILED, JobSpec, JobStore, PENDING, RUNNING,
                     spec_tables_from_payload)
 
@@ -109,7 +109,14 @@ def route_exists(method: str, path: str) -> bool:
 
 
 def status_for(exc: BaseException) -> int:
-    """The HTTP status one of our exceptions maps to."""
+    """The HTTP status one of our exceptions maps to.
+
+    Store-layer errors are part of the contract too:
+    :class:`~repro.errors.LeaseHeld` carries 409 (another live
+    scheduler owns the job; retry later or elsewhere) and
+    :class:`~repro.errors.StoreCorruption` falls through to 500 (a
+    torn artifact — reopening the store quarantines it).
+    """
     http_status = getattr(exc, "http_status", None)
     if isinstance(http_status, int):
         return http_status
@@ -170,7 +177,13 @@ class ServiceServer:
     resume:
         Re-submit the store's unfinished (``pending``/``running``)
         records on :meth:`start`, so a restarted server picks up
-        exactly where the killed one stopped.
+        exactly where the killed one stopped.  With per-job leases this
+        is safe even when *other* servers share the store: resubmitted
+        jobs a live foreign scheduler owns are skipped until their
+        lease is released or goes stale.
+    lease_ttl:
+        Seconds without a lease heartbeat before this server may adopt
+        a job another (presumed dead) scheduler left ``running``.
     """
 
     def __init__(self, store: Union[None, str, "os.PathLike[str]",
@@ -179,8 +192,10 @@ class ServiceServer:
                  workers: int = 0, quantum: Optional[int] = 500,
                  max_queue: int = 64, request_timeout: float = 30.0,
                  operational: Optional[Dict[str, Any]] = None,
-                 resume: bool = True, log: bool = False):
-        self.session = Session(store, workers=workers, quantum=quantum)
+                 resume: bool = True, log: bool = False,
+                 lease_ttl: Optional[float] = None):
+        self.session = Session(store, workers=workers, quantum=quantum,
+                               lease_ttl=lease_ttl)
         self.operational = dict(operational or {})
         self.resume = resume
         self.log = log
@@ -354,11 +369,12 @@ class ServiceServer:
         """The status document for ``GET /v1/jobs/{id}``.
 
         The one subtlety is liveness: a record can say ``running``
-        forever if the process that ran it died mid-slice.  Only this
-        server knows which jobs its scheduler actually owns, so a
+        forever if the process that ran it died mid-slice.  A
         ``running`` record for a job that is neither active here nor
-        queued here is reported ``interrupted`` (with ``resumable``
-        true and the checkpoint's age), not ``running``.
+        owned by a live lease elsewhere is reported ``interrupted``
+        (with ``resumable`` true and ``resume_from`` naming the restart
+        point), not ``running``; a foreign *live* lease keeps the job
+        ``running`` with its ``owner`` surfaced.
         """
         store = self.session.store
         record = store.load_record(job_id)
@@ -397,9 +413,23 @@ class ServiceServer:
             view["checkpoint_at"] = checkpoint_at
             view["checkpoint_age_seconds"] = \
                 max(0.0, time.time() - checkpoint_at)
+        lease = store.lease_info(job_id)
+        if lease is not None:
+            view["lease"] = lease
         if state == RUNNING and not owned:
-            view["state"] = INTERRUPTED
-            view["resumable"] = True
+            if lease is not None and lease["live"]:
+                # Another live scheduler over the same store owns the
+                # job: genuinely running, just not in this process.
+                view["owner"] = lease["owner"]
+            else:
+                # No live owner anywhere.  Resumable even when the
+                # crash predates the first checkpoint: the record holds
+                # spec + config, so a restarted scheduler re-runs it
+                # deterministically from the baseline.
+                view["state"] = INTERRUPTED
+                view["resumable"] = True
+                view["resume_from"] = "checkpoint" \
+                    if checkpoint_at is not None else "baseline"
         return view
 
     def result_payload(self, job_id: str) -> Dict[str, Any]:
@@ -416,11 +446,10 @@ class ServiceServer:
 
     def telemetry_bytes(self, job_id: str) -> bytes:
         self.job_view(job_id)   # 404 on unknown ids
-        path = self.session.store.telemetry_path(job_id)
-        if path is None or not os.path.exists(path):
-            return b""
-        with open(path, "rb") as handle:
-            return handle.read()
+        # Tolerant read: a SIGKILL mid-append can leave a torn final
+        # line; the store replaces it with a ``telemetry_truncated``
+        # marker event so the response is always valid JSONL.
+        return self.session.store.read_telemetry(job_id)
 
     def health(self) -> Dict[str, Any]:
         from .. import __version__
@@ -445,10 +474,18 @@ class ServiceServer:
         totals = {field: 0 for field in _METRIC_COUNTERS}
         with self._lock:
             active = set(self._active) | set(self._queued)
+        leases_live = 0
         for job_id in store.jobs():
-            record = store.load_record(job_id) or {}
+            try:
+                record = store.load_record(job_id) or {}
+            except StoreCorruption:
+                record = {}
             state = str(record.get("state", PENDING))
-            if state == RUNNING and job_id not in active:
+            lease = store.lease_info(job_id)
+            if lease is not None and lease["live"]:
+                leases_live += 1
+            if state == RUNNING and job_id not in active and \
+                    not (lease is not None and lease["live"]):
                 state = INTERRUPTED
             states[state] = states.get(state, 0) + 1
             for field in totals:
@@ -461,6 +498,13 @@ class ServiceServer:
         lines.append("# TYPE rcgp_jobs gauge")
         for state in sorted(states):
             lines.append(f'rcgp_jobs{{state="{state}"}} {states[state]}')
+        lines.append("# TYPE rcgp_store_quarantined_total counter")
+        lines.append(f"rcgp_store_quarantined_total "
+                     f"{len(store.quarantined_artifacts())}")
+        lines.append("# TYPE rcgp_lease_takeovers_total counter")
+        lines.append(f"rcgp_lease_takeovers_total {store.lease_takeovers}")
+        lines.append("# TYPE rcgp_leases_live gauge")
+        lines.append(f"rcgp_leases_live {leases_live}")
         lines.append("# TYPE rcgp_queue_depth gauge")
         lines.append(f"rcgp_queue_depth {self._queue.qsize()}")
         lines.append("# TYPE rcgp_uptime_seconds gauge")
@@ -554,7 +598,8 @@ def serve(store: Union[None, str, JobStore] = None, *,
           workers: int = 0, quantum: Optional[int] = 500,
           max_queue: int = 64, request_timeout: float = 30.0,
           operational: Optional[Dict[str, Any]] = None,
-          resume: bool = True, log: bool = True) -> int:
+          resume: bool = True, log: bool = True,
+          lease_ttl: Optional[float] = None) -> int:
     """Run a service until SIGTERM/SIGINT, then drain gracefully.
 
     The blocking entry point behind ``rcgp serve``.  Signal handlers
@@ -576,7 +621,7 @@ def serve(store: Union[None, str, JobStore] = None, *,
                            quantum=quantum, max_queue=max_queue,
                            request_timeout=request_timeout,
                            operational=operational, resume=resume,
-                           log=log)
+                           log=log, lease_ttl=lease_ttl)
     try:
         server.start()
         if log:

@@ -12,16 +12,19 @@ The headline guarantees:
 
 import json
 import os
+import time
 
 import pytest
 
 from repro.core.config import RcgpConfig
 from repro.core.restart import multi_start
 from repro.core.synthesis import SynthesisResult
+from repro.errors import LeaseHeld, StoreCorruption
 from repro.io.rqfp_json import netlist_to_dict
-from repro.jobs import (DONE, FAILED, JobSpec, JobStore, PENDING, RUNNING,
-                        Scheduler, identity_config_dict,
-                        parallel_safe_config)
+from repro.jobs import (DEFAULT_LEASE_TTL, DONE, FAILED, JobSpec, JobStore,
+                        PENDING, RUNNING, Scheduler, TELEMETRY_TRUNCATED,
+                        identity_config_dict, parallel_safe_config,
+                        set_fault_hook)
 from repro.logic.truth_table import TruthTable, tabulate_word
 
 
@@ -318,3 +321,220 @@ class TestMultiStartClient:
                                    store=JobStore(str(tmp_path)))
         assert keys1 == keys2
         assert netlist_to_dict(best1) == netlist_to_dict(best2)
+
+
+class TestCrashSafeWrites:
+    """Durable atomic writes + typed corruption + the recovery sweep."""
+
+    def test_fault_hook_sees_every_write_step(self, tmp_path):
+        seen = []
+        previous = set_fault_hook(
+            lambda point, path: seen.append(
+                (point, os.path.basename(path))))
+        try:
+            JobStore(str(tmp_path)).save_record("j1", {"state": PENDING})
+        finally:
+            set_fault_hook(previous)
+        assert seen == [("write", "job.json"), ("replace", "job.json"),
+                        ("synced", "job.json")]
+
+    def test_crash_before_replace_preserves_previous_state(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        store.save_record("j1", {"state": PENDING, "slices": 1})
+
+        def _boom(point, path):
+            if point == "replace":
+                raise RuntimeError("injected crash")
+
+        previous = set_fault_hook(_boom)
+        try:
+            with pytest.raises(RuntimeError):
+                store.save_record("j1", {"state": RUNNING, "slices": 2})
+        finally:
+            set_fault_hook(previous)
+        # Old artifact intact, and the in-flight tmp file cleaned up.
+        record = store.load_record("j1")
+        assert record["state"] == PENDING and record["slices"] == 1
+        assert os.listdir(str(tmp_path / "j1")) == ["job.json"]
+
+    def test_torn_artifact_raises_typed_corruption(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        store.save_record("j1", {"state": DONE})
+        path = tmp_path / "j1" / "job.json"
+        path.write_bytes(b'{"state": "do')   # torn mid-write
+        with pytest.raises(StoreCorruption) as err:
+            store.load_record("j1")
+        assert err.value.path == str(path)
+        assert "job.json" in str(err.value)
+
+    def test_open_sweep_quarantines_and_cleans(self, tmp_path):
+        job_dir = tmp_path / "j1"
+        job_dir.mkdir()
+        (job_dir / "job.json").write_text(
+            json.dumps({"state": RUNNING, "slices": 1}))
+        (job_dir / "checkpoint.json").write_bytes(b'{"netlist": [[')
+        (job_dir / ".job.json.tmp.999.7").write_bytes(b"partial")
+        (job_dir / "telemetry.jsonl").write_bytes(
+            b'{"event": "job_start", "job_id": "j1"}\n{"event": "job_sl')
+
+        store = JobStore(str(tmp_path))
+        names = sorted(os.listdir(str(job_dir)))
+        assert "job.json" in names                      # intact: kept
+        assert "checkpoint.json" not in names           # torn: aside
+        assert any(".corrupt-" in name for name in names)
+        assert not any(".tmp." in name for name in names)
+        assert store.quarantined and store.quarantined_artifacts()
+        assert store.load_checkpoint("j1") is None      # torn -> rerun
+
+        # The repaired stream is valid JSONL ending in the marker.
+        events = [json.loads(line) for line in
+                  (job_dir / "telemetry.jsonl").read_bytes().splitlines()]
+        assert events[0]["event"] == "job_start"
+        assert events[-1]["event"] == TELEMETRY_TRUNCATED
+        assert events[-1]["dropped_bytes"] > 0
+
+    def test_read_telemetry_tolerates_live_torn_tail(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        path = store.telemetry_path("j1")
+        raw = b'{"event": "job_start", "job_id": "j1"}\n{"event": "tor'
+        with open(path, "wb") as handle:
+            handle.write(raw)
+        events = [json.loads(line) for line in
+                  store.read_telemetry("j1").splitlines()]
+        assert [e["event"] for e in events] == \
+            ["job_start", TELEMETRY_TRUNCATED]
+        # Non-destructive: the file still holds the in-flight bytes.
+        with open(path, "rb") as handle:
+            assert handle.read() == raw
+
+
+class TestLeases:
+    """Per-job leases: exclusivity, heartbeat, stale takeover."""
+
+    def _two_stores(self, tmp_path):
+        return (JobStore(str(tmp_path), owner="owner-a"),
+                JobStore(str(tmp_path), owner="owner-b"))
+
+    def test_exclusive_acquire_release(self, tmp_path):
+        a, b = self._two_stores(tmp_path)
+        assert a.acquire_lease("j1")
+        assert a.acquire_lease("j1")           # re-entrant for the owner
+        assert not b.acquire_lease("j1")
+        assert a.held_leases() == ["j1"]
+        info = b.lease_info("j1")
+        assert info["owner"] == "owner-a" and info["live"]
+        a.release_lease("j1")
+        assert b.acquire_lease("j1")
+        assert b.lease_info("j1")["owner"] == "owner-b"
+
+    def test_required_acquire_raises_lease_held(self, tmp_path):
+        a, b = self._two_stores(tmp_path)
+        assert a.acquire_lease("j1")
+        with pytest.raises(LeaseHeld) as err:
+            b.acquire_lease("j1", required=True)
+        assert err.value.owner == "owner-a"
+        assert err.value.http_status == 409
+
+    def test_stale_heartbeat_is_taken_over(self, tmp_path):
+        a, b = self._two_stores(tmp_path)
+        assert a.acquire_lease("j1")
+        lease_path = os.path.join(str(tmp_path), "j1", "lease.json")
+        ancient = time.time() - 10 * DEFAULT_LEASE_TTL
+        os.utime(lease_path, (ancient, ancient))
+        assert b.acquire_lease("j1")
+        assert b.lease_takeovers == 1
+        assert b.lease_info("j1")["owner"] == "owner-b"
+        # The previous owner notices on its next heartbeat and backs off.
+        assert not a.refresh_lease("j1")
+        assert a.held_leases() == []
+
+    def test_dead_pid_is_taken_over_before_ttl(self, tmp_path):
+        import socket
+        import subprocess
+        import sys as _sys
+        child = subprocess.Popen([_sys.executable, "-c", "pass"])
+        child.wait()
+        b = JobStore(str(tmp_path), owner="owner-b")
+        job_dir = tmp_path / "j1"
+        job_dir.mkdir()
+        (job_dir / "lease.json").write_text(json.dumps(
+            {"owner": "ghost", "pid": child.pid,
+             "host": socket.gethostname(), "acquired_at": time.time()}))
+        assert b.acquire_lease("j1")           # fresh mtime, dead pid
+        assert b.lease_takeovers == 1
+
+    def test_torn_lease_file_is_cleared_and_reacquired(self, tmp_path):
+        b = JobStore(str(tmp_path), owner="owner-b")
+        job_dir = tmp_path / "j1"
+        job_dir.mkdir()
+        (job_dir / "lease.json").write_bytes(b'{"owner": "gh')
+        assert b.lease_info("j1")["live"] is False
+        assert b.acquire_lease("j1")
+        assert b.lease_info("j1")["owner"] == "owner-b"
+
+    def test_scheduler_skips_foreign_lease(self, tmp_path):
+        config = RcgpConfig(generations=60, seed=3)
+        foreign = JobStore(str(tmp_path), owner="foreign")
+        with Scheduler(JobStore(str(tmp_path), owner="mine"),
+                       quantum=30) as scheduler:
+            blocked = scheduler.submit(_xor_and_spec(), config)
+            free = scheduler.submit(_decoder_spec(), config)
+            assert foreign.acquire_lease(blocked.id)
+            scheduler.run(max_ticks=10)
+            assert free.state == DONE
+            assert blocked.state != DONE
+            foreign.release_lease(blocked.id)
+            scheduler.run()
+            assert blocked.state == DONE
+            # Leases released with the jobs: nothing held after close.
+        assert foreign.acquire_lease(blocked.id)
+
+    def test_two_schedulers_split_queue_single_owner_each(self, tmp_path):
+        import threading
+        config = RcgpConfig(generations=300, seed=5)
+        specs = [_xor_and_spec(), _decoder_spec(),
+                 [TruthTable.from_function(lambda a, b: a | b, 2)]]
+        stores = [JobStore(str(tmp_path), owner=f"sched-{i}")
+                  for i in range(2)]
+        schedulers = [Scheduler(store, quantum=25) for store in stores]
+        for scheduler in schedulers:
+            for spec in specs:
+                scheduler.submit(spec, config)
+        threads = [threading.Thread(target=scheduler.run)
+                   for scheduler in schedulers]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        try:
+            reader = JobStore(str(tmp_path), owner="reader")
+            for job_id in reader.jobs():
+                assert reader.load_record(job_id)["state"] == DONE
+                owners = {json.loads(line)["owner"]
+                          for line in
+                          reader.read_telemetry(job_id).splitlines()
+                          if json.loads(line).get("event") in
+                          ("job_start", "job_resume", "job_slice")}
+                assert len(owners) == 1, \
+                    f"job {job_id} driven by {sorted(owners)}"
+        finally:
+            for scheduler in schedulers:
+                scheduler.close()
+
+
+class TestSigkillSweep:
+    """A sampled end-to-end SIGKILL sweep (the full sweep runs in CI
+    via ``tools/fault_store.py``): kill a child batch at interposed
+    store write points, restart, require bit-identical recovery."""
+
+    def test_sampled_kill_points_recover_bit_identically(self, tmp_path):
+        import importlib.util
+        tool = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "tools", "fault_store.py")
+        spec = importlib.util.spec_from_file_location("fault_store", tool)
+        fault_store = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(fault_store)
+        exercised = fault_store.kill_sweep(
+            ["decoder_2_4"], generations=40, quantum=20, seed=0,
+            sample=9, workdir=str(tmp_path), verbose=False)
+        assert exercised >= 2

@@ -287,3 +287,160 @@ class TestInterruptedAndResume:
             assert netlist_to_dict(result.netlist) == \
                 netlist_to_dict(baseline.netlist)
             assert result.verify()
+
+
+class TestCrashSurfacing:
+    """Leases, quarantines and torn streams as seen over the wire."""
+
+    def _strand_job(self, tmp_path, spec, config, *, max_ticks=2):
+        store = str(tmp_path / "store")
+        with Scheduler(JobStore(store), quantum=25) as scheduler:
+            job = scheduler.submit(spec, config)
+            scheduler.run(max_ticks=max_ticks)
+            assert job.state == "running"
+        return store, job.id
+
+    def test_stranded_with_checkpoint_resumes_from_checkpoint(
+            self, tmp_path):
+        store, job_id = self._strand_job(
+            tmp_path, _decoder_spec(), _config(generations=400))
+        server = ServiceServer(store, port=0, resume=False)
+        server.start(loop=False)
+        try:
+            view = ServiceClient(server.url, timeout=10.0).status(job_id)
+            assert view["state"] == INTERRUPTED
+            assert view["resumable"] is True
+            assert view["resume_from"] == "checkpoint"
+        finally:
+            server.close()
+
+    def test_stranded_without_checkpoint_resumes_from_baseline(
+            self, tmp_path):
+        """A process killed before its first checkpoint leaves a
+        ``running`` record and nothing else — still resumable, from
+        the deterministic baseline."""
+        store = str(tmp_path / "store")
+        writer = JobStore(store)
+        with Scheduler(writer, quantum=25) as scheduler:
+            job = scheduler.submit(_decoder_spec(),
+                                   _config(generations=400))
+            record = writer.load_record(job.id)
+            record["state"] = "running"
+            writer.save_record(job.id, record)
+        server = ServiceServer(store, port=0, resume=False)
+        server.start(loop=False)
+        try:
+            view = ServiceClient(server.url, timeout=10.0).status(job.id)
+            assert view["state"] == INTERRUPTED
+            assert view["resumable"] is True
+            assert view["resume_from"] == "baseline"
+            assert "checkpoint_at" not in view
+        finally:
+            server.close()
+
+    def test_foreign_live_lease_reports_running_with_owner(
+            self, tmp_path):
+        store, job_id = self._strand_job(
+            tmp_path, _decoder_spec(), _config(generations=400))
+        foreign = JobStore(store, owner="other-scheduler")
+        assert foreign.acquire_lease(job_id)
+        server = ServiceServer(store, port=0, resume=False)
+        server.start(loop=False)
+        try:
+            view = ServiceClient(server.url, timeout=10.0).status(job_id)
+            assert view["state"] == "running"
+            assert view["resumable"] is False
+            assert view["owner"] == "other-scheduler"
+            assert view["lease"]["live"] is True
+        finally:
+            server.close()
+            foreign.release_lease(job_id)
+
+    def test_result_torn_after_open_is_typed_500(self, tmp_path):
+        store = str(tmp_path / "store")
+        with Scheduler(JobStore(store), quantum=25) as scheduler:
+            job = scheduler.submit(_xor_and_spec(),
+                                   _config(generations=60))
+            scheduler.run()
+            assert job.state == "done"
+        server = ServiceServer(store, port=0, resume=False)
+        server.start(loop=False)
+        try:
+            # Tear the artifact *after* the server's recovery sweep ran:
+            # the read path itself must surface typed corruption.
+            result_path = tmp_path / "store" / job.id / "result.json"
+            result_path.write_bytes(b'{"netlist": [[')
+            client = ServiceClient(server.url, timeout=10.0)
+            with pytest.raises(ServiceError) as err:
+                client.raw_result(job.id)
+            assert err.value.http_status == 500
+            assert "StoreCorruption" in str(err.value)
+        finally:
+            server.close()
+        # The next open quarantines it; the job re-runs from scratch.
+        reopened = JobStore(store)
+        assert reopened.quarantined
+        assert reopened.load_result(job.id) is None
+
+    def test_torn_telemetry_served_as_valid_jsonl(self, tmp_path):
+        from repro.jobs import TELEMETRY_TRUNCATED
+        store, job_id = self._strand_job(
+            tmp_path, _decoder_spec(), _config(generations=400))
+        telemetry = tmp_path / "store" / job_id / "telemetry.jsonl"
+        with open(telemetry, "ab") as handle:
+            handle.write(b'{"event": "job_sl')   # torn mid-append
+        server = ServiceServer(store, port=0, resume=False)
+        server.start(loop=False)
+        try:
+            events = ServiceClient(server.url,
+                                   timeout=10.0).telemetry(job_id)
+            assert events[-1]["event"] == TELEMETRY_TRUNCATED
+            assert events[-1]["dropped_bytes"] > 0
+            assert all("event" in event for event in events)
+        finally:
+            server.close()
+
+    def test_metrics_expose_lease_and_quarantine_counters(self, tmp_path):
+        store, job_id = self._strand_job(
+            tmp_path, _decoder_spec(), _config(generations=400))
+        # One corrupt artifact for the server's sweep to quarantine...
+        baseline_path = tmp_path / "store" / job_id / "baseline.json"
+        baseline_path.write_bytes(b'{"cost":')
+        # ...and one live foreign lease.
+        foreign = JobStore(store, owner="other-scheduler")
+        assert foreign.acquire_lease(job_id)
+        server = ServiceServer(store, port=0, resume=False)
+        server.start(loop=False)
+        try:
+            metrics = ServiceClient(server.url, timeout=10.0).metrics()
+            assert metrics["rcgp_store_quarantined_total"] == 1
+            assert metrics["rcgp_leases_live"] == 1
+            assert metrics["rcgp_lease_takeovers_total"] == 0
+            # Lease-aware state gauge: leased elsewhere != interrupted.
+            assert metrics['rcgp_jobs{state="running"}'] == 1
+        finally:
+            server.close()
+            foreign.release_lease(job_id)
+
+    def test_client_maps_typed_lease_held_409(self):
+        from repro.errors import LeaseHeld
+        from repro.service.client import _error_from
+        body = json.dumps({"error": {
+            "type": "LeaseHeld",
+            "message": "job abc is leased by sched-1"}}).encode()
+        err = _error_from(409, body)
+        assert isinstance(err, LeaseHeld)
+        assert err.http_status == 409
+        plain = _error_from(409, json.dumps({"error": {
+            "type": "JobNotReady", "message": "no result"}}).encode())
+        assert isinstance(plain, JobNotReady)
+        assert not isinstance(plain, LeaseHeld)
+
+    def test_lease_ttl_threads_through_to_the_store(self, tmp_path):
+        server = ServiceServer(str(tmp_path / "store"), port=0,
+                               lease_ttl=7.5)
+        server.start(loop=False)
+        try:
+            assert server.session.store.lease_ttl == 7.5
+        finally:
+            server.close()
