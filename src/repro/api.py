@@ -71,6 +71,11 @@ class Session:
         over (see :meth:`JobStore.acquire_lease`).  Size it well above
         one slice's wall-clock; ignored when ``store`` is a prebuilt
         :class:`JobStore` (which already carries its own TTL).
+    fleet:
+        An optional started :class:`~repro.cluster.fleet.ClusterFleet`
+        of remote TCP workers; parallel-safe slices then run on a
+        dynamic mix of the fleet and the local worker budget.  The
+        session does not own the fleet's lifecycle.
 
     >>> with Session(store="runs/", workers=8, quantum=1000) as session:
     ...     jobs = [session.submit(path) for path in designs]
@@ -81,7 +86,7 @@ class Session:
     def __init__(self, store: Union[None, str, "os.PathLike[str]",
                                     JobStore] = None, *,
                  workers: int = 0, quantum: Optional[int] = None,
-                 lease_ttl: Optional[float] = None):
+                 lease_ttl: Optional[float] = None, fleet=None):
         if store is None or isinstance(store, JobStore):
             self.store = store if store is not None else JobStore(None)
             if lease_ttl is not None:
@@ -91,7 +96,7 @@ class Session:
                 os.fspath(store),
                 **({} if lease_ttl is None else {"lease_ttl": lease_ttl}))
         self.scheduler = Scheduler(self.store, workers=workers,
-                                   quantum=quantum)
+                                   quantum=quantum, fleet=fleet)
 
     # -- lifecycle -----------------------------------------------------
 

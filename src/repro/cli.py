@@ -6,6 +6,7 @@ Subcommands::
     rcgp bench  <testcase> [options]          # one registry benchmark
     rcgp batch  <target> [...] --store DIR    # scheduled, resumable jobs
     rcgp serve  --store DIR --port N          # the scheduler over HTTP
+    rcgp worker --connect HOST:PORT           # remote evaluation worker
     rcgp exact  <testcase> [options]          # exact baseline
     rcgp table  {1,2} [testcase ...]          # paper table harness
     rcgp list                                 # registry contents
@@ -248,12 +249,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     operational = {"batch_retries": args.batch_retries}
     if args.batch_timeout is not None:
         operational["batch_timeout"] = args.batch_timeout
+    token = args.cluster_token or os.environ.get("RCGP_CLUSTER_TOKEN", "")
     return serve(args.store, host=args.host, port=args.port,
                  workers=args.workers, quantum=args.quantum,
                  max_queue=args.max_queue,
                  request_timeout=args.request_timeout,
                  operational=operational, resume=not args.no_resume,
-                 lease_ttl=args.lease_ttl)
+                 lease_ttl=args.lease_ttl,
+                 cluster_port=args.cluster_port,
+                 cluster_host=args.cluster_host,
+                 cluster_token=token)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Serve evaluation frames to a coordinator over TCP.
+
+    Dials ``--connect host:port`` (the coordinator's ``--cluster-port``
+    listener), authenticates with the shared ``--token`` and then
+    answers the same batch/span frames a local pipe worker answers.
+    Reconnects with exponential backoff when the coordinator goes away;
+    exits non-zero only on auth/version rejection or a bad endpoint.
+    """
+    from .cluster import run_worker
+    token = args.token or os.environ.get("RCGP_CLUSTER_TOKEN", "")
+    return run_worker(args.connect, token, name=args.name,
+                      slots=args.slots,
+                      reconnect_delay=args.reconnect_delay,
+                      once=args.once)
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -448,8 +470,41 @@ def build_parser() -> argparse.ArgumentParser:
                               "another server over the same --store may "
                               "take a job over (default 60; lets N "
                               "servers split one store's queue)")
+    cluster = p_serve.add_argument_group("cluster options")
+    cluster.add_argument("--cluster-port", type=int, default=None,
+                         help="also listen for rcgp worker processes on "
+                              "this TCP port (0 picks a free one); "
+                              "requires --cluster-token")
+    cluster.add_argument("--cluster-host", default=None,
+                         help="bind address for the worker listener "
+                              "(default: same as --host)")
+    cluster.add_argument("--cluster-token", default="",
+                         help="shared secret workers must present "
+                              "(default: $RCGP_CLUSTER_TOKEN)")
     _add_engine_options(p_serve, pool_only=True)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker", help="serve evaluation frames to a coordinator over TCP")
+    p_worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="the coordinator's --cluster-port endpoint")
+    p_worker.add_argument("--token", default="",
+                          help="shared secret (default: "
+                               "$RCGP_CLUSTER_TOKEN)")
+    p_worker.add_argument("--name", default="",
+                          help="worker name reported to the coordinator "
+                               "(default: hostname-pid)")
+    p_worker.add_argument("--slots", type=int, default=0,
+                          help="advertised cpu slots (default: "
+                               "os.cpu_count())")
+    p_worker.add_argument("--reconnect-delay", type=float, default=1.0,
+                          metavar="SECONDS",
+                          help="initial reconnect backoff after losing "
+                               "the coordinator (doubles up to 30s)")
+    p_worker.add_argument("--once", action="store_true",
+                          help="exit after the first connection ends "
+                               "instead of reconnecting (for tests)")
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_exact = sub.add_parser("exact", help="exact baseline on a benchmark")
     p_exact.add_argument("testcase")

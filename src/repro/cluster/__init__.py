@@ -1,0 +1,29 @@
+"""Distributed span evaluation over TCP remote workers.
+
+The pipe transport (:mod:`repro.core.transport`) and this package are
+two codecs over one frame protocol: the same opcodes, the same
+``HANDLERS`` dispatch, the same :mod:`repro.core.wire` payloads.  A
+``rcgp worker`` process dials the coordinator's
+:class:`~repro.cluster.fleet.ClusterFleet`, handshakes (protocol
+version, shared token, cpu slots) and then serves exactly the frames a
+local pipe worker serves; the
+:class:`~repro.cluster.backend.ClusterBackend` dispatches every batch
+or replay span to a dynamic mix of local and remote workers with the
+engine's standard fault recovery, so results stay bit-identical to the
+serial loop whatever the fleet does.
+"""
+
+from .backend import ClusterBackend, ClusterDispatch
+from .fleet import ClusterFleet, RemoteWorker
+from .protocol import PROTOCOL_VERSION, SocketChannel
+from .worker import run_worker
+
+__all__ = [
+    "ClusterBackend",
+    "ClusterDispatch",
+    "ClusterFleet",
+    "PROTOCOL_VERSION",
+    "RemoteWorker",
+    "SocketChannel",
+    "run_worker",
+]

@@ -1,0 +1,531 @@
+"""Coordinator-side evaluation over a dynamic local + remote mix.
+
+Two layers, mirroring the scheduler's ``SharedWorkerPool`` /
+``JobBackend`` split:
+
+* :class:`ClusterDispatch` — long-lived, owned by the scheduler (or a
+  test harness).  Snapshots the currently-available *channels* — every
+  idle remote worker leased from the :class:`~repro.cluster.fleet.
+  ClusterFleet` plus the lazily-spawned local pipe workers — for each
+  batch, ships job-keyed frames (the 0x1* opcodes of
+  :mod:`repro.core.transport`, self-describing via their pickled
+  :data:`~repro.jobs.pool.JobContext`), and runs the same bounded
+  fault-recovery loop every pool owner runs: a failed batch drops the
+  remote connections it touched (the worker processes dial back in),
+  kills the local pipe workers, and re-dispatches against a fresh
+  channel snapshot.
+* :class:`ClusterBackend` — per-slice ``EvaluationBackend`` adapter:
+  slice-local counters, per-job retry budgets, inline fallback built
+  exactly like a worker-side evaluator.
+
+Determinism: chunks are split by :func:`~repro.core.engine.
+chunk_evenly` and results concatenated in submission order, evaluation
+is pure for every parallel-safe config, and per-offspring RNG streams
+are keyed by ``(seed, absolute generation, index)`` — so *any* channel
+mix (0 remotes, N remotes, remotes joining or dying mid-run) returns
+bit-identical fitnesses **and** bit-identical eval counters to the
+serial loop.
+
+One deliberate deviation from ``SharedWorkerPool``: degradation is
+slice-local, not sticky.  A shared pipe pool that exhausts its retries
+is broken machine state, but a fleet that momentarily has zero usable
+workers is normal cluster weather — the next slice retries against
+whoever is connected then, so a long-lived ``rcgp serve`` never inlines
+forever because of one bad minute.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core import engine as _engine
+from ..core import transport, wire
+from ..core.config import RcgpConfig
+from ..core.engine import (AdaptiveChunker, Genome, InlineBackend,
+                           RECOVERABLE_POOL_ERRORS, chunk_evenly)
+from ..core.fitness import Evaluator, Fitness
+from ..core.mutation import MutationDelta
+from ..core.transport import (OP_JOB_EVAL_DELTAS, OP_JOB_EVAL_GENOMES,
+                              OP_JOB_SPAN, PipeWorkerPool)
+from ..jobs.pool import JobContext, _frame_job, _U32
+from ..logic.truth_table import TruthTable
+from .fleet import ClusterFleet, RemoteWorker
+
+#: Upper bound fed to the chunk planner; the real per-batch cap is the
+#: number of channels in the current snapshot.
+_PLAN_CAP = 64
+
+
+class _LocalChannel:
+    """One pipe worker of the dispatch-owned local pool, as a channel."""
+
+    __slots__ = ("_dispatch", "_index")
+    name: Optional[str] = None
+    remote = False
+
+    def __init__(self, dispatch: "ClusterDispatch", index: int):
+        self._dispatch = dispatch
+        self._index = index
+
+    def send(self, frame: bytes) -> None:
+        self._dispatch._pool.send(self._index, frame)
+
+    def recv(self, deadline: Optional[float]) -> bytes:
+        return self._dispatch._pool.recv(self._index, deadline)
+
+    def ready(self) -> bool:
+        pool = self._dispatch._pool
+        return pool is not None and pool.ready(self._index)
+
+    def fail(self) -> None:
+        self._dispatch._kill_pool()
+
+
+class _RemoteChannel:
+    """One leased fleet worker as a channel (lease held by the caller)."""
+
+    __slots__ = ("_fleet", "worker")
+    remote = True
+
+    def __init__(self, fleet: ClusterFleet, worker: RemoteWorker):
+        self._fleet = fleet
+        self.worker = worker
+
+    @property
+    def name(self) -> str:
+        return self.worker.name
+
+    def send(self, frame: bytes) -> None:
+        self.worker.channel.send(frame)
+        self.worker.frames += 1
+        self.worker.bytes_shipped += len(frame)
+
+    def recv(self, deadline: Optional[float]) -> bytes:
+        return transport.unwrap_reply(self.worker.channel.recv(deadline))
+
+    def ready(self) -> bool:
+        return self.worker.channel.ready()
+
+    def fail(self) -> None:
+        self._fleet.drop(self.worker)
+
+
+class ClusterDispatch:
+    """Frame dispatch over whatever workers exist *right now*.
+
+    ``fleet`` may be ``None`` (local-only: behaves like the shared pipe
+    pool) and ``local_workers`` may be ``0`` (remote-only: every batch
+    rides the fleet, and a fleet with nobody connected evaluates
+    inline until somebody dials in).
+    """
+
+    def __init__(self, fleet: Optional[ClusterFleet] = None, *,
+                 local_workers: int = 0):
+        self.fleet = fleet
+        self.local_workers = max(0, local_workers)
+        self._pool: Optional[PipeWorkerPool] = None
+        self._chunker = AdaptiveChunker(_PLAN_CAP)
+        # Cumulative counters; ClusterBackend exposes slice-local views.
+        self.worker_restarts = 0
+        self.batches_retried = 0
+        self.bytes_shipped = 0
+        self.chunks_dispatched = 0
+        self.pipeline_stalls = 0
+        self.spans_remote = 0
+        #: Why the last ``run_batch``/``collect_span`` returned ``None``:
+        #: ``"no_channels"`` (transient) or ``"exhausted"`` (retry
+        #: budget spent).
+        self.last_failure = ""
+        #: Remote worker names that served the last successful call.
+        self.last_workers: Tuple[str, ...] = ()
+        # In-flight replay span (at most one, per the engine contract).
+        self._span_frame: Optional[bytes] = None
+        self._span_channel = None
+        self._span_live = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _ensure_pool(self) -> PipeWorkerPool:
+        if self._pool is None:
+            self._pool = PipeWorkerPool(self.local_workers)
+        return self._pool
+
+    def _kill_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.kill()
+
+    def terminate(self) -> None:
+        self._release_span(failed=True)
+        self._kill_pool()
+
+    def close(self) -> None:
+        """Release local workers; the fleet belongs to its owner."""
+        self._release_span(failed=True)
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # -- channel snapshots ---------------------------------------------
+
+    def _channels(self, limit: Optional[int] = None) -> List:
+        """Lease every idle remote + attach the local pipe workers.
+
+        Remote channels come first so replay spans and small batches
+        land on the fleet when it exists.  The caller must
+        ``_release`` the snapshot (failed channels are dropped by
+        ``fail()``; their locks still need releasing).
+        """
+        channels: List = []
+        if self.fleet is not None:
+            for worker in self.fleet.lease(limit):
+                channels.append(_RemoteChannel(self.fleet, worker))
+        if self.local_workers > 0 and \
+                (limit is None or len(channels) < limit):
+            try:
+                self._ensure_pool()
+            except OSError:
+                self._pool = None
+            else:
+                for index in range(self.local_workers):
+                    channels.append(_LocalChannel(self, index))
+                    if limit is not None and len(channels) >= limit:
+                        break
+        return channels
+
+    def _release(self, channels: Sequence) -> None:
+        if self.fleet is not None:
+            self.fleet.release([ch.worker for ch in channels
+                                if ch.remote])
+
+    def _fail_channels(self, channels: Sequence) -> None:
+        failed_local = False
+        for channel in channels:
+            if channel.remote:
+                channel.fail()
+            else:
+                failed_local = True
+        if failed_local:
+            self._kill_pool()
+
+    # -- batch dispatch with recovery ----------------------------------
+
+    def run_batch(self, items: List, make_frame: Callable,
+                  timeout: Optional[float], retries: int):
+        """One batch across the current channel snapshot.
+
+        Returns ``(fitnesses, counters)``, or ``None`` with
+        :attr:`last_failure` set — the caller evaluates inline (which
+        is bit-identical, so either way the run proceeds).
+        """
+        attempt = 0
+        while True:
+            channels = self._channels()
+            if not channels:
+                self.last_failure = "no_channels"
+                return None
+            used: List = []
+            try:
+                plan = min(self._chunker.plan(len(items)),
+                           len(channels))
+                chunks = chunk_evenly(items, plan)
+                started = time.monotonic()
+                for index, chunk in enumerate(chunks):
+                    frame = make_frame(chunk)
+                    channels[index].send(frame)
+                    used.append(channels[index])
+                    self.bytes_shipped += len(frame)
+                    self.chunks_dispatched += 1
+                deadline = None if timeout is None \
+                    else started + timeout
+                results: List[Fitness] = []
+                totals = [0, 0, 0]
+                for index in range(len(chunks)):
+                    frame = channels[index].recv(deadline)
+                    values, counters = wire.unpack_fitness_chunk(
+                        memoryview(frame)[1:])
+                    results.extend(Fitness(*value) for value in values)
+                    for k in range(3):
+                        totals[k] += counters[k]
+                self._chunker.observe(len(items), len(chunks),
+                                      time.monotonic() - started)
+                self.last_workers = tuple(
+                    ch.name for ch in used if ch.remote)
+                return results, (totals[0], totals[1], totals[2])
+            except (KeyboardInterrupt, SystemExit):
+                self._fail_channels(used)
+                raise
+            except RECOVERABLE_POOL_ERRORS:
+                self._fail_channels(used)
+                if attempt >= retries:
+                    self.last_failure = "exhausted"
+                    return None
+                attempt += 1
+                self.batches_retried += 1
+                self.worker_restarts += 1
+            finally:
+                self._release(channels)
+
+    # -- replay spans --------------------------------------------------
+
+    def _acquire_span_channel(self):
+        channels = self._channels(limit=1)
+        return channels[0] if channels else None
+
+    def _release_span(self, *, failed: bool) -> None:
+        channel, self._span_channel = self._span_channel, None
+        self._span_live = False
+        if channel is None:
+            return
+        if failed:
+            channel.fail()
+        if channel.remote and self.fleet is not None:
+            self.fleet.release([channel.worker])
+
+    def dispatch_span(self, frame: bytes) -> bool:
+        """Ship one replay-span frame without waiting.
+
+        The chosen channel stays leased until :meth:`collect_span`
+        resolves the span — the heartbeat thread must never interleave
+        a ping with an in-flight span.  Send failures are left for the
+        collect-side retry loop.
+        """
+        if self.fleet is None and self.local_workers == 0:
+            return False
+        self._span_frame = frame
+        self._span_channel = self._acquire_span_channel()
+        self._span_live = False
+        if self._span_channel is not None:
+            try:
+                self._span_channel.send(frame)
+                self.bytes_shipped += len(frame)
+                self.chunks_dispatched += 1
+                self._span_live = True
+            except (KeyboardInterrupt, SystemExit):
+                self._release_span(failed=True)
+                raise
+            except RECOVERABLE_POOL_ERRORS:
+                self._release_span(failed=True)
+        return True
+
+    def collect_span(self, timeout: Optional[float],
+                     retries: int) -> Optional[wire.SpanResult]:
+        """Block for the in-flight span, with bounded fault recovery."""
+        frame = self._span_frame
+        if frame is None:
+            raise RuntimeError("collect_span without a dispatched span")
+        if self._span_live and self._span_channel is not None \
+                and not self._span_channel.ready():
+            self.pipeline_stalls += 1
+        attempt = 0
+        while True:
+            if self._span_channel is None:
+                self._span_channel = self._acquire_span_channel()
+                self._span_live = False
+                if self._span_channel is None:
+                    self._span_frame = None
+                    self.last_failure = "no_channels"
+                    return None
+            channel = self._span_channel
+            try:
+                if not self._span_live:
+                    channel.send(frame)
+                    self.bytes_shipped += len(frame)
+                    self.chunks_dispatched += 1
+                    self._span_live = True
+                deadline = None if timeout is None \
+                    else time.monotonic() + timeout
+                reply = channel.recv(deadline)
+            except (KeyboardInterrupt, SystemExit):
+                self._release_span(failed=True)
+                raise
+            except RECOVERABLE_POOL_ERRORS:
+                self._release_span(failed=True)
+                if attempt >= retries:
+                    self._span_frame = None
+                    self.last_failure = "exhausted"
+                    return None
+                attempt += 1
+                self.batches_retried += 1
+                self.worker_restarts += 1
+                continue
+            if channel.remote and self.fleet is not None:
+                self.fleet.record_span(channel.worker)
+                self.spans_remote += 1
+                self.last_workers = (channel.name,)
+            self._release_span(failed=False)
+            self._span_frame = None
+            return wire.unpack_span_result(memoryview(reply)[1:])
+
+
+class ClusterBackend:
+    """Per-slice ``EvaluationBackend`` adapter over a dispatch.
+
+    Mirrors :class:`~repro.jobs.pool.JobBackend` — slice-local
+    counters, job-keyed frames, inline fallback constructed exactly
+    like a worker-side evaluator — plus the fleet-facing extras the
+    scheduler's telemetry reads: :attr:`cluster_workers` (every remote
+    name that served this slice) and :attr:`spans_remote`.
+    """
+
+    name = "cluster"
+    remote_evaluations = True
+
+    def __init__(self, dispatch: ClusterDispatch, ctx: JobContext,
+                 spec: Sequence[TruthTable], config: RcgpConfig):
+        self._cd = dispatch
+        self._ctx = ctx
+        self._ctx_blob = pickle.dumps(ctx)
+        self._spec = list(spec)
+        self._config = config
+        self.eval_full = 0
+        self.eval_incremental = 0
+        self.ports_resimulated = 0
+        self.cluster_workers: set = set()
+        self._degraded = False
+        self._restarts_at = dispatch.worker_restarts
+        self._retried_at = dispatch.batches_retried
+        self._bytes_at = dispatch.bytes_shipped
+        self._chunks_at = dispatch.chunks_dispatched
+        self._stalls_at = dispatch.pipeline_stalls
+        self._spans_remote_at = dispatch.spans_remote
+        self._inline: Optional[InlineBackend] = None
+        self._fallback_evaluator: Optional[Evaluator] = None
+
+    # Slice-local views of the dispatch's cumulative counters.
+    @property
+    def worker_restarts(self) -> int:
+        return self._cd.worker_restarts - self._restarts_at
+
+    @property
+    def batches_retried(self) -> int:
+        return self._cd.batches_retried - self._retried_at
+
+    @property
+    def bytes_shipped(self) -> int:
+        return self._cd.bytes_shipped - self._bytes_at
+
+    @property
+    def chunks_dispatched(self) -> int:
+        return self._cd.chunks_dispatched - self._chunks_at
+
+    @property
+    def pipeline_stalls(self) -> int:
+        return self._cd.pipeline_stalls - self._stalls_at
+
+    @property
+    def spans_remote(self) -> int:
+        return self._cd.spans_remote - self._spans_remote_at
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    # -- inline degradation (identical evaluator construction) ---------
+
+    def _inline_backend(self) -> InlineBackend:
+        if self._inline is None:
+            self._fallback_evaluator = Evaluator(self._spec, self._config)
+            self._inline = InlineBackend(self._fallback_evaluator)
+        return self._inline
+
+    def _run_inline(self, call) -> List[Fitness]:
+        backend = self._inline_backend()
+        evaluator = self._fallback_evaluator
+        before = _engine._counters(evaluator)
+        out = call(backend)
+        after = _engine._counters(evaluator)
+        self.eval_full += after[0] - before[0]
+        self.eval_incremental += after[1] - before[1]
+        self.ports_resimulated += after[2] - before[2]
+        return out
+
+    def _commit(self, counters) -> None:
+        self.eval_full += counters[0]
+        self.eval_incremental += counters[1]
+        self.ports_resimulated += counters[2]
+
+    def _note_failure(self) -> None:
+        if self._cd.last_failure == "exhausted":
+            self._degraded = True
+
+    def _note_workers(self) -> None:
+        self.cluster_workers.update(self._cd.last_workers)
+
+    # -- the EvaluationBackend surface ---------------------------------
+
+    def evaluate(self, genomes: Sequence[Genome]) -> List[Fitness]:
+        genomes = list(genomes)
+        if not genomes:
+            return []
+        blob = self._ctx_blob
+        out = None if self._degraded else self._cd.run_batch(
+            genomes,
+            lambda chunk: _frame_job(OP_JOB_EVAL_GENOMES, blob,
+                                     wire.pack_genomes(chunk)),
+            self._config.batch_timeout, self._config.batch_retries)
+        if out is None:
+            self._note_failure()
+            return self._run_inline(lambda b: b.evaluate(genomes))
+        self._note_workers()
+        results, counters = out
+        self._commit(counters)
+        return results
+
+    def evaluate_deltas(self, parent_genome: Genome,
+                        deltas: Sequence[MutationDelta],
+                        children: Optional[Sequence] = None) \
+            -> List[Fitness]:
+        deltas = list(deltas)
+        if not deltas:
+            return []
+        blob = self._ctx_blob
+        genome_blob = wire.pack_genome(parent_genome)
+        head = _U32.pack(len(genome_blob)) + genome_blob
+        out = None if self._degraded else self._cd.run_batch(
+            deltas,
+            lambda chunk: _frame_job(OP_JOB_EVAL_DELTAS, blob,
+                                     head + wire.pack_deltas(chunk)),
+            self._config.batch_timeout, self._config.batch_retries)
+        if out is None:
+            self._note_failure()
+            return self._run_inline(
+                lambda b: b.evaluate_deltas(parent_genome, deltas,
+                                            children))
+        self._note_workers()
+        results, counters = out
+        self._commit(counters)
+        return results
+
+    # -- replay spans --------------------------------------------------
+
+    @property
+    def supports_spans(self) -> bool:
+        return not self._degraded
+
+    def dispatch_span(self, request: wire.SpanRequest) -> bool:
+        if self._degraded:
+            return False
+        return self._cd.dispatch_span(
+            _frame_job(OP_JOB_SPAN, self._ctx_blob,
+                       wire.pack_span_request(request)))
+
+    def collect_span(self) -> Optional[wire.SpanResult]:
+        result = self._cd.collect_span(self._config.batch_timeout,
+                                       self._config.batch_retries)
+        if result is None:
+            self._note_failure()
+            return None
+        self._note_workers()
+        for _accepted, _fit, deltas in result.records:
+            self._commit(deltas)
+        return result
+
+    def close(self) -> None:
+        # The dispatch outlives the slice; nothing to release here.
+        pass
+
+
+__all__ = ["ClusterBackend", "ClusterDispatch"]

@@ -65,7 +65,7 @@ from dataclasses import dataclass, field
 from typing import (Callable, Dict, IO, List, Optional, Protocol, Sequence,
                     Tuple)
 
-from ..errors import SynthesisError, WorkerPoolError
+from ..errors import FrameError, SynthesisError, WorkerPoolError
 from ..logic.truth_table import TruthTable
 from ..rqfp.netlist import RqfpNetlist
 from ..rqfp.simplify import bypass_wire_gates
@@ -339,11 +339,15 @@ _WORKER_FAULT_MODE = ""
 _Counters = Tuple[int, int, int]  # (eval_full, eval_incremental, ports)
 
 #: Everything a recoverable batch loss can look like: a worker crashed
-#: or was OOM-killed (BrokenExecutor), a batch overran its deadline, or
-#: the IPC pipe died underneath the future.  Shared by every pool owner
-#: (ProcessPoolBackend, the job scheduler's shared pool).
+#: or was OOM-killed (BrokenExecutor), a batch overran its deadline,
+#: the IPC pipe/socket died underneath the future, or a frame arrived
+#: malformed (truncated, oversized, unknown opcode — the typed
+#: :class:`~repro.errors.FrameError` family).  Shared by every pool
+#: owner (ProcessPoolBackend, the job scheduler's shared pool, the
+#: cluster dispatch).  Evaluation is pure, so a lost batch re-runs
+#: bit-identically.
 RECOVERABLE_POOL_ERRORS = (BrokenExecutorError, FuturesTimeoutError,
-                           TimeoutError, OSError, EOFError)
+                           TimeoutError, OSError, EOFError, FrameError)
 
 
 def install_fault_injection() -> None:

@@ -25,19 +25,37 @@ replay spans, :mod:`repro.jobs.pool` for the scheduler's job-keyed
 variants); the worker main loop resolves unknown job opcodes by
 importing :mod:`repro.jobs.pool` lazily, so a spawned (non-fork) worker
 still finds them.
+
+The opcode table, :func:`serve_frame` (validate + dispatch + pack
+errors) and :func:`unwrap_reply` (validate + re-raise shipped errors)
+are the shared dispatch core: the pipe transport here and the TCP
+transport in :mod:`repro.cluster.protocol` are two codecs over the same
+frames, so a remote worker serves exactly the byte streams a local one
+does.  Malformed frames — empty, oversized (> :func:`max_frame_bytes`),
+unknown opcode, or truncated payloads — surface as the typed
+:class:`~repro.errors.FrameError` family rather than hanging a peer or
+leaking ``struct.error``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
+import struct
 import sys
 import time
 from typing import Callable, Dict, List, Optional
 
+from ..errors import FrameTooLarge, FrameTruncated, UnknownOpcode
+
 # Frame opcodes.  Requests: single-run evaluation + replay; the 0x1*
 # block is the scheduler's job-keyed variants (handlers registered by
 # repro.jobs.pool).  Replies: one RESULT or ERROR frame per request.
+# PING/PONG is the cluster coordinator's liveness probe for idle remote
+# workers (the pipe transport never sends it; worker death there
+# surfaces as pipe EOF).
+OP_PING = 0x01
 OP_EVAL_GENOMES = 0x02
 OP_EVAL_DELTAS = 0x03
 OP_SPAN = 0x04
@@ -45,15 +63,45 @@ OP_JOB_EVAL_GENOMES = 0x12
 OP_JOB_EVAL_DELTAS = 0x13
 OP_JOB_SPAN = 0x14
 OP_RESULT = 0x20
+OP_PONG = 0x21
 OP_ERROR = 0x2E
 
 _JOB_OPS = frozenset((OP_JOB_EVAL_GENOMES, OP_JOB_EVAL_DELTAS,
                       OP_JOB_SPAN))
 
+#: Default cap on a single frame, request or reply.  Genuine frames are
+#: kilobytes (a span is two compact wire frames regardless of length);
+#: the cap exists so one corrupt or hostile length prefix cannot make a
+#: peer buffer gigabytes.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
 #: Opcode -> ``(payload: memoryview) -> reply frame bytes``.  Populated
 #: at import time by the owning modules; forked workers inherit it,
 #: spawned workers rebuild it by importing the owners.
 HANDLERS: Dict[int, Callable[[memoryview], bytes]] = {}
+
+HANDLERS[OP_PING] = lambda payload: bytes([OP_PONG])
+
+
+def max_frame_bytes() -> int:
+    """The configured frame-size cap (``RCGP_MAX_FRAME_BYTES`` wins)."""
+    value = os.environ.get("RCGP_MAX_FRAME_BYTES", "")
+    return int(value) if value else DEFAULT_MAX_FRAME_BYTES
+
+
+def check_frame(frame, *, max_bytes: Optional[int] = None) -> None:
+    """Reject structurally invalid frames with typed errors.
+
+    Empty frames (no opcode byte) raise
+    :class:`~repro.errors.FrameTruncated`; frames over ``max_bytes``
+    raise :class:`~repro.errors.FrameTooLarge`.
+    """
+    if len(frame) == 0:
+        raise FrameTruncated("empty frame (no opcode byte)")
+    if max_bytes is not None and len(frame) > max_bytes:
+        raise FrameTooLarge(
+            f"frame of {len(frame)} bytes exceeds the "
+            f"{max_bytes}-byte cap")
 
 
 def _resolve_handler(op: int) -> Callable[[memoryview], bytes]:
@@ -62,8 +110,68 @@ def _resolve_handler(op: int) -> Callable[[memoryview], bytes]:
         import repro.jobs.pool  # noqa: F401  (registers job handlers)
         handler = HANDLERS.get(op)
     if handler is None:
-        raise ValueError(f"unknown pool frame opcode 0x{op:02x}")
+        raise UnknownOpcode(f"unknown pool frame opcode 0x{op:02x}")
     return handler
+
+
+def error_frame(exc: BaseException) -> bytes:
+    """Pack an exception into an ``ERROR`` reply frame, typed when the
+    exception pickles, ``RuntimeError(repr(exc))`` when it does not."""
+    try:
+        payload = pickle.dumps(exc)
+    except Exception:
+        payload = pickle.dumps(RuntimeError(repr(exc)))
+    return bytes([OP_ERROR]) + payload
+
+
+def serve_frame(frame, *, max_bytes: Optional[int] = None) -> bytes:
+    """Serve one request frame: validate, dispatch, reply.
+
+    The worker-side half of the dispatch core, shared by the pipe main
+    loop and the TCP worker.  Every failure — a malformed frame, an
+    unknown opcode, a handler exception — becomes an ``ERROR`` reply
+    the peer re-raises, so a bad request costs one batch retry instead
+    of a wedged worker.  Only ``KeyboardInterrupt``/``SystemExit``
+    propagate (the serve loops exit on them).
+    """
+    try:
+        check_frame(frame, max_bytes=max_bytes)
+        return _resolve_handler(frame[0])(memoryview(frame)[1:])
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except (struct.error, pickle.UnpicklingError) as exc:
+        # Payload decoding that predates the typed wire guards (job
+        # context headers, pickled deltas) must not ship raw
+        # struct/pickle errors either.
+        return error_frame(FrameTruncated(
+            f"malformed payload for opcode 0x{frame[0]:02x}: {exc}"))
+    except BaseException as exc:  # ship it back, typed
+        return error_frame(exc)
+
+
+def unwrap_reply(frame, *, expect: int = OP_RESULT):
+    """Validate one reply frame, re-raising shipped ``ERROR`` frames.
+
+    The coordinator-side half of the dispatch core.  Returns the frame
+    itself (payload at ``frame[1:]``) when its opcode is ``expect``;
+    raises the unpickled worker exception for ``ERROR`` frames and
+    typed :class:`~repro.errors.FrameError` variants for everything
+    structurally wrong.
+    """
+    check_frame(frame)
+    op = frame[0]
+    if op == OP_ERROR:
+        try:
+            exc = pickle.loads(memoryview(frame)[1:])
+        except Exception as err:
+            raise FrameTruncated(
+                f"undecodable ERROR frame payload: {err!r}") from None
+        raise exc
+    if op != expect:
+        raise UnknownOpcode(
+            f"unexpected reply opcode 0x{op:02x} "
+            f"(expected 0x{expect:02x})")
+    return frame
 
 
 def _worker_main(conn, stale, init_payload) -> None:
@@ -90,6 +198,7 @@ def _worker_main(conn, stale, init_payload) -> None:
     _engine.install_fault_injection()
     if init_payload is not None:
         _engine._pool_initializer(*init_payload)
+    limit = max_frame_bytes()
     while True:
         try:
             frame = conn.recv_bytes()
@@ -98,15 +207,9 @@ def _worker_main(conn, stale, init_payload) -> None:
         except KeyboardInterrupt:
             return
         try:
-            reply = _resolve_handler(frame[0])(memoryview(frame)[1:])
+            reply = serve_frame(frame, max_bytes=limit)
         except (KeyboardInterrupt, SystemExit):
             return
-        except BaseException as exc:  # ship it back, typed
-            try:
-                payload = pickle.dumps(exc)
-            except Exception:
-                payload = pickle.dumps(RuntimeError(repr(exc)))
-            reply = bytes([OP_ERROR]) + payload
         try:
             conn.send_bytes(reply)
         except (BrokenPipeError, OSError):
@@ -167,10 +270,7 @@ class PipeWorkerPool:
             if remaining <= 0 or not conn.poll(remaining):
                 raise TimeoutError(
                     f"pool worker {index} overran the batch deadline")
-        frame = conn.recv_bytes()
-        if frame and frame[0] == OP_ERROR:
-            raise pickle.loads(memoryview(frame)[1:])
-        return frame
+        return unwrap_reply(conn.recv_bytes())
 
     def kill(self) -> None:
         """Tear the pool down *now*, hung workers included."""

@@ -25,15 +25,39 @@ objects is the caller's business.
 
 from __future__ import annotations
 
+import functools
 import struct
 from array import array
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..errors import FrameTruncated
 from .mutation import MutationDelta
 
 Fit4 = Tuple[float, int, int, int]
 """Raw fitness fields ``(success, n_r, n_g, n_b)``."""
+
+
+def _checked(unpack):
+    """Turn short/garbled payloads into typed frame errors.
+
+    Every ``unpack_*`` below assumes a well-formed buffer; a truncated
+    or corrupt one would otherwise leak ``struct.error`` (fixed-layout
+    headers), ``ValueError`` (``array.frombytes`` on a ragged tail) or
+    ``IndexError`` (length prefixes pointing past the end) to the
+    transport.  All three become
+    :class:`~repro.errors.FrameTruncated`, which the pool owners treat
+    as one recoverable batch loss.
+    """
+    @functools.wraps(unpack)
+    def guarded(data):
+        try:
+            return unpack(data)
+        except (struct.error, ValueError, IndexError) as exc:
+            raise FrameTruncated(
+                f"{unpack.__name__}: payload of {len(data)} bytes is "
+                f"truncated or corrupt ({exc})") from None
+    return guarded
 
 _LEN = struct.Struct("<I")
 _FIT = struct.Struct("<dqqq")
@@ -54,6 +78,7 @@ def pack_genome(genome: Sequence[int]) -> bytes:
     return array("q", genome).tobytes()
 
 
+@_checked
 def unpack_genome(data: bytes) -> Tuple[int, ...]:
     """Inverse of :func:`pack_genome`."""
     values = array("q")
@@ -71,6 +96,7 @@ def pack_genomes(genomes: Sequence[Sequence[int]]) -> bytes:
     return b"".join(parts)
 
 
+@_checked
 def unpack_genomes(data: bytes) -> List[Tuple[int, ...]]:
     """Inverse of :func:`pack_genomes`."""
     (count,) = _LEN.unpack_from(data, 0)
@@ -96,6 +122,7 @@ def pack_deltas(deltas: Sequence[MutationDelta]) -> bytes:
     return array("q", flat).tobytes()
 
 
+@_checked
 def unpack_deltas(data: bytes) -> List[MutationDelta]:
     """Inverse of :func:`pack_deltas`."""
     flat = array("q")
@@ -122,6 +149,7 @@ def pack_fitness_chunk(values: Sequence[Fit4],
     return b"".join(parts)
 
 
+@_checked
 def unpack_fitness_chunk(data: bytes) \
         -> Tuple[List[Fit4], Tuple[int, int, int]]:
     """Inverse of :func:`pack_fitness_chunk`."""
@@ -201,6 +229,7 @@ def pack_span_request(request: SpanRequest) -> bytes:
     return b"".join(parts)
 
 
+@_checked
 def unpack_span_request(data: bytes) -> SpanRequest:
     base_seed, start_gen, count, flags = _SPAN_REQ.unpack_from(data, 0)
     at = _SPAN_REQ.size
@@ -239,6 +268,7 @@ def pack_span_result(result: SpanResult) -> bytes:
     return b"".join(parts)
 
 
+@_checked
 def unpack_span_result(data: bytes) -> SpanResult:
     count, flags = _SPAN_RES.unpack_from(data, 0)
     at = _SPAN_RES.size

@@ -94,6 +94,62 @@ class WorkerPoolError(ReproError):
     """
 
 
+class FrameError(WorkerPoolError):
+    """A transport frame violated the pool wire protocol.
+
+    Base class for the typed frame-level failures shared by the pipe
+    transport (:mod:`repro.core.transport`) and the TCP transport
+    (:mod:`repro.cluster.protocol`).  Frame errors are members of
+    :data:`repro.core.engine.RECOVERABLE_POOL_ERRORS`: a corrupt frame
+    costs one batch retry (kill/respawn/re-dispatch), not the run.
+    """
+
+
+class FrameTruncated(FrameError):
+    """A frame ended before its declared payload did.
+
+    Covers an empty frame (no opcode byte), a connection closed mid-
+    frame, and any :mod:`repro.core.wire` payload too short for its
+    fixed-layout header — all the shapes that used to leak
+    ``struct.error`` or ``IndexError`` out of the unpack path.
+    """
+
+
+class FrameTooLarge(FrameError):
+    """A frame exceeded the configured maximum frame size.
+
+    The cap (default 64 MiB, override with ``RCGP_MAX_FRAME_BYTES``)
+    bounds what one corrupt or hostile length prefix can make a peer
+    buffer; genuine batches are kilobytes.
+    """
+
+
+class UnknownOpcode(FrameError):
+    """A frame's opcode has no registered handler (or an unexpected
+    reply opcode arrived where a ``RESULT`` was required)."""
+
+
+class ClusterError(ReproError):
+    """A cluster worker could not register with (or lost) its
+    coordinator for a non-recoverable reason."""
+
+
+class ClusterAuthError(ClusterError):
+    """The coordinator rejected the worker's shared token.
+
+    Not retried: reconnecting with the same token would loop forever.
+    Fix the ``--token`` / ``RCGP_CLUSTER_TOKEN`` value and restart.
+    """
+
+
+class ClusterVersionSkew(ClusterError):
+    """Worker and coordinator speak different protocol versions.
+
+    Not retried: upgrade (or downgrade) one side so both run the same
+    :data:`repro.cluster.protocol.PROTOCOL_VERSION`.
+    """
+
+
 class StoreCorruption(ReproError):
     """A job-store artifact on disk is torn, truncated or unparseable.
 

@@ -207,17 +207,27 @@ class Scheduler:
         remaining budget in one slice (legacy single-run semantics);
         a finite quantum buys mid-job checkpoints and fair-share
         interleaving at slice granularity.
+    fleet:
+        An optional started :class:`~repro.cluster.fleet.ClusterFleet`.
+        When attached, every parallel-safe slice runs on a
+        :class:`~repro.cluster.backend.ClusterBackend` mixing the
+        fleet's remote workers with ``workers`` local pipe workers
+        (bit-identical to both the shared pool and the serial loop).
+        The fleet's lifecycle belongs to the caller.
     """
 
     def __init__(self, store: Optional[JobStore] = None, *,
-                 workers: int = 0, quantum: Optional[int] = None):
+                 workers: int = 0, quantum: Optional[int] = None,
+                 fleet=None):
         if quantum is not None and quantum < 1:
             raise ValueError("quantum must be >= 1 (or None)")
         self.store = store if store is not None else JobStore(None)
         self.workers = workers
         self.quantum = quantum
+        self.fleet = fleet
         self._jobs: Dict[str, Job] = {}
         self._pool: Optional[SharedWorkerPool] = None
+        self._cluster = None  # lazily-built ClusterDispatch
         self._rr_next = 0  # round-robin cursor for step()
         self._blocked: List[str] = []  # foreign-leased, last step()
 
@@ -228,6 +238,9 @@ class Scheduler:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self._cluster is not None:
+            self._cluster.close()
+            self._cluster = None
 
     def __enter__(self) -> "Scheduler":
         return self
@@ -239,6 +252,14 @@ class Scheduler:
         if self._pool is None:
             self._pool = SharedWorkerPool(self.workers)
         return self._pool
+
+    def _cluster_dispatch(self):
+        if self._cluster is None:
+            from ..cluster.backend import ClusterDispatch
+            self._cluster = ClusterDispatch(
+                self.fleet,
+                local_workers=self.workers if self.workers > 1 else 0)
+        return self._cluster
 
     # -- submission ----------------------------------------------------
 
@@ -430,11 +451,20 @@ class Scheduler:
                 generations=budget,
                 workers=0, telemetry_path=None)
             backend = None
-            if self.workers > 1 and budget > 0 and \
-                    parallel_safe_config(spec[0].num_vars, slice_config):
+            parallel_ok = budget > 0 and \
+                parallel_safe_config(spec[0].num_vars, slice_config)
+            if parallel_ok and self.fleet is not None and \
+                    (self.workers > 1 or self.fleet.live_count() > 0):
                 # Keyed by the bare job id: slices share one seed and
                 # pattern set now, so workers keep their evaluator (and
                 # resident decoded parent) warm across slice boundaries.
+                from ..cluster.backend import ClusterBackend
+                ctx = (job.id,
+                       tuple(t.bits for t in spec), spec[0].num_vars,
+                       slice_config.to_dict())
+                backend = ClusterBackend(self._cluster_dispatch(), ctx,
+                                         spec, slice_config)
+            elif parallel_ok and self.workers > 1:
                 ctx = (job.id,
                        tuple(t.bits for t in spec), spec[0].num_vars,
                        slice_config.to_dict())
@@ -462,11 +492,20 @@ class Scheduler:
             finished = done >= config.generations \
                 or result.generations < budget or result.interrupted
             if telemetry is not None:
+                # Worker identity for cluster slices: which remote
+                # workers served frames, and how many replay spans ran
+                # off-host.
+                extras: Dict[str, object] = {}
+                names = getattr(backend, "cluster_workers", None)
+                if names is not None:
+                    extras["cluster_workers"] = sorted(names)
+                    extras["spans_remote"] = backend.spans_remote
                 telemetry.emit("job_slice", slice=record["slices"],
                                generations_done=done,
                                budget=budget, backend=result.backend,
                                owner=self.store.owner,
-                               best_key=list(result.fitness.key()))
+                               best_key=list(result.fitness.key()),
+                               **extras)
             if finished:
                 self._finalize(job, record, result, done, telemetry)
                 self.store.release_lease(job.id)

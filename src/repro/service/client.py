@@ -19,6 +19,7 @@ job's lease), 429 → :class:`~repro.errors.QueueFull`, anything else →
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -64,28 +65,61 @@ class ServiceClient:
         Per-request socket timeout in seconds.
     """
 
+    #: One retry after this pause when an idempotent GET hits a torn
+    #: connection (server restart mid-keep-alive, LB failover).
+    RETRY_BACKOFF = 0.2
+
     def __init__(self, base_url: str, *, timeout: float = 30.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
 
     # -- transport -----------------------------------------------------
 
+    @staticmethod
+    def _connection_torn(err: urllib.error.URLError) -> bool:
+        """A reset/mid-response-close, as urllib wraps them.
+
+        ``http.client.RemoteDisconnected`` subclasses
+        ``ConnectionResetError``, and urllib surfaces both either
+        directly (mid-body) or as ``URLError.reason`` (pre-response).
+        """
+        torn = (ConnectionResetError, http.client.RemoteDisconnected)
+        return isinstance(err, torn) or \
+            isinstance(getattr(err, "reason", None), torn)
+
     def _request(self, method: str, path: str,
                  payload: Optional[Dict[str, Any]] = None) -> bytes:
         data = None if payload is None else json.dumps(payload).encode()
-        request = urllib.request.Request(
-            self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"})
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return response.read()
-        except urllib.error.HTTPError as err:
-            raise _error_from(err.code, err.read()) from None
-        except urllib.error.URLError as err:
-            raise ServiceError(
-                f"service unreachable at {self.base_url}: "
-                f"{err.reason}") from None
+        # GETs are read-only against the store and safe to repeat;
+        # POSTs are only retried by the caller (submission is
+        # content-hash idempotent, but that is the caller's call).
+        attempts = 2 if method == "GET" else 1
+        for attempt in range(attempts):
+            request = urllib.request.Request(
+                self.base_url + path, data=data, method=method,
+                headers={"Content-Type": "application/json"})
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as response:
+                    return response.read()
+            except urllib.error.HTTPError as err:
+                raise _error_from(err.code, err.read()) from None
+            except urllib.error.URLError as err:
+                if attempt + 1 < attempts and self._connection_torn(err):
+                    time.sleep(self.RETRY_BACKOFF)
+                    continue
+                raise ServiceError(
+                    f"service unreachable at {self.base_url}: "
+                    f"{err.reason}") from None
+            except ConnectionResetError as err:
+                # Raised bare (not URLError-wrapped) when the peer
+                # resets mid-response-body.
+                if attempt + 1 < attempts:
+                    time.sleep(self.RETRY_BACKOFF)
+                    continue
+                raise ServiceError(
+                    f"service connection reset at {self.base_url}: "
+                    f"{err}") from None
 
     def _json(self, method: str, path: str,
               payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
@@ -159,6 +193,11 @@ class ServiceClient:
         in-memory stores)."""
         body = self._request("GET", f"/v1/jobs/{job_id}/telemetry")
         return [json.loads(line) for line in body.splitlines() if line]
+
+    def workers(self) -> Dict[str, Any]:
+        """The live cluster fleet (``cluster`` false and an empty list
+        when the server runs without one)."""
+        return self._json("GET", "/v1/workers")
 
     def health(self) -> Dict[str, Any]:
         return self._json("GET", "/healthz")

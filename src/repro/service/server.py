@@ -13,6 +13,7 @@ GET       ``/v1/jobs``                all job ids the store knows
 GET       ``/v1/jobs/{id}``           status/progress from record+checkpoint
 GET       ``/v1/jobs/{id}/result``    the finished artifact (result.json)
 GET       ``/v1/jobs/{id}/telemetry`` the job's JSONL event stream
+GET       ``/v1/workers``             the live cluster worker fleet
 GET       ``/healthz``                liveness + version
 GET       ``/metrics``                text exposition of engine/scheduler
                                       counters
@@ -89,6 +90,7 @@ ROUTES: Tuple[Tuple[str, "re.Pattern[str]"], ...] = (
     ("GET", re.compile(rf"^/v1/jobs/{_JOB_ID}$")),
     ("GET", re.compile(rf"^/v1/jobs/{_JOB_ID}/result$")),
     ("GET", re.compile(rf"^/v1/jobs/{_JOB_ID}/telemetry$")),
+    ("GET", re.compile(r"^/v1/workers/?$")),
     ("GET", re.compile(r"^/healthz$")),
     ("GET", re.compile(r"^/metrics$")),
 )
@@ -184,6 +186,12 @@ class ServiceServer:
     lease_ttl:
         Seconds without a lease heartbeat before this server may adopt
         a job another (presumed dead) scheduler left ``running``.
+    cluster:
+        An optional started :class:`~repro.cluster.fleet.ClusterFleet`
+        remote workers dial into (``rcgp worker --connect``).  The
+        server adopts its lifecycle: :meth:`close` closes it.  Slices
+        then run on the dynamic local+remote mix, ``/v1/workers`` lists
+        the live fleet and ``/metrics`` gains the cluster counters.
     """
 
     def __init__(self, store: Union[None, str, "os.PathLike[str]",
@@ -193,9 +201,10 @@ class ServiceServer:
                  max_queue: int = 64, request_timeout: float = 30.0,
                  operational: Optional[Dict[str, Any]] = None,
                  resume: bool = True, log: bool = False,
-                 lease_ttl: Optional[float] = None):
+                 lease_ttl: Optional[float] = None, cluster=None):
+        self.cluster = cluster
         self.session = Session(store, workers=workers, quantum=quantum,
-                               lease_ttl=lease_ttl)
+                               lease_ttl=lease_ttl, fleet=cluster)
         self.operational = dict(operational or {})
         self.resume = resume
         self.log = log
@@ -258,6 +267,8 @@ class ServiceServer:
             self._http_thread.join()
         self._httpd.server_close()
         self.session.close()
+        if self.cluster is not None:
+            self.cluster.close()
 
     def __enter__(self) -> "ServiceServer":
         return self
@@ -451,6 +462,26 @@ class ServiceServer:
         # marker event so the response is always valid JSONL.
         return self.session.store.read_telemetry(job_id)
 
+    def workers_view(self) -> Dict[str, Any]:
+        """The ``GET /v1/workers`` document: the live remote fleet.
+
+        Without an attached cluster the fleet is simply empty —
+        callers need no feature probe.
+        """
+        fleet = self.cluster
+        workers = [] if fleet is None else fleet.workers_view()
+        view: Dict[str, Any] = {
+            "cluster": fleet is not None,
+            "live": len(workers),
+            "workers": workers,
+        }
+        if fleet is not None:
+            view["listen"] = f"{fleet.host}:{fleet.port}"
+            view["spans_remote_total"] = fleet.spans_remote_total
+            view["reconnects_total"] = fleet.reconnects_total
+            view["rejections_total"] = fleet.rejections_total
+        return view
+
     def health(self) -> Dict[str, Any]:
         from .. import __version__
         status = "ok" if self._loop_error is None else "degraded"
@@ -507,6 +538,18 @@ class ServiceServer:
         lines.append(f"rcgp_leases_live {leases_live}")
         lines.append("# TYPE rcgp_queue_depth gauge")
         lines.append(f"rcgp_queue_depth {self._queue.qsize()}")
+        # Cluster fleet counters (all zero without an attached fleet,
+        # so dashboards need no conditional scrape config).
+        fleet = self.cluster
+        lines.append("# TYPE rcgp_cluster_workers_live gauge")
+        lines.append(f"rcgp_cluster_workers_live "
+                     f"{0 if fleet is None else fleet.live_count()}")
+        lines.append("# TYPE rcgp_cluster_spans_remote_total counter")
+        lines.append(f"rcgp_cluster_spans_remote_total "
+                     f"{0 if fleet is None else fleet.spans_remote_total}")
+        lines.append("# TYPE rcgp_cluster_reconnects_total counter")
+        lines.append(f"rcgp_cluster_reconnects_total "
+                     f"{0 if fleet is None else fleet.reconnects_total}")
         lines.append("# TYPE rcgp_uptime_seconds gauge")
         lines.append(f"rcgp_uptime_seconds "
                      f"{time.time() - self.started_at:.3f}")
@@ -554,6 +597,9 @@ class _Handler(BaseHTTPRequestHandler):
                 if re.match(r"^/v1/jobs/?$", path):
                     return self._send_json(
                         200, {"jobs": self.service.session.store.jobs()})
+                if re.match(r"^/v1/workers/?$", path):
+                    return self._send_json(
+                        200, self.service.workers_view())
                 if path == "/healthz":
                     return self._send_json(200, self.service.health())
                 if path == "/metrics":
@@ -599,12 +645,20 @@ def serve(store: Union[None, str, JobStore] = None, *,
           max_queue: int = 64, request_timeout: float = 30.0,
           operational: Optional[Dict[str, Any]] = None,
           resume: bool = True, log: bool = True,
-          lease_ttl: Optional[float] = None) -> int:
+          lease_ttl: Optional[float] = None,
+          cluster_port: Optional[int] = None,
+          cluster_host: Optional[str] = None,
+          cluster_token: str = "") -> int:
     """Run a service until SIGTERM/SIGINT, then drain gracefully.
 
     The blocking entry point behind ``rcgp serve``.  Signal handlers
     must live on the main thread, which is why this wrapper exists —
     :class:`ServiceServer` itself is signal-agnostic and embeddable.
+
+    ``cluster_port`` (with a required ``cluster_token``) additionally
+    opens a :class:`~repro.cluster.fleet.ClusterFleet` listener remote
+    ``rcgp worker`` processes dial into; ``cluster_host`` defaults to
+    ``host``.
     """
     stop = threading.Event()
 
@@ -615,13 +669,23 @@ def serve(store: Union[None, str, JobStore] = None, *,
                   flush=True)
         stop.set()
 
+    fleet = None
+    if cluster_port is not None:
+        from ..cluster import ClusterFleet
+        if not cluster_token:
+            raise ValueError(
+                "--cluster-port requires a token (--cluster-token or "
+                "RCGP_CLUSTER_TOKEN)")
+        fleet = ClusterFleet(token=cluster_token,
+                             host=cluster_host or host,
+                             port=cluster_port).start()
     previous = {sig: signal.signal(sig, _on_signal)
                 for sig in (signal.SIGTERM, signal.SIGINT)}
     server = ServiceServer(store, host=host, port=port, workers=workers,
                            quantum=quantum, max_queue=max_queue,
                            request_timeout=request_timeout,
                            operational=operational, resume=resume,
-                           log=log, lease_ttl=lease_ttl)
+                           log=log, lease_ttl=lease_ttl, cluster=fleet)
     try:
         server.start()
         if log:
@@ -630,6 +694,10 @@ def serve(store: Union[None, str, JobStore] = None, *,
                   f"workers={server.session.scheduler.workers}, "
                   f"quantum={server.session.scheduler.quantum})",
                   flush=True)
+            if fleet is not None:
+                print(f"rcgp serve: cluster listening on "
+                      f"{fleet.host}:{fleet.port} (workers join with "
+                      f"rcgp worker --connect)", flush=True)
         while not stop.is_set():
             stop.wait(0.2)
     finally:

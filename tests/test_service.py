@@ -444,3 +444,99 @@ class TestCrashSurfacing:
             assert server.session.store.lease_ttl == 7.5
         finally:
             server.close()
+
+
+class TestClientRetry:
+    """Idempotent GETs survive one torn keep-alive connection (server
+    restart, LB failover); non-idempotent POSTs never auto-repeat."""
+
+    class _Response:
+        def __init__(self, body):
+            self._body = body
+
+        def read(self):
+            return self._body
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+    def _flaky_urlopen(self, failures, error):
+        calls = []
+
+        def urlopen(request, timeout=None):
+            calls.append(request.get_method())
+            if len(calls) <= failures:
+                raise error
+            return self._Response(b'{"ok": true}')
+
+        return urlopen, calls
+
+    def test_get_retries_once_on_wrapped_disconnect(self, monkeypatch):
+        import http.client
+        import urllib.error
+        import urllib.request
+        from repro.service.client import ServiceClient
+        client = ServiceClient("http://127.0.0.1:9")
+        monkeypatch.setattr(client, "RETRY_BACKOFF", 0.0)
+        error = urllib.error.URLError(
+            http.client.RemoteDisconnected("closed mid-keep-alive"))
+        urlopen, calls = self._flaky_urlopen(1, error)
+        monkeypatch.setattr(urllib.request, "urlopen", urlopen)
+        assert client._json("GET", "/healthz") == {"ok": True}
+        assert calls == ["GET", "GET"]
+
+    def test_get_retries_once_on_bare_reset(self, monkeypatch):
+        import urllib.request
+        from repro.service.client import ServiceClient
+        client = ServiceClient("http://127.0.0.1:9")
+        monkeypatch.setattr(client, "RETRY_BACKOFF", 0.0)
+        urlopen, calls = self._flaky_urlopen(
+            1, ConnectionResetError("reset mid-body"))
+        monkeypatch.setattr(urllib.request, "urlopen", urlopen)
+        assert client._json("GET", "/healthz") == {"ok": True}
+        assert calls == ["GET", "GET"]
+
+    def test_get_gives_up_after_one_retry(self, monkeypatch):
+        import http.client
+        import urllib.error
+        import urllib.request
+        from repro.service.client import ServiceClient
+        client = ServiceClient("http://127.0.0.1:9")
+        monkeypatch.setattr(client, "RETRY_BACKOFF", 0.0)
+        error = urllib.error.URLError(
+            http.client.RemoteDisconnected("still down"))
+        urlopen, calls = self._flaky_urlopen(10, error)
+        monkeypatch.setattr(urllib.request, "urlopen", urlopen)
+        with pytest.raises(ServiceError):
+            client._json("GET", "/healthz")
+        assert calls == ["GET", "GET"]
+
+    def test_get_does_not_retry_other_failures(self, monkeypatch):
+        import urllib.error
+        import urllib.request
+        from repro.service.client import ServiceClient
+        client = ServiceClient("http://127.0.0.1:9")
+        urlopen, calls = self._flaky_urlopen(
+            10, urllib.error.URLError(ConnectionRefusedError("nope")))
+        monkeypatch.setattr(urllib.request, "urlopen", urlopen)
+        with pytest.raises(ServiceError):
+            client._json("GET", "/healthz")
+        assert calls == ["GET"]
+
+    def test_post_never_retried(self, monkeypatch):
+        import http.client
+        import urllib.error
+        import urllib.request
+        from repro.service.client import ServiceClient
+        client = ServiceClient("http://127.0.0.1:9")
+        monkeypatch.setattr(client, "RETRY_BACKOFF", 0.0)
+        error = urllib.error.URLError(
+            http.client.RemoteDisconnected("closed"))
+        urlopen, calls = self._flaky_urlopen(10, error)
+        monkeypatch.setattr(urllib.request, "urlopen", urlopen)
+        with pytest.raises(ServiceError):
+            client._json("POST", "/v1/jobs", {"x": 1})
+        assert calls == ["POST"]

@@ -107,6 +107,13 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "repeats": args.repeats,
         "python": platform.python_version(),
+        # Host metadata so recorded rates are interpretable: a baseline
+        # measured on one box must not silently gate a different one.
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
         "benches": run_benches(circuit=args.circuit, kernel=args.kernel,
                                quick=args.quick, repeats=args.repeats,
                                skip_workers=args.skip_workers),
